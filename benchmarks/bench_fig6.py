@@ -1,0 +1,39 @@
+"""Figure 6 — peel vs post-process split for DFT and FND, (2,3) and (3,4).
+
+The figure plots, per dataset, stacked bars of peeling and post-processing
+time normalised by DFT's total.  Two shapes to reproduce:
+
+1. DFT's traversal (post-process) is comparable to its peeling time
+   (paper: +23% on average for (2,3));
+2. FND's *total* stays close to DFT's peeling alone (paper: +29% for
+   (2,3), +21% for (3,4)) because BuildHierarchy is a near-free replay.
+
+Regenerate the printed series with::
+
+    python benchmarks/run_paper_tables.py fig6
+"""
+
+import pytest
+
+from repro.core.decomposition import nucleus_decomposition
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig6-breakdown")
+@pytest.mark.parametrize("rs", [(2, 3), (3, 4)], ids=["23", "34"])
+@pytest.mark.parametrize("algorithm", ["dft", "fnd"])
+def test_phase_breakdown(benchmark, dataset, rs, algorithm):
+    r, s = rs
+    result = run_once(benchmark, nucleus_decomposition, dataset, r, s,
+                      algorithm=algorithm)
+    total = result.total_seconds
+    benchmark.extra_info["dataset"] = dataset.name
+    benchmark.extra_info["peel_fraction"] = round(
+        result.peel_seconds / total, 4) if total else 0.0
+    benchmark.extra_info["post_fraction"] = round(
+        result.post_seconds / total, 4) if total else 0.0
+    # FND's post-processing (BuildHierarchy) must be a small share of its
+    # run — the entire point of avoiding traversal.
+    if algorithm == "fnd" and total > 0.01:
+        assert result.post_seconds < 0.5 * total

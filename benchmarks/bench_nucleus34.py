@@ -1,0 +1,30 @@
+"""Table 5 (right) — (3,4) nucleus decomposition.
+
+Paper result: Naive could not finish within 2 days on ANY graph (starred
+lower bounds); FND is fastest, 1.53x below even the Hypo traversal floor.
+At our scale Naive does finish, but its gap is the widest of the three
+decompositions — same shape.
+
+Regenerate the formatted table with::
+
+    python benchmarks/run_paper_tables.py table5
+"""
+
+import pytest
+
+from repro.core.decomposition import nucleus_decomposition
+
+from conftest import run_once
+
+ALGORITHMS = ("naive", "dft", "fnd", "hypo")
+
+
+@pytest.mark.benchmark(group="table5-nucleus34")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_nucleus34_hierarchy(benchmark, dataset, algorithm):
+    result = run_once(benchmark, nucleus_decomposition, dataset, 3, 4,
+                      algorithm=algorithm)
+    benchmark.extra_info["dataset"] = dataset.name
+    benchmark.extra_info["max_lambda"] = result.max_lambda
+    benchmark.extra_info["peel_seconds"] = round(result.peel_seconds, 6)
+    benchmark.extra_info["post_seconds"] = round(result.post_seconds, 6)

@@ -1,0 +1,74 @@
+"""Streaming k-core maintenance vs recompute-from-scratch.
+
+Not a paper table — the dynamic setting is the survey's [41] — but it
+quantifies why the subcore (T_{1,2}) machinery matters: one edge update
+touches a subcore, not the graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kcore import core_numbers
+from repro.streaming import IncrementalCoreMaintainer
+
+from conftest import get_dataset, run_once
+
+UPDATES = 60
+
+
+def _event_stream(graph, count: int):
+    rng = np.random.default_rng(7)
+    probe = IncrementalCoreMaintainer(graph)
+    events = []
+    while len(events) < count:
+        u, v = int(rng.integers(graph.n)), int(rng.integers(graph.n))
+        if u == v:
+            continue
+        if probe.has_edge(u, v):
+            events.append(("remove", u, v))
+            probe.remove_edge(u, v)
+        else:
+            events.append(("add", u, v))
+            probe.insert_edge(u, v)
+    return events
+
+
+@pytest.mark.benchmark(group="streaming-kcore")
+@pytest.mark.parametrize("name", ["stanford3", "google", "wiki_0611"])
+def test_incremental_stream(benchmark, name):
+    graph = get_dataset(name)
+    events = _event_stream(graph, UPDATES)
+
+    def run():
+        maintainer = IncrementalCoreMaintainer(graph)
+        maintainer.apply_stream(events)
+        return maintainer
+
+    maintainer = run_once(benchmark, run)
+    benchmark.extra_info["dataset"] = graph.name
+    benchmark.extra_info["updates"] = UPDATES
+    assert maintainer.core_numbers() == core_numbers(maintainer.snapshot())
+
+
+@pytest.mark.benchmark(group="streaming-kcore")
+@pytest.mark.parametrize("name", ["stanford3", "google", "wiki_0611"])
+def test_recompute_stream(benchmark, name):
+    graph = get_dataset(name)
+    events = _event_stream(graph, UPDATES)
+
+    def run():
+        maintainer = IncrementalCoreMaintainer(graph)
+        lam = None
+        for op, u, v in events:
+            if op == "add":
+                maintainer._adjacency[u].add(v)
+                maintainer._adjacency[v].add(u)
+            else:
+                maintainer._adjacency[u].discard(v)
+                maintainer._adjacency[v].discard(u)
+            lam = core_numbers(maintainer.snapshot())
+        return lam
+
+    run_once(benchmark, run)
+    benchmark.extra_info["dataset"] = graph.name
+    benchmark.extra_info["updates"] = UPDATES

@@ -1,0 +1,36 @@
+"""Table 1 — headline speedups on Stanford3, twitter-hb and uk-2005.
+
+The paper's summary table: for each decomposition, the best algorithm's
+speedup over the baselines (k-core best = LCPS vs Naive/Hypo; (2,3) and
+(3,4) best = FND vs Naive/TCP/Hypo).  Shape to reproduce: every speedup
+> 1x, the Naive column much larger than the Hypo column, and FND at or
+below Hypo for (2,3)/(3,4).
+
+Regenerate the formatted table with::
+
+    python benchmarks/run_paper_tables.py table1
+"""
+
+import pytest
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.graph.datasets import table1_datasets
+
+from conftest import get_dataset, run_once
+
+CASES = [(name, r, s, algorithm)
+         for name in table1_datasets()
+         for (r, s) in ((1, 2), (2, 3), (3, 4))
+         for algorithm in (("lcps",) if (r, s) == (1, 2) else ("fnd",))
+         + ("naive", "hypo")]
+
+
+@pytest.mark.benchmark(group="table1-headline")
+@pytest.mark.parametrize("name,r,s,algorithm", CASES)
+def test_table1_cell(benchmark, name, r, s, algorithm):
+    graph = get_dataset(name)
+    result = run_once(benchmark, nucleus_decomposition, graph, r, s,
+                      algorithm=algorithm)
+    benchmark.extra_info["dataset"] = graph.name
+    benchmark.extra_info["rs"] = f"({r},{s})"
+    benchmark.extra_info["max_lambda"] = result.max_lambda

@@ -1,0 +1,35 @@
+"""Table 3 — dataset statistics (clique counts and sub-nucleus structure).
+
+Times the full Table-3 row computation per dataset (clique counting plus
+the DFT/FND instrumentation runs) and records the row values as extra_info.
+Shape to reproduce: |T*| within a small factor of |T| (paper: +24% average
+for (2,3)), and |c↓| far below its worst-case bound 3·|triangles|.
+
+Regenerate the formatted table with::
+
+    python benchmarks/run_paper_tables.py table3
+"""
+
+import pytest
+
+from repro.analysis.stats import table3_row
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table3-stats")
+def test_table3_row(benchmark, dataset):
+    row = run_once(benchmark, table3_row, dataset)
+    benchmark.extra_info.update({
+        "dataset": dataset.name,
+        "V": row.num_vertices, "E": row.num_edges,
+        "tri": row.num_triangles, "K4": row.num_four_cliques,
+        "T12": row.t12, "T12*": row.t12_star,
+        "T23": row.t23, "T23*": row.t23_star,
+        "T34": row.t34, "T34*": row.t34_star,
+        "c23": row.c_down_23, "c34": row.c_down_34,
+    })
+    # the paper's structural observations, asserted
+    assert row.t12_star >= row.t12
+    assert row.t23_star >= row.t23
+    assert row.c_down_23 <= 3 * row.num_triangles

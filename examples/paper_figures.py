@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Walk through the paper's Figures 1-5 as executable demonstrations.
+
+Each figure illustrates a definitional subtlety; this script reconstructs
+the graphs (repro.examples_graphs) and prints what each algorithm reports,
+so the misconception section of the paper can be *run* rather than read.
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+import repro
+from repro.examples_graphs import (
+    figure1_graph,
+    figure2_graph,
+    figure3_graph,
+    figure4_graph,
+    figure5_graph,
+)
+from repro.ktruss import k_dense, k_truss, truss_communities
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}")
+
+
+def main() -> None:
+    # ------------------------------------------------------------- Figure 1
+    banner("Figure 1 — the choice of s changes the nuclei ((2,3) vs (2,4))")
+    g = figure1_graph()
+    for s in (3, 4):
+        result = repro.nucleus_decomposition(g, 2, s, algorithm="fnd")
+        top = [(k, sorted(result.view.vertices_of_cells(cells)))
+               for k, cells in sorted(result.hierarchy.canonical_nuclei())]
+        print(f"(2,{s}) nuclei: {top}")
+    print("triangle chains keep the K4s together at (2,3) level 1; "
+          "four-clique support splits them at (2,4)")
+
+    # ------------------------------------------------------------- Figure 2
+    banner("Figure 2 — multiple k-cores: lambda values are not enough")
+    g = figure2_graph()
+    lam = repro.core_numbers(g)
+    print(f"core numbers: {lam}")
+    print(f"vertices 0 and 4 both have lambda=3, but the connected 3-cores "
+          f"are {repro.k_core(g, 3)}")
+    print("peeling alone cannot produce this split — that's the traversal "
+          "phase this paper makes fast")
+
+    # ------------------------------------------------------------- Figure 3
+    banner("Figure 3 — k-dense vs k-truss vs k-truss community (k=3)")
+    g = figure3_graph()
+    dense = k_dense(g, 3)
+    print(f"k-dense        : ONE subgraph with {dense.m} edges "
+          f"(possibly disconnected — Saito/Zhang)")
+    trusses = k_truss(g, 3)
+    print(f"k-truss        : {len(trusses)} vertex-connected components "
+          f"(Cohen/Verma)")
+    communities = truss_communities(g, 3)
+    print(f"truss community: {len(communities)} triangle-connected nuclei "
+          f"(Huang / (2,3) nucleus) — the bowtie splits")
+
+    # ------------------------------------------------------------- Figure 4
+    banner("Figure 4 — sub-cores merged through denser regions")
+    g = figure4_graph()
+    h = repro.nucleus_decomposition(g, 1, 2, algorithm="dft").hierarchy
+    print(f"sub-(1,2) nuclei (T_12): {h.num_subnuclei} "
+          f"(the K4 and two single-vertex sub-cores)")
+    fam = sorted(h.canonical_nuclei())
+    print(f"nuclei: {[(k, sorted(c)) for k, c in fam]}")
+    print("vertices 4 and 5 are separate sub-cores, but Find-r through the "
+          "K4's skeleton node unifies their 2-core")
+
+    # ------------------------------------------------------------- Figure 5
+    banner("Figure 5 — the hierarchy-skeleton as a tree")
+    g = figure5_graph()
+    result = repro.nucleus_decomposition(g, 1, 2, algorithm="fnd")
+    print(result.hierarchy.condense().format())
+    print("root=whole graph; the lambda-4 frame holds one K7 (lambda 6) and "
+          "two K6s (lambda 5)")
+
+
+if __name__ == "__main__":
+    main()

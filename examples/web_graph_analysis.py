@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Analysing a clique-heavy web graph with (3,4) nuclei.
+
+uk-2005 is the paper's outlier: a web-host graph that is essentially a
+union of large cliques (|K4|/|triangles| = 62, only 837 sub-nuclei in 11.7M
+edges).  On such graphs the (3,4) decomposition pinpoints the cliques
+directly and the hierarchy is almost flat.  This example reproduces that
+diagnosis on the stand-in and shows why FND's traversal-free construction
+shines there (the paper's Figure 6: uk-2005's DFT spends ~100% of its
+post-processing on traversal that FND skips).
+
+Run with::
+
+    python examples/web_graph_analysis.py
+"""
+
+import repro
+from repro.analysis.stats import hierarchy_stats
+from repro.graph.cliques import four_clique_count, triangle_count
+
+
+def main() -> None:
+    graph = repro.load_dataset("uk2005", "small")
+    print(f"web-host stand-in: {graph!r}")
+
+    triangles = triangle_count(graph)
+    k4s = four_clique_count(graph)
+    print(f"|triangles| = {triangles}, |K4| = {k4s}, "
+          f"K4/triangle ratio = {k4s / triangles:.2f} "
+          f"(social graphs sit near 5-6; uk-2005 hit 62)\n")
+
+    # (3,4) nuclei: the strictest of the paper's decompositions
+    result = repro.nucleus_decomposition(graph, 3, 4, algorithm="fnd")
+    stats = hierarchy_stats(result)
+    print(f"(3,4) hierarchy: {stats.num_nuclei} nuclei, "
+          f"{stats.num_subnuclei} sub-nuclei, depth {stats.depth}")
+    print(f"peel {result.peel_seconds:.3f}s + build "
+          f"{result.post_seconds:.4f}s — BuildHierarchy is almost free "
+          f"because ADJ is tiny on clique-dominated graphs "
+          f"(c-down = {result.fnd_stats.num_downward_connections})\n")
+
+    # the leaves are the planted cliques
+    tree = result.hierarchy.condense()
+    print("densest (3,4) nuclei — these are the web-host cliques:")
+    leaves = sorted(tree.leaves(), key=lambda n: -n.k)
+    for node in leaves[:8]:
+        vertices = result.nucleus_vertices(node.id)
+        sub = graph.subgraph(vertices)
+        print(f"  k={node.k:3d} |V|={sub.n:3d} |E|={sub.m:4d} "
+              f"density={repro.edge_density(sub):.2f}")
+
+    # compare against what a k-core would report
+    cores = repro.k_core(graph, repro.degeneracy(graph))
+    print(f"\ntop k-core count: {len(cores)} — the (3,4) view separates "
+          f"{len([n for n in leaves if n.k == leaves[0].k])} cliques at its "
+          f"top level")
+
+
+if __name__ == "__main__":
+    main()

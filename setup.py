@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+All project metadata lives in pyproject.toml; this file exists only because
+the build environment has no `wheel` package and no network access, which
+PEP 517 editable installs require.
+"""
+
+from setuptools import setup
+
+setup()

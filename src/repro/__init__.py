@@ -1,0 +1,151 @@
+"""repro — fast hierarchy construction for dense subgraphs.
+
+A faithful, pure-Python implementation of Sariyüce & Pinar, *Fast Hierarchy
+Construction for Dense Subgraphs* (PVLDB 10(3), 2016): k-core, k-truss and
+generic k-(r,s) nucleus decompositions that return not just λ values but the
+full tree of **connected** nuclei, via four interchangeable algorithms
+(naive per-level traversal, disjoint-set-forest traversal, traversal-free
+FND, and the LCPS adaptation for k-core).
+
+Quickstart::
+
+    import repro
+
+    graph = repro.generators.powerlaw_cluster(500, 8, 0.5, seed=7)
+    result = repro.nucleus_decomposition(graph, r=2, s=3, algorithm="fnd")
+    tree = result.hierarchy.condense()
+    print(tree.format(max_nodes=20))
+"""
+
+from repro.analysis import densest_nuclei, edge_density, hierarchy_stats, table3_row
+from repro.analysis.skeleton import skeleton_report
+from repro.core import (
+    ALGORITHMS,
+    Decomposition,
+    Hierarchy,
+    NucleusTree,
+    build_view,
+    nucleus_decomposition,
+    peel,
+)
+from repro.core.partition import decompose_by_components
+from repro.export import (
+    hierarchy_from_json,
+    hierarchy_to_json,
+    load_hierarchy,
+    save_hierarchy,
+    skeleton_to_dot,
+    tree_to_dot,
+)
+from repro.external import semi_external_core_decomposition
+from repro.kcore.temporal import temporal_core_numbers, temporal_k_core
+from repro.kcore.uncertain import uncertain_core_numbers, uncertain_k_core
+from repro.kcore.variants import (
+    directed_core_numbers,
+    weighted_core_numbers,
+    weighted_k_core,
+)
+from repro.queries import HierarchyIndex
+from repro.streaming import IncrementalCoreMaintainer
+from repro.errors import (
+    GraphFormatError,
+    InvalidGraphError,
+    InvalidParameterError,
+    ReproError,
+    UnknownAlgorithmError,
+    UnknownDatasetError,
+)
+from repro.graph import (
+    Graph,
+    connected_components,
+    load_edge_list,
+    load_graph,
+    save_edge_list,
+)
+from repro.graph import generators
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.kcore import (
+    core_hierarchy,
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    k_core,
+    k_core_subgraph,
+)
+from repro.ktruss import (
+    build_tcp_index,
+    k_dense,
+    k_truss,
+    truss_communities,
+    truss_hierarchy,
+    truss_numbers,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "Graph",
+    "generators",
+    "connected_components",
+    "load_edge_list",
+    "load_graph",
+    "save_edge_list",
+    "dataset_names",
+    "load_dataset",
+    # core decomposition
+    "ALGORITHMS",
+    "nucleus_decomposition",
+    "Decomposition",
+    "Hierarchy",
+    "NucleusTree",
+    "build_view",
+    "peel",
+    # k-core layer
+    "core_numbers",
+    "core_hierarchy",
+    "degeneracy",
+    "degeneracy_ordering",
+    "k_core",
+    "k_core_subgraph",
+    # k-truss layer
+    "truss_numbers",
+    "truss_hierarchy",
+    "truss_communities",
+    "k_dense",
+    "k_truss",
+    "build_tcp_index",
+    # analysis
+    "densest_nuclei",
+    "edge_density",
+    "hierarchy_stats",
+    "table3_row",
+    "skeleton_report",
+    # dynamic graphs, partitioned decomposition, export
+    "IncrementalCoreMaintainer",
+    "decompose_by_components",
+    "semi_external_core_decomposition",
+    "HierarchyIndex",
+    # survey-section core variants
+    "weighted_core_numbers",
+    "weighted_k_core",
+    "directed_core_numbers",
+    "uncertain_core_numbers",
+    "uncertain_k_core",
+    "temporal_core_numbers",
+    "temporal_k_core",
+    "hierarchy_to_json",
+    "hierarchy_from_json",
+    "save_hierarchy",
+    "load_hierarchy",
+    "tree_to_dot",
+    "skeleton_to_dot",
+    # errors
+    "ReproError",
+    "GraphFormatError",
+    "InvalidGraphError",
+    "InvalidParameterError",
+    "UnknownAlgorithmError",
+    "UnknownDatasetError",
+]

@@ -1,0 +1,33 @@
+"""Analysis utilities: density reports, Table-3 statistics, test oracles."""
+
+from repro.analysis.density import (
+    NucleusReport,
+    average_degree,
+    densest_nuclei,
+    edge_density,
+)
+from repro.analysis.reference import (
+    reference_core_numbers,
+    reference_lambda,
+    reference_nuclei,
+)
+from repro.analysis.stats import (
+    HierarchyStats,
+    Table3Row,
+    hierarchy_stats,
+    table3_row,
+)
+
+__all__ = [
+    "edge_density",
+    "average_degree",
+    "NucleusReport",
+    "densest_nuclei",
+    "reference_lambda",
+    "reference_nuclei",
+    "reference_core_numbers",
+    "Table3Row",
+    "table3_row",
+    "HierarchyStats",
+    "hierarchy_stats",
+]

@@ -1,0 +1,73 @@
+"""Comparing hierarchies and nucleus families.
+
+Used three ways: (a) cross-algorithm regression — Naive/DFT/FND/LCPS must
+score 1.0 against each other; (b) robustness studies — how much does a
+hierarchy move when the graph is perturbed?; (c) evaluating stand-in
+datasets against structural expectations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hierarchy import Hierarchy
+
+__all__ = ["HierarchyComparison", "compare_hierarchies", "nucleus_jaccard"]
+
+
+def nucleus_jaccard(a: frozenset[int], b: frozenset[int]) -> float:
+    """Jaccard similarity of two cell sets."""
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass
+class HierarchyComparison:
+    """Similarity summary between two hierarchies of the same graph."""
+
+    identical: bool
+    num_nuclei_a: int
+    num_nuclei_b: int
+    shared_nuclei: int
+    mean_best_jaccard: float  # each A-nucleus matched to its best B-peer
+
+    @property
+    def precision(self) -> float:
+        """Fraction of A's nuclei found exactly in B."""
+        return self.shared_nuclei / self.num_nuclei_a if self.num_nuclei_a else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of B's nuclei found exactly in A."""
+        return self.shared_nuclei / self.num_nuclei_b if self.num_nuclei_b else 1.0
+
+
+def compare_hierarchies(a: Hierarchy, b: Hierarchy) -> HierarchyComparison:
+    """Compare two hierarchies via their canonical nucleus families.
+
+    Exact matches are counted per (k, cell-set); the soft score matches
+    every A-nucleus to the best-Jaccard B-nucleus *at the same level* so
+    near-misses are visible when graphs differ slightly.
+    """
+    family_a = a.canonical_nuclei()
+    family_b = b.canonical_nuclei()
+    shared = family_a & family_b
+
+    by_level_b: dict[int, list[frozenset[int]]] = {}
+    for k, cells in family_b:
+        by_level_b.setdefault(k, []).append(cells)
+
+    scores: list[float] = []
+    for k, cells in family_a:
+        peers = by_level_b.get(k, [])
+        scores.append(max((nucleus_jaccard(cells, other) for other in peers),
+                          default=0.0))
+
+    return HierarchyComparison(
+        identical=family_a == family_b,
+        num_nuclei_a=len(family_a),
+        num_nuclei_b=len(family_b),
+        shared_nuclei=len(shared),
+        mean_best_jaccard=(sum(scores) / len(scores)) if scores else 1.0,
+    )

@@ -1,0 +1,124 @@
+"""Definition-driven reference implementations (test oracles).
+
+These compute λ values and nuclei straight from Definition 2 by repeated
+global scans — no bucket queues, no disjoint sets, no traversal tricks — so
+they share no code (and hence no bugs) with the optimised algorithms they
+validate.  Complexity is O(maxλ · |cells| · |cofaces|); use on small graphs
+only.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.views import CellView
+from repro.graph.cliques import cliques
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "enumerate_s_cliques",
+    "reference_lambda",
+    "reference_nuclei",
+    "reference_core_numbers",
+]
+
+
+def enumerate_s_cliques(graph: Graph, view: CellView) -> list[tuple[int, ...]]:
+    """All s-cliques as tuples of *cell ids* (each r-subset's id)."""
+    cell_id: dict[tuple[int, ...], int] = {}
+    for cell in range(view.num_cells):
+        cell_id[tuple(sorted(view.cell_vertices(cell)))] = cell
+    out: list[tuple[int, ...]] = []
+    for s_clique in cliques(graph, view.s):
+        out.append(tuple(cell_id[sub] for sub in combinations(s_clique, view.r)))
+    return out
+
+
+def reference_lambda(graph: Graph, view: CellView) -> list[int]:
+    """λ of every cell, by iterated k-closure.
+
+    For k = 1, 2, ...: repeatedly delete cells contained in fewer than k
+    surviving s-cliques (an s-clique survives while all its cells do).
+    Cells alive when the loop for k stabilises have λ >= k.
+    """
+    s_cliques = enumerate_s_cliques(graph, view)
+    lam = [0] * view.num_cells
+    alive = [True] * view.num_cells
+    k = 1
+    while any(alive):
+        # shrink to the k-closure
+        changed = True
+        while changed:
+            changed = False
+            degree = [0] * view.num_cells
+            for members in s_cliques:
+                if all(alive[c] for c in members):
+                    for c in members:
+                        degree[c] += 1
+            for cell in range(view.num_cells):
+                if alive[cell] and degree[cell] < k:
+                    alive[cell] = False
+                    changed = True
+        for cell in range(view.num_cells):
+            if alive[cell]:
+                lam[cell] = k
+        k += 1
+    return lam
+
+
+def reference_nuclei(graph: Graph, view: CellView,
+                     lam: list[int] | None = None) -> set[tuple[int, frozenset[int]]]:
+    """Canonical nucleus family {(k, cells)} straight from Corollary 1.
+
+    At level k, cells with λ >= k are joined whenever they share an s-clique
+    whose minimum λ is >= k; connected components that contain at least one
+    cell with λ exactly k are the (canonical) k-(r,s) nuclei.
+    """
+    if lam is None:
+        lam = reference_lambda(graph, view)
+    s_cliques = enumerate_s_cliques(graph, view)
+    max_lambda = max(lam, default=0)
+    out: set[tuple[int, frozenset[int]]] = set()
+    for k in range(1, max_lambda + 1):
+        parent = {c: c for c in range(view.num_cells) if lam[c] >= k}
+
+        def find(c: int) -> int:
+            while parent[c] != c:
+                parent[c] = parent[parent[c]]
+                c = parent[c]
+            return c
+
+        for members in s_cliques:
+            if min(lam[c] for c in members) >= k:
+                first = find(members[0])
+                for other in members[1:]:
+                    parent[find(other)] = first
+        groups: dict[int, set[int]] = {}
+        for c in parent:
+            groups.setdefault(find(c), set()).add(c)
+        for group in groups.values():
+            if any(lam[c] == k for c in group):
+                out.add((k, frozenset(group)))
+    return out
+
+
+def reference_core_numbers(graph: Graph) -> list[int]:
+    """Independent O(n²) core numbers: delete min-degree vertices directly."""
+    degree = graph.degrees()
+    alive = [True] * graph.n
+    lam = [0] * graph.n
+    current = 0
+    for _ in range(graph.n):
+        best, best_degree = -1, None
+        for v in range(graph.n):
+            if alive[v] and (best_degree is None or degree[v] < best_degree):
+                best, best_degree = v, degree[v]
+        if best == -1:
+            break
+        current = max(current, best_degree)  # type: ignore[arg-type]
+        lam[best] = current
+        alive[best] = False
+        for w in graph.neighbors(best):
+            if alive[w]:
+                degree[w] -= 1
+    return lam

@@ -1,0 +1,106 @@
+"""Hierarchy-skeleton structure analysis (paper §6, open question 1).
+
+The paper closes by suggesting that the sub-nuclei T_{r,s} — many more
+numerous than the nuclei — "might reveal more insight about networks" and
+that this "corresponds to the hierarchy-skeleton structure our algorithms
+produce".  This module computes that per-level anatomy: how many
+sub-nuclei exist at each λ, how large they are, how branchy the skeleton
+is, and how much the non-maximal T* inflate over T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hierarchy import Hierarchy
+
+__all__ = ["LevelProfile", "SkeletonReport", "skeleton_report"]
+
+
+@dataclass
+class LevelProfile:
+    """Sub-nucleus statistics at one λ level."""
+
+    lam: int
+    count: int
+    total_cells: int
+    largest: int
+    smallest: int
+
+    @property
+    def mean_size(self) -> float:
+        return self.total_cells / self.count if self.count else 0.0
+
+
+@dataclass
+class SkeletonReport:
+    """Whole-skeleton anatomy."""
+
+    num_subnuclei: int
+    num_levels: int
+    max_lambda: int
+    levels: list[LevelProfile] = field(default_factory=list)
+    max_branching: int = 0
+    mean_branching: float = 0.0
+    equal_lambda_edges: int = 0  # disjoint-set "thin" edges (Fig. 5)
+    cross_lambda_edges: int = 0  # containment edges
+
+    def level(self, lam: int) -> LevelProfile | None:
+        for profile in self.levels:
+            if profile.lam == lam:
+                return profile
+        return None
+
+    def format(self) -> str:
+        lines = [f"skeleton: {self.num_subnuclei} sub-nuclei across "
+                 f"{self.num_levels} levels (max lambda {self.max_lambda})",
+                 f"edges: {self.equal_lambda_edges} equal-lambda (merges), "
+                 f"{self.cross_lambda_edges} containment",
+                 f"branching: max {self.max_branching}, "
+                 f"mean {self.mean_branching:.2f}",
+                 f"{'lambda':>7s} {'count':>6s} {'cells':>7s} "
+                 f"{'largest':>8s} {'mean':>7s}"]
+        for profile in self.levels:
+            lines.append(f"{profile.lam:7d} {profile.count:6d} "
+                         f"{profile.total_cells:7d} {profile.largest:8d} "
+                         f"{profile.mean_size:7.1f}")
+        return "\n".join(lines)
+
+
+def skeleton_report(hierarchy: Hierarchy) -> SkeletonReport:
+    """Per-level anatomy of a hierarchy-skeleton."""
+    by_level: dict[int, list[int]] = {}
+    for node in range(hierarchy.num_nodes):
+        if node == hierarchy.root:
+            continue
+        by_level.setdefault(hierarchy.node_lambda[node], []).append(node)
+
+    levels: list[LevelProfile] = []
+    for lam in sorted(by_level, reverse=True):
+        sizes = [len(hierarchy.members(node)) for node in by_level[lam]]
+        levels.append(LevelProfile(
+            lam=lam, count=len(sizes), total_cells=sum(sizes),
+            largest=max(sizes), smallest=min(sizes)))
+
+    children = hierarchy.children_lists()
+    internal = [len(children[node]) for node in range(hierarchy.num_nodes)
+                if children[node]]
+    equal = cross = 0
+    for node, par in enumerate(hierarchy.parent):
+        if par is None or par == hierarchy.root:
+            continue
+        if hierarchy.node_lambda[node] == hierarchy.node_lambda[par]:
+            equal += 1
+        else:
+            cross += 1
+
+    return SkeletonReport(
+        num_subnuclei=hierarchy.num_subnuclei,
+        num_levels=len(levels),
+        max_lambda=hierarchy.max_lambda,
+        levels=levels,
+        max_branching=max(internal, default=0),
+        mean_branching=(sum(internal) / len(internal)) if internal else 0.0,
+        equal_lambda_edges=equal,
+        cross_lambda_edges=cross,
+    )

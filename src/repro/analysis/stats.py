@@ -1,0 +1,123 @@
+"""Dataset and hierarchy statistics — everything Table 3 reports.
+
+For each graph the paper lists |V|, |E|, |△|, |K4|, the density ratios, the
+number of sub-(r,s) nuclei |T_{r,s}| (true maximal sub-nuclei, produced by
+DFT), the non-maximal count |T*_{r,s}| (FND's artefact), and |c↓(T*)| — the
+downward connections FND's ADJ list records.  :func:`table3_row` computes a
+full row; :func:`hierarchy_stats` summarises any decomposition's tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.views import build_view
+from repro.graph.adjacency import Graph
+from repro.graph.cliques import four_clique_count, triangle_count
+
+__all__ = ["Table3Row", "table3_row", "HierarchyStats", "hierarchy_stats"]
+
+
+@dataclass
+class Table3Row:
+    """One dataset row of the paper's Table 3."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_triangles: int
+    num_four_cliques: int
+    t12: int
+    t12_star: int
+    t23: int
+    t23_star: int
+    t34: int
+    t34_star: int
+    c_down_23: int
+    c_down_34: int
+
+    @property
+    def edge_density(self) -> float:
+        """|E| / |V| (column 6)."""
+        return self.num_edges / self.num_vertices if self.num_vertices else 0.0
+
+    @property
+    def triangle_density(self) -> float:
+        """|△| / |E| (column 7)."""
+        return self.num_triangles / self.num_edges if self.num_edges else 0.0
+
+    @property
+    def k4_density(self) -> float:
+        """|K4| / |△| (column 8)."""
+        return self.num_four_cliques / self.num_triangles if self.num_triangles else 0.0
+
+    def as_tuple(self) -> tuple:
+        return (self.name, self.num_vertices, self.num_edges,
+                self.num_triangles, self.num_four_cliques,
+                round(self.edge_density, 2), round(self.triangle_density, 2),
+                round(self.k4_density, 2), self.t12, self.t12_star,
+                self.t23, self.t23_star, self.t34, self.t34_star,
+                self.c_down_23, self.c_down_34)
+
+
+def table3_row(graph: Graph, include_34: bool = True) -> Table3Row:
+    """Compute a Table 3 row: clique counts and sub-nucleus statistics.
+
+    |T_{r,s}| comes from DFT (maximal sub-nuclei are its skeleton nodes);
+    |T*_{r,s}| and |c↓| come from FND instrumentation.  ``include_34=False``
+    skips the (3,4) columns (zeros) for very dense graphs.
+    """
+    pairs = [(1, 2), (2, 3)] + ([(3, 4)] if include_34 else [])
+    t: dict[tuple[int, int], int] = {}
+    t_star: dict[tuple[int, int], int] = {}
+    c_down: dict[tuple[int, int], int] = {}
+    for r, s in pairs:
+        view = build_view(graph, r, s)
+        dft = nucleus_decomposition(graph, r, s, algorithm="dft", view=view)
+        fnd = nucleus_decomposition(graph, r, s, algorithm="fnd", view=view)
+        assert dft.hierarchy is not None and fnd.fnd_stats is not None
+        t[(r, s)] = dft.hierarchy.num_subnuclei
+        t_star[(r, s)] = fnd.fnd_stats.num_subnuclei
+        c_down[(r, s)] = fnd.fnd_stats.num_downward_connections
+    return Table3Row(
+        name=graph.name or "graph",
+        num_vertices=graph.n,
+        num_edges=graph.m,
+        num_triangles=triangle_count(graph),
+        num_four_cliques=four_clique_count(graph),
+        t12=t[(1, 2)], t12_star=t_star[(1, 2)],
+        t23=t[(2, 3)], t23_star=t_star[(2, 3)],
+        t34=t.get((3, 4), 0), t34_star=t_star.get((3, 4), 0),
+        c_down_23=c_down[(2, 3)], c_down_34=c_down.get((3, 4), 0),
+    )
+
+
+@dataclass
+class HierarchyStats:
+    """Shape summary of a hierarchy tree."""
+
+    num_subnuclei: int
+    num_nuclei: int
+    max_lambda: int
+    depth: int
+    num_leaves: int
+    largest_leaf: int
+
+
+def hierarchy_stats(decomposition) -> HierarchyStats:
+    """Summarise a :class:`~repro.core.decomposition.Decomposition`'s tree."""
+    hierarchy = decomposition.hierarchy
+    if hierarchy is None:
+        raise ValueError(f"{decomposition.algorithm} produced no hierarchy")
+    tree = hierarchy.condense()
+    leaves = tree.leaves()
+    return HierarchyStats(
+        num_subnuclei=hierarchy.num_subnuclei,
+        num_nuclei=len(tree) - 1,
+        max_lambda=hierarchy.max_lambda,
+        depth=tree.depth(),
+        num_leaves=len(leaves),
+        largest_leaf=max((len(tree.subtree_cells(leaf.id)) for leaf in leaves),
+                         default=0),
+    )

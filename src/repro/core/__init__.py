@@ -1,0 +1,47 @@
+"""Core algorithms: peeling, hierarchy construction, the paper's Alg. 1-9."""
+
+from repro.core.bucket import MaxBucketQueue, MinBucketQueue
+from repro.core.decomposition import ALGORITHMS, Decomposition, nucleus_decomposition
+from repro.core.dft import dft_hierarchy
+from repro.core.disjoint_set import DisjointSetForest, RootedForest
+from repro.core.fnd import FndInstrumentation, fnd_decomposition
+from repro.core.hierarchy import Hierarchy, NucleusNode, NucleusTree
+from repro.core.hypo import hypo_traversal
+from repro.core.lcps import lcps_hierarchy
+from repro.core.peeling import PeelingResult, peel
+from repro.core.traversal import naive_hierarchy
+from repro.core.views import (
+    CellView,
+    EdgeView,
+    GenericCliqueView,
+    TriangleView,
+    VertexView,
+    build_view,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "Decomposition",
+    "nucleus_decomposition",
+    "Hierarchy",
+    "NucleusNode",
+    "NucleusTree",
+    "PeelingResult",
+    "peel",
+    "naive_hierarchy",
+    "dft_hierarchy",
+    "fnd_decomposition",
+    "FndInstrumentation",
+    "lcps_hierarchy",
+    "hypo_traversal",
+    "CellView",
+    "VertexView",
+    "EdgeView",
+    "TriangleView",
+    "GenericCliqueView",
+    "build_view",
+    "DisjointSetForest",
+    "RootedForest",
+    "MinBucketQueue",
+    "MaxBucketQueue",
+]

@@ -1,0 +1,104 @@
+"""Bucket priority queues.
+
+Peeling repeatedly extracts the unprocessed cell of minimum degree while
+degrees only move toward the current minimum; the LCPS traversal repeatedly
+extracts the discovered vertex of maximum λ.  Both are served by bucket
+queues with lazy invalidation: every priority change pushes a fresh entry and
+stale entries are skipped on pop.  Priorities are small non-negative ints
+(bounded by the max clique degree), so buckets are plain lists.
+
+This is the structure Matula & Beck said was hard to maintain ("an
+implementation may not always be possible owing to the difficulty of
+maintaining an appropriate priority queue") and that the paper resolves with
+bucket sort — same resolution here.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MinBucketQueue", "MaxBucketQueue"]
+
+
+class MinBucketQueue:
+    """Monotone min-priority bucket queue over items ``0..n-1``.
+
+    Built once from the initial priority array; :meth:`update` re-registers an
+    item after its priority drops.  Pops skip entries whose recorded priority
+    no longer matches the item's current priority.
+    """
+
+    __slots__ = ("_buckets", "_current", "_cursor")
+
+    def __init__(self, priorities: list[int]):
+        top = max(priorities, default=0)
+        self._buckets: list[list[int]] = [[] for _ in range(top + 1)]
+        self._current = list(priorities)
+        for item, priority in enumerate(priorities):
+            self._buckets[priority].append(item)
+        self._cursor = 0
+
+    def update(self, item: int, priority: int) -> None:
+        """Record that ``item`` now has the given (lower) priority."""
+        self._current[item] = priority
+        if priority < self._cursor:
+            self._cursor = priority
+        self._buckets[priority].append(item)
+
+    def pop(self) -> tuple[int, int] | None:
+        """Remove and return ``(item, priority)`` with minimum priority.
+
+        Returns ``None`` when the queue is exhausted.  Each item is returned
+        at most once (later stale entries are skipped).
+        """
+        buckets = self._buckets
+        current = self._current
+        cursor = self._cursor
+        while cursor < len(buckets):
+            bucket = buckets[cursor]
+            while bucket:
+                item = bucket.pop()
+                if current[item] == cursor:
+                    current[item] = -1  # mark extracted
+                    self._cursor = cursor
+                    return item, cursor
+            cursor += 1
+        self._cursor = cursor
+        return None
+
+
+class MaxBucketQueue:
+    """Max-priority bucket queue for LCPS frontier management.
+
+    Items may be pushed at any time with a fixed priority (a vertex's λ never
+    changes during traversal), so no invalidation is needed — only duplicate
+    suppression, which the caller does with its ``discovered`` flags.
+    """
+
+    __slots__ = ("_buckets", "_cursor", "_size")
+
+    def __init__(self, max_priority: int):
+        self._buckets: list[list[int]] = [[] for _ in range(max_priority + 1)]
+        self._cursor = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, item: int, priority: int) -> None:
+        """Add ``item`` with the given priority."""
+        self._buckets[priority].append(item)
+        if priority > self._cursor:
+            self._cursor = priority
+        self._size += 1
+
+    def pop(self) -> tuple[int, int] | None:
+        """Remove and return ``(item, priority)`` with maximum priority."""
+        if self._size == 0:
+            return None
+        cursor = self._cursor
+        buckets = self._buckets
+        while cursor >= 0 and not buckets[cursor]:
+            cursor -= 1
+        self._cursor = cursor
+        item = buckets[cursor].pop()
+        self._size -= 1
+        return item, cursor

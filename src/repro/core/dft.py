@@ -1,0 +1,106 @@
+"""DF-Traversal: disjoint-set-forest hierarchy construction (Alg. 5/6).
+
+Sub-(r,s) nuclei are discovered by BFS in decreasing-λ order.  Each BFS stays
+inside one T_{r,s} — cells of equal λ joined by s-cliques whose minimum λ
+equals that λ — and runs once per sub-nucleus, so unlike the naive algorithm
+the whole traversal costs a single pass over every (cell, s-clique)
+incidence.
+
+When the BFS touches a cell of *greater* λ its sub-nucleus already exists in
+the hierarchy-skeleton; ``Find-r`` fetches that structure's current greatest
+ancestor and either hangs it under the sub-nucleus being built (strictly
+greater λ) or schedules a same-λ merge (``Union-r``), executed after the BFS.
+The processed-order guarantee (decreasing λ) makes every ancestor found have
+λ ≥ the current level, which is what lets a disjoint-set forest stand in for
+full traversal bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.disjoint_set import RootedForest
+from repro.core.hierarchy import Hierarchy
+from repro.core.peeling import PeelingResult
+from repro.core.views import CellView
+
+__all__ = ["dft_hierarchy"]
+
+
+def dft_hierarchy(view: CellView, peeling: PeelingResult,
+                  path_compression: bool = True) -> Hierarchy:
+    """Run DF-Traversal and return the hierarchy-skeleton.
+
+    ``path_compression=False`` turns off Find-r's compression (ablation
+    knob; results are identical, only the union-find cost changes).
+    """
+    lam = peeling.lam
+    n_cells = view.num_cells
+    forest = RootedForest()
+    node_lambda: list[int] = []
+    comp = [-1] * n_cells
+    visited = [False] * n_cells
+
+    # Bucket cells by lambda so levels can be swept in decreasing order.
+    cells_at: list[list[int]] = [[] for _ in range(peeling.max_lambda + 1)]
+    for cell, value in enumerate(lam):
+        cells_at[value].append(cell)
+
+    for k in range(peeling.max_lambda, 0, -1):
+        for seed in cells_at[k]:
+            if not visited[seed]:
+                _grow_subnucleus(view, lam, forest, node_lambda, comp,
+                                 visited, seed, k, path_compression)
+
+    root = forest.make_node()
+    node_lambda.append(0)
+    for node in range(root):
+        if forest.parent[node] is None:
+            forest.parent[node] = root
+    for cell in range(n_cells):
+        if comp[cell] == -1:
+            comp[cell] = root
+    return Hierarchy(view.r, view.s, lam, node_lambda, forest.parent, comp,
+                     root, algorithm="dft")
+
+
+def _grow_subnucleus(view: CellView, lam: list[int], forest: RootedForest,
+                     node_lambda: list[int], comp: list[int],
+                     visited: list[bool], seed: int, k: int,
+                     path_compression: bool = True) -> None:
+    """SubNucleus (Alg. 6): one BFS over a T_{r,s}, splicing the skeleton."""
+    sn = forest.make_node()
+    node_lambda.append(k)
+    comp[seed] = sn
+    visited[seed] = True
+    marked: set[int] = set()
+    merge: list[int] = [sn]
+    queue = deque([seed])
+
+    while queue:
+        u = queue.popleft()
+        for others in view.cofaces(u):
+            if any(lam[v] < k for v in others):
+                continue  # s-clique's min lambda below k: outside this nucleus
+            for v in others:
+                if lam[v] == k:
+                    if not visited[v]:
+                        visited[v] = True
+                        comp[v] = sn
+                        queue.append(v)
+                else:  # lam[v] > k: already in the skeleton (processed earlier)
+                    sub = comp[v]
+                    if sub in marked:
+                        continue  # this subnucleus was already resolved
+                    marked.add(sub)
+                    top = forest.find(sub, compress=path_compression)
+                    if top == sn or (top != sub and top in marked):
+                        continue  # already merged/attached into this BFS
+                    marked.add(top)
+                    if node_lambda[top] > k:
+                        forest.attach(top, sn)  # denser structure hangs below us
+                    else:
+                        merge.append(top)  # same level: same k-nucleus
+
+    for other in merge[1:]:
+        forest.union(merge[0], other)

@@ -1,0 +1,290 @@
+"""Hierarchy-skeleton and condensed nucleus tree — the common output type.
+
+Every hierarchy algorithm (Naive, DFT, FND, LCPS) produces a
+:class:`Hierarchy`:
+
+* a list of *skeleton nodes* (the paper's ``subnucleus`` structs), each with
+  a λ value and a permanent ``parent`` pointer;
+* ``comp`` — for every cell (r-clique), the skeleton node it belongs to;
+* a distinguished *root* node with λ = 0 representing the whole graph.
+
+For DFT the skeleton nodes are exactly the sub-(r,s) nuclei T_{r,s}; for FND
+they are the non-maximal T*_{r,s}; for LCPS and Naive they are already whole
+nuclei.  Whatever the granularity, *condensing* the skeleton — contracting
+parent edges that join nodes of equal λ — yields the tree of k-(r,s) nuclei,
+and further dropping member-less single-child chain nodes yields a canonical
+form that is identical across all four algorithms (the basis of the
+equivalence tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.disjoint_set import DisjointSetForest
+
+__all__ = ["Hierarchy", "NucleusNode", "NucleusTree"]
+
+
+@dataclass
+class NucleusNode:
+    """One k-(r,s) nucleus in the condensed tree."""
+
+    id: int
+    k: int
+    parent: int | None
+    children: list[int] = field(default_factory=list)
+    own_cells: list[int] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+class NucleusTree:
+    """Condensed hierarchy: one node per nucleus, root = whole graph."""
+
+    def __init__(self, nodes: list[NucleusNode], root: int):
+        self.nodes = nodes
+        self.root = root
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, node_id: int) -> NucleusNode:
+        return self.nodes[node_id]
+
+    def subtree_cells(self, node_id: int) -> list[int]:
+        """All cells of the nucleus: own cells plus every descendant's."""
+        out: list[int] = []
+        stack = [node_id]
+        while stack:
+            node = self.nodes[stack.pop()]
+            out.extend(node.own_cells)
+            stack.extend(node.children)
+        return out
+
+    def nuclei(self, min_k: int = 1) -> Iterator[tuple[int, list[int]]]:
+        """Yield ``(k, cells)`` for every nucleus with k >= min_k.
+
+        Member lists include descendants; the root (k=0, whole graph) is
+        yielded only when ``min_k == 0``.
+        """
+        for node in self.nodes:
+            if node.k >= min_k and (node.id != self.root or min_k == 0):
+                yield node.k, self.subtree_cells(node.id)
+
+    def canonical_nuclei(self) -> set[tuple[int, frozenset[int]]]:
+        """Canonical nucleus family used for cross-algorithm equivalence.
+
+        Chain nodes with no own cells and a single child describe the same
+        cell set as their child at a smaller k; some algorithms materialise
+        them (LCPS builds one node per level) and some do not, so they are
+        dropped here.
+        """
+        out: set[tuple[int, frozenset[int]]] = set()
+        for node in self.nodes:
+            if node.id == self.root:
+                continue
+            if not node.own_cells and len(node.children) == 1:
+                continue
+            out.add((node.k, frozenset(self.subtree_cells(node.id))))
+        return out
+
+    def leaves(self) -> list[NucleusNode]:
+        """Nuclei with no denser nucleus inside them."""
+        return [n for n in self.nodes if not n.children]
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (root alone = 0)."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node_id, d = stack.pop()
+            best = max(best, d)
+            stack.extend((c, d + 1) for c in self.nodes[node_id].children)
+        return best
+
+    def format(self, max_nodes: int = 200, label=None) -> str:
+        """ASCII rendering of the tree (breadth-limited for big graphs)."""
+        lines: list[str] = []
+        emitted = 0
+
+        def walk(node_id: int, indent: str) -> None:
+            nonlocal emitted
+            if emitted >= max_nodes:
+                return
+            node = self.nodes[node_id]
+            extra = f" {label(node)}" if label else ""
+            size = len(self.subtree_cells(node_id))
+            lines.append(f"{indent}k={node.k} cells={size}{extra}")
+            emitted += 1
+            for child in sorted(node.children, key=lambda c: self.nodes[c].k):
+                walk(child, indent + "  ")
+
+        walk(self.root, "")
+        if emitted >= max_nodes:
+            lines.append("... (truncated)")
+        return "\n".join(lines)
+
+
+class Hierarchy:
+    """Hierarchy-skeleton produced by a decomposition algorithm.
+
+    Parameters mirror the paper's data layout: ``node_lambda[i]`` is the λ of
+    skeleton node ``i``; ``parent[i]`` its permanent parent pointer (``None``
+    only for the root); ``comp[c]`` maps cell ``c`` to its skeleton node
+    (cells with λ = 0 map to the root).
+    """
+
+    def __init__(self, r: int, s: int, lam: list[int], node_lambda: list[int],
+                 parent: list[int | None], comp: list[int], root: int,
+                 algorithm: str = ""):
+        self.r = r
+        self.s = s
+        self.lam = lam
+        self.node_lambda = node_lambda
+        self.parent = parent
+        self.comp = comp
+        self.root = root
+        self.algorithm = algorithm
+        self._members: list[list[int]] | None = None
+        self._condensed: NucleusTree | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self.lam)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of skeleton nodes, root included."""
+        return len(self.node_lambda)
+
+    @property
+    def num_subnuclei(self) -> int:
+        """Skeleton nodes excluding the root: |T| for DFT, |T*| for FND."""
+        return len(self.node_lambda) - 1
+
+    @property
+    def max_lambda(self) -> int:
+        return max(self.lam, default=0)
+
+    def members(self, node: int) -> list[int]:
+        """Cells directly assigned to a skeleton node."""
+        if self._members is None:
+            members: list[list[int]] = [[] for _ in range(self.num_nodes)]
+            for cell, node_id in enumerate(self.comp):
+                members[node_id].append(cell)
+            self._members = members
+        return self._members[node]
+
+    def children_lists(self) -> list[list[int]]:
+        """Skeleton children per node."""
+        children: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for node, par in enumerate(self.parent):
+            if par is not None:
+                children[par].append(node)
+        return children
+
+    # ------------------------------------------------------------------
+    def condense(self) -> NucleusTree:
+        """Contract equal-λ parent edges → the tree of k-(r,s) nuclei."""
+        if self._condensed is not None:
+            return self._condensed
+        n_nodes = self.num_nodes
+        dsu = DisjointSetForest(n_nodes)
+        for node in range(n_nodes):
+            par = self.parent[node]
+            if par is not None and self.node_lambda[node] == self.node_lambda[par]:
+                dsu.union(node, par)
+        group_id: dict[int, int] = {}
+        for node in range(n_nodes):
+            rep = dsu.find(node)
+            if rep not in group_id:
+                group_id[rep] = len(group_id)
+        nodes = [NucleusNode(id=i, k=-1, parent=None) for i in range(len(group_id))]
+        for node in range(n_nodes):
+            gid = group_id[dsu.find(node)]
+            nodes[gid].k = self.node_lambda[node]
+            par = self.parent[node]
+            if par is not None and self.node_lambda[par] != self.node_lambda[node]:
+                parent_gid = group_id[dsu.find(par)]
+                nodes[gid].parent = parent_gid
+        for cell, node_id in enumerate(self.comp):
+            nodes[group_id[dsu.find(node_id)]].own_cells.append(cell)
+        for node in nodes:
+            if node.parent is not None:
+                nodes[node.parent].children.append(node.id)
+        root_gid = group_id[dsu.find(self.root)]
+        self._condensed = NucleusTree(nodes, root_gid)
+        return self._condensed
+
+    def canonical_nuclei(self) -> set[tuple[int, frozenset[int]]]:
+        """Canonical nucleus family; equal across all algorithms."""
+        return self.condense().canonical_nuclei()
+
+    def nucleus_of_cell(self, cell: int, k: int | None = None) -> list[int]:
+        """Cells of the maximum k-(r,s) nucleus of ``cell``.
+
+        With ``k=None`` uses k = λ(cell) (the *maximum* nucleus of the cell,
+        Definition 3).  Otherwise returns the k-nucleus containing the cell,
+        for any 1 <= k <= λ(cell).
+        """
+        target = self.lam[cell] if k is None else k
+        if target > self.lam[cell]:
+            raise ValueError(
+                f"cell {cell} has lambda {self.lam[cell]} < requested k {target}")
+        tree = self.condense()
+        # locate the condensed node of the cell, then climb until k <= target
+        node_of_cell: dict[int, int] = getattr(self, "_cell_node_cache", None) or {}
+        if not node_of_cell:
+            for node in tree.nodes:
+                for c in node.own_cells:
+                    node_of_cell[c] = node.id
+            self._cell_node_cache = node_of_cell
+        node_id = node_of_cell[cell]
+        while True:
+            node = tree[node_id]
+            par = node.parent
+            if node.k <= target or par is None:
+                break
+            if tree[par].k < target:
+                break
+            node_id = par
+        return tree.subtree_cells(node_id)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Internal-consistency checks; raises AssertionError on violation."""
+        assert self.node_lambda[self.root] == 0, "root must have lambda 0"
+        assert self.parent[self.root] is None, "root must be parentless"
+        for node in range(self.num_nodes):
+            par = self.parent[node]
+            if node != self.root:
+                assert par is not None, f"non-root node {node} lacks a parent"
+                assert self.node_lambda[par] <= self.node_lambda[node], (
+                    f"parent lambda exceeds child lambda at node {node}")
+        for cell, node_id in enumerate(self.comp):
+            assert 0 <= node_id < self.num_nodes, f"cell {cell} points nowhere"
+            if node_id != self.root:
+                assert self.node_lambda[node_id] == self.lam[cell], (
+                    f"cell {cell} (lambda {self.lam[cell]}) assigned to node "
+                    f"of lambda {self.node_lambda[node_id]}")
+            else:
+                assert self.lam[cell] == 0, (
+                    f"cell {cell} with positive lambda assigned to root")
+        # the skeleton must be acyclic (each node reaches the root)
+        for node in range(self.num_nodes):
+            seen = 0
+            cur: int | None = node
+            while cur is not None:
+                cur = self.parent[cur]
+                seen += 1
+                assert seen <= self.num_nodes + 1, "cycle in hierarchy skeleton"
+
+    def __repr__(self) -> str:
+        return (f"<Hierarchy ({self.r},{self.s}) algorithm={self.algorithm!r} "
+                f"cells={self.num_cells} subnuclei={self.num_subnuclei} "
+                f"max_lambda={self.max_lambda}>")

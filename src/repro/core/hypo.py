@@ -1,0 +1,44 @@
+"""Hypo: the hypothetical floor for any traversal-based algorithm.
+
+The paper's "Hypo" baseline is peeling plus one flat traversal over the
+whole structure — visiting every cell once and touching every s-clique
+incidence once — *without* producing nuclei or a hierarchy.  No
+traversal-based decomposition can cost less, so beating Hypo (as FND does)
+demonstrates that avoiding traversal altogether is a real win rather than an
+implementation artefact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.peeling import PeelingResult
+from repro.core.views import CellView
+
+__all__ = ["hypo_traversal"]
+
+
+def hypo_traversal(view: CellView, peeling: PeelingResult) -> int:
+    """One BFS sweep over all cells through their cofaces.
+
+    Returns the number of connected components found (a throwaway value;
+    the point is the work performed).  ``peeling`` is accepted to mirror the
+    real algorithms' signatures — the traversal itself ignores λ.
+    """
+    n_cells = view.num_cells
+    visited = [False] * n_cells
+    components = 0
+    for seed in range(n_cells):
+        if visited[seed]:
+            continue
+        components += 1
+        visited[seed] = True
+        queue = deque([seed])
+        while queue:
+            u = queue.popleft()
+            for others in view.cofaces(u):
+                for v in others:
+                    if not visited[v]:
+                        visited[v] = True
+                        queue.append(v)
+    return components

@@ -1,0 +1,92 @@
+"""LCPS: Level Component Priority Search, adapted for k-core hierarchies.
+
+Matula & Beck (1983) sketched a traversal that outputs vertices with
+interspersed brackets such that the vertices enclosed at depth k+1 form a
+k-core, but noted that "an implementation may not always be possible owing
+to the difficulty of maintaining an appropriate priority queue".  The paper
+resolves this with a bucket structure; this module follows that adaptation:
+
+* after peeling, traverse with a **max-λ bucket priority queue** seeded from
+  an arbitrary vertex per connected component;
+* keep a stack of open hierarchy nodes (one per level, the "brackets").
+  Popping a vertex of larger λ than the current level opens a chain of new
+  nodes down to its level; a smaller λ closes brackets back up to its level.
+
+Priority order guarantees that once a k-core component is entered it is
+exhausted before any vertex of λ < k is popped, so closed brackets are
+final — each tree node is exactly one connected k-core.  This is (1,2) only:
+for r >= 2 there is no analogous cheap frontier (the paper uses DFT/FND
+there).
+"""
+
+from __future__ import annotations
+
+from repro.core.bucket import MaxBucketQueue
+from repro.core.hierarchy import Hierarchy
+from repro.core.peeling import PeelingResult
+from repro.errors import InvalidParameterError
+from repro.graph.adjacency import Graph
+
+__all__ = ["lcps_hierarchy"]
+
+
+def lcps_hierarchy(graph: Graph, peeling: PeelingResult) -> Hierarchy:
+    """Build the k-core hierarchy with one priority-guided traversal."""
+    lam = peeling.lam
+    n = graph.n
+    if len(lam) != n:
+        raise InvalidParameterError(
+            "LCPS needs a (1,2) peeling of the same graph")
+
+    node_lambda: list[int] = []
+    parent: list[int | None] = []
+    comp = [-1] * n
+    discovered = [False] * n
+
+    def open_node(level: int, parent_id: int | None) -> int:
+        node_id = len(node_lambda)
+        node_lambda.append(level)
+        parent.append(parent_id)
+        return node_id
+
+    root_placeholder: list[int] = []  # ids of nodes that must hang off the root
+    queue = MaxBucketQueue(peeling.max_lambda)  # drained fully per component
+
+    for start in range(n):
+        if discovered[start] or lam[start] == 0:
+            continue
+        discovered[start] = True
+        queue.push(start, lam[start])
+        # stack of (level, node_id); level 0 marks the component's top
+        stack: list[tuple[int, int]] = []
+        while True:
+            popped = queue.pop()
+            if popped is None:
+                break
+            v, level = popped
+            if not stack:
+                first = open_node(1, None)
+                root_placeholder.append(first)
+                stack.append((1, first))
+                for step in range(2, level + 1):
+                    stack.append((step, open_node(step, stack[-1][1])))
+            else:
+                while stack[-1][0] > level:
+                    stack.pop()  # close brackets: this k-core is complete
+                while stack[-1][0] < level:
+                    stack.append((stack[-1][0] + 1,
+                                  open_node(stack[-1][0] + 1, stack[-1][1])))
+            comp[v] = stack[-1][1]
+            for w in graph.neighbors(v):
+                if not discovered[w]:
+                    discovered[w] = True
+                    queue.push(w, lam[w])
+
+    root = open_node(0, None)
+    for node_id in root_placeholder:
+        parent[node_id] = root
+    for v in range(n):
+        if comp[v] == -1:
+            comp[v] = root
+    return Hierarchy(1, 2, lam, node_lambda, parent, comp, root,
+                     algorithm="lcps")

@@ -1,0 +1,110 @@
+"""The peeling phase: Set-λ (paper Algorithm 1), generic over cell views.
+
+Repeatedly extract an unprocessed cell ``u`` of minimum s-clique degree ω,
+fix ``λ(u) = ω(u)``, and decrement the degree of every unprocessed cell that
+shares an s-clique with ``u`` — but only for s-cliques none of whose cells
+has been processed yet (a processed cell means the s-clique was already
+"spent" when that cell was peeled).
+
+This is the classic Matula–Beck / Batagelj–Zaversnik bucket algorithm when
+(r,s) = (1,2), the truss decomposition when (2,3), and the generic nucleus
+peeling otherwise.  All hierarchy algorithms share this exact function, so
+benchmark comparisons isolate the hierarchy-construction cost — same
+methodology as the paper ("peeling phases of Hypo, Naive, DFT, and LCPS are
+same").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.bucket import MinBucketQueue
+from repro.core.views import CellView
+from repro.errors import InvalidParameterError
+
+__all__ = ["PeelingResult", "peel"]
+
+
+@dataclass
+class PeelingResult:
+    """Output of the peeling phase.
+
+    Attributes:
+        lam: λ_s of every cell (the max k such that the cell is in some
+            k-(r,s) nucleus); 0 for cells in no s-clique.
+        max_lambda: largest λ value (0 on s-clique-free graphs).
+        order: cells in processing (peeling) order — the degeneracy order
+            for (1,2).
+    """
+
+    lam: list[int]
+    max_lambda: int
+    order: list[int]
+
+
+class _HeapQueue:
+    """heapq-backed drop-in for MinBucketQueue — the ablation the paper's
+    bucket-sort choice is measured against (see benchmarks/bench_ablation)."""
+
+    __slots__ = ("_heap", "_current")
+
+    def __init__(self, priorities: list[int]):
+        self._current = list(priorities)
+        self._heap = [(p, item) for item, p in enumerate(priorities)]
+        heapq.heapify(self._heap)
+
+    def update(self, item: int, priority: int) -> None:
+        self._current[item] = priority
+        heapq.heappush(self._heap, (priority, item))
+
+    def pop(self) -> tuple[int, int] | None:
+        heap = self._heap
+        current = self._current
+        while heap:
+            priority, item = heapq.heappop(heap)
+            if current[item] == priority:
+                current[item] = -1
+                return item, priority
+        return None
+
+
+def peel(view: CellView, queue_kind: str = "bucket") -> PeelingResult:
+    """Run Set-λ (Alg. 1) on a cell view and return all λ values.
+
+    ``queue_kind`` selects the priority structure: ``"bucket"`` (the
+    paper's choice, O(1) per operation) or ``"heap"`` (O(log n), kept as an
+    ablation baseline).
+    """
+    degrees = view.initial_degrees()
+    lam = [0] * view.num_cells
+    processed = [False] * view.num_cells
+    order: list[int] = []
+    if queue_kind == "bucket":
+        queue = MinBucketQueue(degrees)
+    elif queue_kind == "heap":
+        queue = _HeapQueue(degrees)
+    else:
+        raise InvalidParameterError(
+            f"queue_kind must be 'bucket' or 'heap', got {queue_kind!r}")
+    max_lambda = 0
+
+    while True:
+        popped = queue.pop()
+        if popped is None:
+            break
+        u, k = popped
+        lam[u] = k
+        if k > max_lambda:
+            max_lambda = k
+        order.append(u)
+        for others in view.cofaces(u):
+            if any(processed[v] for v in others):
+                continue  # this s-clique was consumed by an earlier peel
+            for v in others:
+                if degrees[v] > k:
+                    degrees[v] -= 1
+                    queue.update(v, degrees[v])
+        processed[u] = True
+
+    return PeelingResult(lam=lam, max_lambda=max_lambda, order=order)

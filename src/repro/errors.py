@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures without also catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge stream could not be parsed."""
+
+
+class InvalidGraphError(ReproError):
+    """An operation received a malformed graph (e.g. self loop, bad vertex id)."""
+
+
+class InvalidParameterError(ReproError):
+    """An algorithm was called with unsupported parameters (e.g. r >= s)."""
+
+
+class UnknownDatasetError(ReproError):
+    """A dataset name was not found in the registry."""
+
+
+class UnknownAlgorithmError(ReproError):
+    """An algorithm name was not found in the algorithm registry."""
+
+
+class TimeBudgetExceeded(ReproError):
+    """A benchmark run exceeded its configured time budget.
+
+    Mirrors the paper's "did not finish in 2 days" starred entries: harness
+    code converts this into a lower-bound row instead of a hard failure.
+    """

@@ -1,0 +1,140 @@
+"""The small illustrative graphs of the paper's Figures 1-5 (reconstructed).
+
+The paper prints these figures as drawings without full edge lists, so each
+builder here reconstructs a graph exhibiting the *phenomenon* the figure
+illustrates; the accompanying tests assert exactly that phenomenon:
+
+* Figure 1 — a graph whose 2-(2,3) and 2-(2,4) nuclei differ;
+* Figure 2 — two distinct connected 3-cores inside one 2-core, invisible to
+  λ values alone;
+* Figure 3 — k-dense vs k-truss vs k-truss-community disagreement;
+* Figure 4 — two sub-cores of equal λ connected only through a denser
+  region (the A/E merge case of Alg. 6);
+* Figure 5 — a three-level hierarchy-skeleton with several sub-nuclei per
+  level.
+"""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "figure1_graph",
+    "figure2_graph",
+    "figure3_graph",
+    "figure4_graph",
+    "figure5_graph",
+    "bowtie",
+    "two_triangles_sharing_edge",
+]
+
+
+def bowtie() -> Graph:
+    """Two triangles sharing exactly one vertex (vertex 0)."""
+    return Graph(5, [(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)],
+                 name="bowtie")
+
+
+def two_triangles_sharing_edge() -> Graph:
+    """Two triangles glued along an edge (a K4 minus one edge)."""
+    return Graph(4, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)], name="diamond")
+
+
+def figure1_graph() -> Graph:
+    """Two disjoint K4s joined by a chain of edge-sharing triangles.
+
+    The triangle chain (2,3,4) and (3,4,5) keeps every edge in a triangle
+    and makes the whole graph ONE 1-(2,3) nucleus, but no four-clique spans
+    the connector, so the 1-(2,4) nuclei split into the two K4s — the
+    figure's point that the choice of s changes the nuclei on the same
+    graph.  At k = 2 the (2,3) nuclei also split (connector edges have
+    λ₃ = 1), mirroring the 2-(2,3) vs 2-(2,4) contrast the caption draws.
+    """
+    edges = [
+        # K4 on {0,1,2,3}
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        # K4 on {4,5,6,7}
+        (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+        # triangle chain: (2,3,4) then (3,4,5)
+        (2, 4), (3, 4), (3, 5),
+    ]
+    return Graph(8, edges, name="figure1")
+
+
+def figure2_graph() -> Graph:
+    """Two 3-cores (K4s) threaded on a cycle of degree-2 vertices.
+
+    All K4 vertices have λ₂ = 3 and the connectors have λ₂ = 2, so peeling
+    alone cannot tell there are *two* 3-cores — the paper's Figure 2 point.
+    A pendant vertex gives the 1-core level.
+    """
+    edges = [
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),   # K4 A
+        (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),   # K4 B
+        (3, 8), (8, 4),                                   # bridge path 1
+        (7, 9), (9, 0),                                   # bridge path 2
+        (0, 10),                                          # pendant (λ=1)
+    ]
+    return Graph(11, edges, name="figure2")
+
+
+def figure3_graph() -> Graph:
+    """Bowtie plus a disjoint triangle plus a triangle-free edge.
+
+    With the truss threshold "every edge in >= 1 triangle" (k = 3):
+    * k-dense keeps bowtie + triangle as ONE disconnected subgraph;
+    * k-truss splits them into two vertex-connected components;
+    * k-truss communities split the bowtie too (its halves share only a
+      vertex, not a triangle), giving three communities.
+    """
+    edges = [
+        (0, 1), (0, 2), (1, 2),   # bowtie left
+        (0, 3), (0, 4), (3, 4),   # bowtie right
+        (5, 6), (5, 7), (6, 7),   # disjoint triangle
+        (8, 9),                   # triangle-free edge
+    ]
+    return Graph(10, edges, name="figure3")
+
+
+def figure4_graph() -> Graph:
+    """Equal-λ sub-cores connected only through a denser region.
+
+    Vertices 4 and 5 both have λ₂ = 2 but are not adjacent: each hangs off
+    the K4 {0,1,2,3} (λ₂ = 3).  They are distinct sub-cores (T_{1,2}) that
+    belong to the same 2-core, which DF-traversal must discover via Find-r
+    on the K4's sub-nucleus — the A/E situation in the paper's Figure 4.
+    """
+    edges = [
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),  # K4
+        (4, 0), (4, 1),                                  # sub-core A
+        (5, 2), (5, 3),                                  # sub-core E
+    ]
+    return Graph(6, edges, name="figure4")
+
+
+def figure5_graph() -> Graph:
+    """A three-level nested structure: K7 ⊃-ish K6s hanging off a 4-ish mesh.
+
+    Two K6s (λ₂ = 5) and one K7 (λ₂ = 6) are attached to a shared sparse
+    frame whose vertices have λ₂ = 4; produces a skeleton with multiple
+    sub-nuclei at λ 4, 5 and 6 like the paper's Figure 5.
+    """
+    edges: list[tuple[int, int]] = []
+
+    def add_clique(vertices: list[int]) -> None:
+        edges.extend((vertices[i], vertices[j])
+                     for i in range(len(vertices))
+                     for j in range(i + 1, len(vertices)))
+
+    add_clique(list(range(0, 7)))        # K7: λ = 6
+    add_clique(list(range(7, 13)))       # K6: λ = 5
+    add_clique(list(range(13, 19)))      # K6: λ = 5
+    # 4-regular frame joining the cliques: C6 plus distance-2 chords
+    # (every vertex degree exactly 4 ⇒ λ = 4)
+    frame = list(range(19, 25))
+    for i in range(6):
+        for j in (1, 2):
+            edges.append((frame[i], frame[(i + j) % 6]))
+    # attach each clique to the frame with two low-support edges
+    edges.extend([(0, frame[0]), (7, frame[2]), (13, frame[4])])
+    return Graph(25, edges, name="figure5")

@@ -1,0 +1,119 @@
+"""Hierarchy persistence and visualisation exports.
+
+The paper's closing discussion (§6) suggests the hierarchy-skeleton itself —
+not only the condensed nuclei — is an analysis object.  These helpers make
+both portable:
+
+* :func:`hierarchy_to_json` / :func:`hierarchy_from_json` — lossless
+  round-trip of a :class:`~repro.core.hierarchy.Hierarchy`;
+* :func:`tree_to_dot` — Graphviz rendering of the condensed nucleus tree;
+* :func:`skeleton_to_dot` — Graphviz rendering of the raw skeleton
+  (sub-nuclei and their parent links), the structure in the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.hierarchy import Hierarchy, NucleusTree
+from repro.errors import GraphFormatError
+
+__all__ = [
+    "hierarchy_to_json",
+    "hierarchy_from_json",
+    "save_hierarchy",
+    "load_hierarchy",
+    "tree_to_dot",
+    "skeleton_to_dot",
+]
+
+
+def hierarchy_to_json(hierarchy: Hierarchy) -> str:
+    """Serialise a hierarchy (λ values, skeleton, membership) to JSON."""
+    payload = {
+        "r": hierarchy.r,
+        "s": hierarchy.s,
+        "algorithm": hierarchy.algorithm,
+        "lam": hierarchy.lam,
+        "node_lambda": hierarchy.node_lambda,
+        "parent": [-1 if p is None else p for p in hierarchy.parent],
+        "comp": hierarchy.comp,
+        "root": hierarchy.root,
+    }
+    return json.dumps(payload)
+
+
+def hierarchy_from_json(text: str) -> Hierarchy:
+    """Inverse of :func:`hierarchy_to_json`."""
+    try:
+        payload = json.loads(text)
+        hierarchy = Hierarchy(
+            r=int(payload["r"]),
+            s=int(payload["s"]),
+            lam=[int(x) for x in payload["lam"]],
+            node_lambda=[int(x) for x in payload["node_lambda"]],
+            parent=[None if p == -1 else int(p) for p in payload["parent"]],
+            comp=[int(x) for x in payload["comp"]],
+            root=int(payload["root"]),
+            algorithm=str(payload.get("algorithm", "")),
+        )
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise GraphFormatError(f"malformed hierarchy JSON: {exc}") from exc
+    return hierarchy
+
+
+def save_hierarchy(hierarchy: Hierarchy, path: str | Path) -> None:
+    """Write a hierarchy to a JSON file."""
+    Path(path).write_text(hierarchy_to_json(hierarchy))
+
+
+def load_hierarchy(path: str | Path) -> Hierarchy:
+    """Read a hierarchy from a JSON file."""
+    return hierarchy_from_json(Path(path).read_text())
+
+
+def tree_to_dot(tree: NucleusTree, name: str = "nuclei") -> str:
+    """Graphviz DOT for the condensed nucleus tree.
+
+    Node labels show k and the nucleus size (own + descendant cells);
+    deeper nuclei are darker.
+    """
+    top = max((node.k for node in tree.nodes), default=1) or 1
+    lines = [f"digraph {name} {{", "  rankdir=TB;",
+             '  node [shape=box, style=filled, fontname="Helvetica"];']
+    for node in tree.nodes:
+        size = len(tree.subtree_cells(node.id))
+        share = node.k / top
+        gray = int(95 - 55 * share)
+        label = "root" if node.id == tree.root else f"k={node.k}\\n{size} cells"
+        lines.append(f'  n{node.id} [label="{label}", fillcolor="gray{gray}"];')
+    for node in tree.nodes:
+        if node.parent is not None:
+            lines.append(f"  n{node.parent} -> n{node.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def skeleton_to_dot(hierarchy: Hierarchy, name: str = "skeleton") -> str:
+    """Graphviz DOT for the raw hierarchy-skeleton (paper Fig. 5 style).
+
+    Equal-λ parent links (disjoint-set 'thin edges') are drawn dashed;
+    containment links solid.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=BT;",
+             '  node [shape=ellipse, fontname="Helvetica"];']
+    for node in range(hierarchy.num_nodes):
+        members = len(hierarchy.members(node))
+        label = ("root" if node == hierarchy.root
+                 else f"λ={hierarchy.node_lambda[node]} ({members})")
+        lines.append(f'  n{node} [label="{label}"];')
+    for node, parent in enumerate(hierarchy.parent):
+        if parent is None:
+            continue
+        style = ("dashed"
+                 if hierarchy.node_lambda[node] == hierarchy.node_lambda[parent]
+                 else "solid")
+        lines.append(f"  n{node} -> n{parent} [style={style}];")
+    lines.append("}")
+    return "\n".join(lines)

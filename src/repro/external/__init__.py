@@ -1,0 +1,12 @@
+"""Semi-external-memory substrate and IO-metered decompositions."""
+
+from repro.external.disk import DiskAdjacency, DiskVertexView, IOStats
+from repro.external.semi import SemiExternalResult, semi_external_core_decomposition
+
+__all__ = [
+    "DiskAdjacency",
+    "DiskVertexView",
+    "IOStats",
+    "SemiExternalResult",
+    "semi_external_core_decomposition",
+]

@@ -1,0 +1,33 @@
+"""Graph substrate: data structure, IO, generators, clique enumeration."""
+
+from repro.graph.adjacency import EdgeIndex, Graph, normalize_edge
+from repro.graph.components import (
+    bfs_order,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graph.io import (
+    load_edge_list,
+    load_graph,
+    load_json,
+    load_mtx,
+    save_edge_list,
+    save_json,
+)
+
+__all__ = [
+    "Graph",
+    "EdgeIndex",
+    "normalize_edge",
+    "bfs_order",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "load_edge_list",
+    "load_graph",
+    "load_json",
+    "load_mtx",
+    "save_edge_list",
+    "save_json",
+]

@@ -1,0 +1,101 @@
+"""Connectivity utilities shared by traversal algorithms and tests."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "bfs_order",
+    "connected_components",
+    "largest_component",
+    "is_connected",
+    "components_from_adjacency",
+]
+
+
+def bfs_order(graph: Graph, start: int) -> list[int]:
+    """Vertices reachable from ``start`` in BFS discovery order."""
+    seen = {start}
+    order = [start]
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """All connected components, each as a sorted vertex list.
+
+    Components are ordered by their smallest vertex.
+    """
+    seen = [False] * graph.n
+    components: list[list[int]] = []
+    for s in range(graph.n):
+        if seen[s]:
+            continue
+        seen[s] = True
+        comp = [s]
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    queue.append(v)
+        components.append(sorted(comp))
+    return components
+
+
+def largest_component(graph: Graph) -> Graph:
+    """Induced subgraph on the largest connected component (relabelled)."""
+    components = connected_components(graph)
+    if not components:
+        return Graph.empty(0, name=graph.name)
+    biggest = max(components, key=len)
+    return graph.subgraph(biggest)
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.n == 0:
+        return True
+    return len(bfs_order(graph, 0)) == graph.n
+
+
+def components_from_adjacency(
+    num_items: int,
+    neighbors: Callable[[int], Iterable[int]],
+    seeds: Iterable[int] | None = None,
+) -> list[list[int]]:
+    """Connected components of an implicit graph given by a neighbour callback.
+
+    Used to compute triangle-connected components and other higher-order
+    connectivities where materialising the adjacency would be wasteful.
+    ``seeds`` restricts the search to components touching those items.
+    """
+    seen = [False] * num_items
+    components: list[list[int]] = []
+    for s in (range(num_items) if seeds is None else seeds):
+        if seen[s]:
+            continue
+        seen[s] = True
+        comp = [s]
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for v in neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    queue.append(v)
+        components.append(sorted(comp))
+    return components

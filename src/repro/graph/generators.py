@@ -1,0 +1,386 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on nine real-world graphs (SNAP / Network Repository /
+UFSMC).  Those are not redistributable here, so :mod:`repro.graph.datasets`
+builds scaled stand-ins from the generators below.  Each generator mimics the
+structural trait that matters for peeling/hierarchy workloads:
+
+* :func:`barabasi_albert` — heavy-tailed degree (skitter / twitter-like);
+* :func:`powerlaw_cluster` — heavy tail **plus** high clustering, i.e. many
+  triangles per edge (the facebook university graphs);
+* :func:`chung_lu` — configurable power-law degree sequence (wiki-like);
+* :func:`copying_model` — web-crawl-style link copying (Google-like);
+* :func:`planted_cliques` — unions of large cliques: extreme |K4|/|triangle|
+  ratios and very few sub-nuclei (uk-2005-like);
+* :func:`planted_hierarchy` — nested dense blocks with a *known* ground-truth
+  nucleus hierarchy, used heavily by the tests;
+* plus standard :func:`erdos_renyi`, :func:`complete_graph`,
+  :func:`ring_of_cliques`, :func:`star`, :func:`path_graph`, :func:`cycle_graph`.
+
+Everything takes an integer ``seed`` and is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_cluster",
+    "chung_lu",
+    "copying_model",
+    "planted_cliques",
+    "planted_hierarchy",
+    "complete_graph",
+    "ring_of_cliques",
+    "star",
+    "path_graph",
+    "cycle_graph",
+    "edge_dropout",
+    "rmat",
+    "stochastic_block",
+]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def complete_graph(n: int, name: str = "") -> Graph:
+    """The clique K_n."""
+    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)],
+                 name=name or f"K{n}")
+
+
+def path_graph(n: int, name: str = "") -> Graph:
+    """A simple path on ``n`` vertices."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)], name=name or f"P{n}")
+
+
+def cycle_graph(n: int, name: str = "") -> Graph:
+    """A simple cycle on ``n`` vertices (n >= 3)."""
+    if n < 3:
+        raise InvalidParameterError("cycle needs at least 3 vertices")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)], name=name or f"C{n}")
+
+
+def star(leaves: int, name: str = "") -> Graph:
+    """A star with the given number of leaves; vertex 0 is the centre."""
+    return Graph(leaves + 1, [(0, i) for i in range(1, leaves + 1)],
+                 name=name or f"star{leaves}")
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0, name: str = "") -> Graph:
+    """G(n, p) random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"edge probability must be in [0,1], got {p}")
+    rng = _rng(seed)
+    edges: list[tuple[int, int]] = []
+    # Sample geometric skips over the upper-triangle index space: O(m) not O(n^2).
+    total = n * (n - 1) // 2
+    if p > 0:
+        position = -1
+        log1mp = np.log1p(-p) if p < 1.0 else None
+        while True:
+            if p >= 1.0:
+                position += 1
+            else:
+                gap = int(np.floor(np.log(1.0 - rng.random()) / log1mp)) + 1
+                position += gap
+            if position >= total:
+                break
+            u = int((1 + np.sqrt(1 + 8 * position)) / 2)
+            # guard against floating-point truncation at bucket boundaries
+            while u * (u - 1) // 2 > position:
+                u -= 1
+            while (u + 1) * u // 2 <= position:
+                u += 1
+            v = position - u * (u - 1) // 2
+            edges.append((int(u), int(v)))
+    return Graph(n, edges, name=name or f"gnp_{n}_{p}")
+
+
+def barabasi_albert(n: int, m: int, seed: int = 0, name: str = "") -> Graph:
+    """Preferential-attachment graph: each new vertex attaches to ``m`` targets."""
+    if m < 1 or m >= n:
+        raise InvalidParameterError(f"need 1 <= m < n, got m={m} n={n}")
+    rng = _rng(seed)
+    edges: list[tuple[int, int]] = []
+    # repeated-endpoint list implements preferential attachment in O(1)/draw
+    repeated: list[int] = list(range(m))  # seed targets: the first m vertices
+    for v in range(m, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            pick = repeated[rng.integers(len(repeated))] if repeated else int(rng.integers(v))
+            if pick != v:
+                targets.add(int(pick))
+        for t in targets:
+            edges.append((v, t))
+            repeated.append(t)
+            repeated.append(v)
+    return Graph(n, edges, name=name or f"ba_{n}_{m}")
+
+
+def powerlaw_cluster(n: int, m: int, p: float, seed: int = 0, name: str = "") -> Graph:
+    """Holme–Kim model: preferential attachment with probability-``p`` triad closure.
+
+    High clustering plus a heavy tail — the best stand-in for the facebook
+    university graphs whose |triangles|/|E| ratios dominate Table 3.
+    """
+    if m < 1 or m >= n:
+        raise InvalidParameterError(f"need 1 <= m < n, got m={m} n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"closure probability must be in [0,1], got {p}")
+    rng = _rng(seed)
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    repeated: list[int] = list(range(m))
+
+    def add_edge(u: int, v: int) -> bool:
+        if u == v or v in adjacency[u]:
+            return False
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        repeated.append(u)
+        repeated.append(v)
+        return True
+
+    for v in range(m, n):
+        added = 0
+        last_target = -1
+        guard = 0
+        while added < m and guard < 50 * m:
+            guard += 1
+            if last_target >= 0 and rng.random() < p and adjacency[last_target]:
+                # triad closure: connect to a neighbour of the last target
+                candidates = tuple(adjacency[last_target])
+                pick = int(candidates[rng.integers(len(candidates))])
+            else:
+                pick = int(repeated[rng.integers(len(repeated))]) if repeated \
+                    else int(rng.integers(v))
+            if add_edge(v, pick):
+                added += 1
+                last_target = pick
+    edges = [(u, w) for u in range(n) for w in adjacency[u] if u < w]
+    return Graph(n, edges, name=name or f"hk_{n}_{m}_{p}")
+
+
+def chung_lu(n: int, exponent: float = 2.5, average_degree: float = 10.0,
+             seed: int = 0, name: str = "") -> Graph:
+    """Chung–Lu graph with a power-law expected degree sequence."""
+    if exponent <= 1.0:
+        raise InvalidParameterError("power-law exponent must exceed 1")
+    rng = _rng(seed)
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    weights *= average_degree * n / weights.sum()
+    total = weights.sum()
+    edges: set[tuple[int, int]] = set()
+    # expected-degree sampling: draw m ~ total/2 endpoint pairs by weight
+    target_edges = int(total / 2)
+    probabilities = weights / total
+    us = rng.choice(n, size=2 * target_edges, p=probabilities)
+    for i in range(0, len(us) - 1, 2):
+        u, v = int(us[i]), int(us[i + 1])
+        if u != v:
+            edges.add((u, v) if u < v else (v, u))
+    return Graph(n, list(edges), name=name or f"cl_{n}_{exponent}")
+
+
+def copying_model(n: int, out_degree: int = 5, copy_probability: float = 0.6,
+                  seed: int = 0, name: str = "") -> Graph:
+    """Kumar et al. web-copying model (directions dropped).
+
+    Each new page either copies a link target of a random prototype page or
+    links uniformly at random; copying creates the dense bipartite-like cores
+    typical of web graphs (Google, uk-2005).
+    """
+    if out_degree < 1:
+        raise InvalidParameterError("out_degree must be >= 1")
+    rng = _rng(seed)
+    seed_size = out_degree + 1
+    edges: set[tuple[int, int]] = {(u, v) for u in range(seed_size)
+                                   for v in range(u + 1, seed_size)}
+    out_links: list[list[int]] = [[v for v in range(seed_size) if v != u]
+                                  for u in range(seed_size)]
+    for v in range(seed_size, n):
+        prototype = int(rng.integers(v))
+        links: set[int] = set()
+        for slot in range(out_degree):
+            if rng.random() < copy_probability and out_links[prototype]:
+                pick = out_links[prototype][slot % len(out_links[prototype])]
+            else:
+                pick = int(rng.integers(v))
+            if pick != v:
+                links.add(pick)
+        out_links.append(sorted(links))
+        for t in links:
+            edges.add((v, t) if v < t else (t, v))
+    return Graph(n, list(edges), name=name or f"copy_{n}_{out_degree}")
+
+
+def planted_cliques(num_cliques: int, clique_size: int, bridge_edges: int = 2,
+                    noise_vertices: int = 0, noise_edges: int = 0,
+                    seed: int = 0, name: str = "") -> Graph:
+    """A union of disjoint cliques chained by sparse bridges, plus noise.
+
+    Clique ``i`` occupies vertices ``[i*clique_size, (i+1)*clique_size)``;
+    consecutive cliques are joined by ``bridge_edges`` low-support edges.
+    With large ``clique_size`` this reproduces uk-2005's signature: enormous
+    |K4|/|triangle| ratios but only a handful of sub-(r,s) nuclei.
+    """
+    if num_cliques < 1 or clique_size < 2:
+        raise InvalidParameterError("need at least one clique of size >= 2")
+    rng = _rng(seed)
+    edges: list[tuple[int, int]] = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        edges.extend((base + i, base + j)
+                     for i in range(clique_size) for j in range(i + 1, clique_size))
+    for c in range(num_cliques - 1):
+        base, nxt = c * clique_size, (c + 1) * clique_size
+        for b in range(bridge_edges):
+            edges.append((base + int(rng.integers(clique_size)),
+                          nxt + int(rng.integers(clique_size))))
+    n = num_cliques * clique_size + noise_vertices
+    core_n = num_cliques * clique_size
+    for _ in range(noise_edges):
+        u = core_n + int(rng.integers(max(noise_vertices, 1)))
+        v = int(rng.integers(core_n + noise_vertices))
+        if u != v and u < n and v < n:
+            edges.append((u, v))
+    return Graph(n, edges, name=name or f"cliques_{num_cliques}x{clique_size}")
+
+
+def planted_hierarchy(branching: int = 2, depth: int = 3, leaf_size: int = 8,
+                      base_p: float = 0.05, level_p_step: float = 0.3,
+                      seed: int = 0, name: str = "") -> Graph:
+    """Nested dense blocks with a known hierarchy (a stochastic block tree).
+
+    A complete ``branching``-ary tree of ``depth`` levels is built; each leaf
+    owns ``leaf_size`` vertices.  Two vertices are joined with probability
+    that grows with the depth of their lowest common ancestor, so deeper
+    blocks are denser and the nucleus hierarchy recovers the tree.
+    """
+    if branching < 2 or depth < 1 or leaf_size < 2:
+        raise InvalidParameterError("need branching >= 2, depth >= 1, leaf_size >= 2")
+    rng = _rng(seed)
+    num_leaves = branching ** depth
+    n = num_leaves * leaf_size
+
+    def leaf_of(v: int) -> int:
+        return v // leaf_size
+
+    def lca_depth(a: int, b: int) -> int:
+        la, lb = leaf_of(a), leaf_of(b)
+        level = depth
+        while la != lb:
+            la //= branching
+            lb //= branching
+            level -= 1
+        return level
+
+    edges: list[tuple[int, int]] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            level = lca_depth(u, v)
+            p = min(1.0, base_p + level_p_step * level)
+            if rng.random() < p:
+                edges.append((u, v))
+    return Graph(n, edges, name=name or f"planted_{branching}x{depth}x{leaf_size}")
+
+
+def rmat(scale: int, edge_factor: int = 8,
+         partition: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+         seed: int = 0, name: str = "") -> Graph:
+    """R-MAT / Kronecker-style recursive generator (Graph500 defaults).
+
+    Produces ``2**scale`` vertices and about ``edge_factor * 2**scale``
+    distinct edges with a skewed, self-similar structure; duplicates and
+    self loops are discarded, directions ignored.
+    """
+    a, b, c, d = partition
+    total = a + b + c + d
+    if total <= 0:
+        raise InvalidParameterError("partition probabilities must be positive")
+    a, b, c, d = a / total, b / total, c / total, d / total
+    n = 2 ** scale
+    rng = _rng(seed)
+    edges: set[tuple[int, int]] = set()
+    target = edge_factor * n
+    draws = rng.random((target, scale))
+    for row in draws:
+        u = v = 0
+        for r in row:
+            # choose one of the four quadrants: a=(0,0) b=(0,1) c=(1,0) d=(1,1)
+            if r < a:
+                u_bit, v_bit = 0, 0
+            elif r < a + b:
+                u_bit, v_bit = 0, 1
+            elif r < a + b + c:
+                u_bit, v_bit = 1, 0
+            else:
+                u_bit, v_bit = 1, 1
+            u = (u << 1) | u_bit
+            v = (v << 1) | v_bit
+        if u != v:
+            edges.add((u, v) if u < v else (v, u))
+    return Graph(n, sorted(edges), name=name or f"rmat_{scale}_{edge_factor}")
+
+
+def stochastic_block(sizes: list[int], p_in: float, p_out: float,
+                     seed: int = 0, name: str = "") -> Graph:
+    """Stochastic block model: dense blocks, sparse inter-block edges.
+
+    The classical planted-community benchmark; with ``p_in >> p_out`` the
+    nucleus hierarchy recovers the blocks as separate dense nuclei.
+    """
+    if not (0 <= p_out <= p_in <= 1):
+        raise InvalidParameterError("need 0 <= p_out <= p_in <= 1")
+    rng = _rng(seed)
+    block_of: list[int] = []
+    for b, size in enumerate(sizes):
+        block_of.extend([b] * size)
+    n = len(block_of)
+    edges: list[tuple[int, int]] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_in if block_of[u] == block_of[v] else p_out
+            if rng.random() < p:
+                edges.append((u, v))
+    return Graph(n, edges, name=name or f"sbm_{len(sizes)}x{sizes[0] if sizes else 0}")
+
+
+def edge_dropout(graph: Graph, rate: float, seed: int = 0) -> Graph:
+    """Remove each edge independently with probability ``rate``.
+
+    Attachment models (BA, Holme–Kim) hand every vertex exactly ``m`` edges
+    at birth, which makes core numbers nearly uniform and the k-core
+    hierarchy degenerate.  Real graphs are not like that; thinning edges at
+    random restores a degree spread and with it a multi-level shell
+    structure, so the dataset stand-ins exercise the hierarchy algorithms
+    the way the paper's graphs do.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise InvalidParameterError(f"dropout rate must be in [0,1), got {rate}")
+    rng = _rng(seed)
+    kept = [e for e in graph.edges() if rng.random() >= rate]
+    return Graph(graph.n, kept, name=graph.name)
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int, name: str = "") -> Graph:
+    """Cliques arranged in a ring, adjacent cliques sharing one bridge edge."""
+    if num_cliques < 3 or clique_size < 3:
+        raise InvalidParameterError("need >= 3 cliques of size >= 3")
+    edges: list[tuple[int, int]] = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        edges.extend((base + i, base + j)
+                     for i in range(clique_size) for j in range(i + 1, clique_size))
+        nxt = ((c + 1) % num_cliques) * clique_size
+        edges.append((base, nxt + 1))
+    return Graph(num_cliques * clique_size, edges,
+                 name=name or f"ring_{num_cliques}x{clique_size}")

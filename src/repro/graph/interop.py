@@ -1,0 +1,89 @@
+"""Interoperability with networkx, numpy and scipy.sparse.
+
+The library itself depends only on numpy; these adapters are for users who
+already hold graphs in the scientific-Python ecosystem.  networkx and
+scipy are imported lazily so the core package works without them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidGraphError
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "to_adjacency_matrix",
+    "from_adjacency_matrix",
+    "to_scipy_sparse",
+    "from_scipy_sparse",
+]
+
+
+def to_networkx(graph: Graph):
+    """Convert to ``networkx.Graph`` (isolated vertices preserved)."""
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(range(graph.n))
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert from any networkx graph (labels relabelled to 0..n-1).
+
+    Directed graphs are symmetrised; self loops dropped — the paper's
+    preprocessing.
+    """
+    nodes = list(nx_graph.nodes())
+    ids = {v: i for i, v in enumerate(nodes)}
+    edges = [(ids[u], ids[v]) for u, v in nx_graph.edges() if u != v]
+    return Graph(len(nodes), edges, name=str(nx_graph.name or ""))
+
+
+def to_adjacency_matrix(graph: Graph) -> np.ndarray:
+    """Dense symmetric 0/1 adjacency matrix (small graphs only)."""
+    matrix = np.zeros((graph.n, graph.n), dtype=np.int8)
+    for u, v in graph.edges():
+        matrix[u, v] = matrix[v, u] = 1
+    return matrix
+
+
+def from_adjacency_matrix(matrix: np.ndarray, name: str = "") -> Graph:
+    """Build a graph from a square 0/1 matrix (symmetrised, loops dropped)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise InvalidGraphError(f"adjacency matrix must be square, "
+                                f"got shape {matrix.shape}")
+    rows, cols = np.nonzero(matrix)
+    edges = {(int(u), int(v)) if u < v else (int(v), int(u))
+             for u, v in zip(rows, cols) if u != v}
+    return Graph(matrix.shape[0], sorted(edges), name=name)
+
+
+def to_scipy_sparse(graph: Graph):
+    """Symmetric CSR adjacency matrix."""
+    from scipy.sparse import csr_matrix
+
+    us, vs = [], []
+    for u, v in graph.edges():
+        us.extend((u, v))
+        vs.extend((v, u))
+    data = np.ones(len(us), dtype=np.int8)
+    return csr_matrix((data, (us, vs)), shape=(graph.n, graph.n))
+
+
+def from_scipy_sparse(matrix, name: str = "") -> Graph:
+    """Build a graph from any scipy sparse matrix (symmetrised)."""
+    coo = matrix.tocoo()
+    if coo.shape[0] != coo.shape[1]:
+        raise InvalidGraphError(f"sparse matrix must be square, "
+                                f"got shape {coo.shape}")
+    seen = set()
+    for u, v in zip(coo.row, coo.col):
+        if u != v:
+            seen.add((int(u), int(v)) if u < v else (int(v), int(u)))
+    return Graph(coo.shape[0], sorted(seen), name=name)

@@ -1,0 +1,140 @@
+"""Graph loading and saving.
+
+Formats:
+
+* **edge list** — one ``u v`` pair per line; ``#`` and ``%`` comment lines are
+  skipped (this covers SNAP's ``.txt`` dumps and most network repositories);
+* **Matrix Market** (``.mtx``) — symmetric pattern/coordinate matrices, as
+  distributed by the UF Sparse Matrix Collection;
+* **JSON** — a small self-describing format used by the examples.
+
+All loaders relabel arbitrary (possibly sparse, possibly string) vertex ids to
+the dense ``0..n-1`` range and drop self loops and duplicate edges, matching
+the preprocessing the paper applies (directions ignored, simple graphs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import GraphFormatError
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_mtx",
+    "load_json",
+    "save_json",
+    "load_graph",
+    "relabel_edges",
+]
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def relabel_edges(raw_edges: Iterable[tuple[object, object]]) -> tuple[int, list[tuple[int, int]]]:
+    """Relabel arbitrary hashable endpoints to dense ints.
+
+    Returns ``(n, edges)``; ids are assigned in first-seen order.  Self loops
+    are dropped.
+    """
+    ids: dict[object, int] = {}
+    edges: list[tuple[int, int]] = []
+    for raw_u, raw_v in raw_edges:
+        if raw_u == raw_v:
+            continue
+        u = ids.setdefault(raw_u, len(ids))
+        v = ids.setdefault(raw_v, len(ids))
+        edges.append((u, v))
+    return len(ids), edges
+
+
+def load_edge_list(path: str | Path, name: str = "") -> Graph:
+    """Load a whitespace-separated edge list file."""
+    path = Path(path)
+    raw: list[tuple[object, object]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            raw.append((parts[0], parts[1]))
+    n, edges = relabel_edges(raw)
+    return Graph(n, edges, name=name or path.stem)
+
+
+def save_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write a graph as a ``u v`` edge list with a header comment."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        handle.write(f"# {graph.name or 'graph'}: n={graph.n} m={graph.m}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def load_mtx(path: str | Path, name: str = "") -> Graph:
+    """Load a Matrix Market coordinate file as an undirected graph."""
+    path = Path(path)
+    with open(path) as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphFormatError(f"{path}: missing MatrixMarket header")
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        dims = line.split()
+        if len(dims) < 2:
+            raise GraphFormatError(f"{path}: bad dimensions line {line!r}")
+        rows = int(dims[0])
+        cols = int(dims[1])
+        n = max(rows, cols)
+        edges: list[tuple[int, int]] = []
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            u, v = int(parts[0]) - 1, int(parts[1]) - 1
+            if u == v:
+                continue
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphFormatError(f"{path}:{lineno}: entry ({u + 1}, {v + 1}) out of range")
+            edges.append((u, v))
+    return Graph(n, edges, name=name or path.stem)
+
+
+def load_json(path: str | Path) -> Graph:
+    """Load the library's JSON graph format (``{"n":.., "edges": [[u,v],..]}``)."""
+    path = Path(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    try:
+        n = int(payload["n"])
+        edges = [(int(u), int(v)) for u, v in payload["edges"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphFormatError(f"{path}: malformed JSON graph: {exc}") from exc
+    return Graph(n, edges, name=str(payload.get("name", path.stem)))
+
+
+def save_json(graph: Graph, path: str | Path) -> None:
+    """Write a graph in the library's JSON format."""
+    payload = {"name": graph.name, "n": graph.n, "edges": [list(e) for e in graph.edges()]}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load a graph, dispatching on the file extension."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".mtx":
+        return load_mtx(path)
+    if suffix == ".json":
+        return load_json(path)
+    return load_edge_list(path)

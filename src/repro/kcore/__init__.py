@@ -1,0 +1,21 @@
+"""k-core decomposition conveniences (the (1,2) nucleus case)."""
+
+from repro.kcore.core import (
+    core_hierarchy,
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    k_core,
+    k_core_subgraph,
+    shells,
+)
+
+__all__ = [
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_ordering",
+    "k_core",
+    "k_core_subgraph",
+    "shells",
+    "core_hierarchy",
+]

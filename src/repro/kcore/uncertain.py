@@ -1,0 +1,149 @@
+"""(k, η)-core decomposition of uncertain graphs (Bonchi et al., KDD'14).
+
+Another §3.1 survey subject: every edge carries an independent existence
+probability, and the η-degree of a vertex is the largest k such that the
+probability of it having at least k live neighbours is ≥ η.  The
+(k, η)-core is the maximal subgraph where every vertex has η-degree ≥ k;
+peeling works exactly as for plain cores once η-degrees replace degrees.
+
+Probabilities P[deg(v) >= k] are Poisson–binomial tails, computed with the
+standard O(d²) dynamic program over the incident edges that survive the
+peeling so far.  As with every decomposition in this library, the
+connectivity-aware extraction (:func:`uncertain_k_core`) is included —
+the step the paper's survey notes the uncertain adaptation leaves out.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Mapping, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.graph.adjacency import Graph
+
+__all__ = ["eta_degree", "uncertain_core_numbers", "uncertain_k_core"]
+
+
+def _normalise(graph: Graph,
+               probabilities: Mapping[tuple[int, int], float] | Sequence[float]
+               ) -> list[float]:
+    index = graph.edge_index
+    if isinstance(probabilities, Mapping):
+        out = []
+        for eid in range(len(index)):
+            u, v = index.endpoints(eid)
+            if (u, v) in probabilities:
+                out.append(float(probabilities[(u, v)]))
+            elif (v, u) in probabilities:
+                out.append(float(probabilities[(v, u)]))
+            else:
+                raise InvalidParameterError(
+                    f"missing probability for edge ({u},{v})")
+    else:
+        out = [float(p) for p in probabilities]
+        if len(out) != len(index):
+            raise InvalidParameterError(
+                f"expected {len(index)} probabilities, got {len(out)}")
+    if any(not 0.0 <= p <= 1.0 for p in out):
+        raise InvalidParameterError("probabilities must lie in [0, 1]")
+    return out
+
+
+def _tail_at_least(probs: list[float], k: int) -> float:
+    """P[Poisson-binomial(probs) >= k] via the subset-sum DP."""
+    if k <= 0:
+        return 1.0
+    if k > len(probs):
+        return 0.0
+    # dp[j] = P[exactly j live] for j < k; dp[k] = P[at least k live]
+    # (the top state absorbs: once >= k, further edges cannot undo it)
+    dp = [1.0] + [0.0] * k
+    for p in probs:
+        dp[k] = dp[k] + dp[k - 1] * p
+        for j in range(k - 1, 0, -1):
+            dp[j] = dp[j] * (1.0 - p) + dp[j - 1] * p
+        dp[0] *= (1.0 - p)
+    return dp[k]
+
+
+def eta_degree(probs: list[float], eta: float) -> int:
+    """Largest k with P[deg >= k] >= eta, given incident edge probabilities."""
+    k = 0
+    while _tail_at_least(probs, k + 1) >= eta:
+        k += 1
+    return k
+
+
+def uncertain_core_numbers(graph: Graph,
+                           probabilities: Mapping[tuple[int, int], float] | Sequence[float],
+                           eta: float = 0.5) -> list[int]:
+    """η-core number of every vertex (peeling by η-degree).
+
+    With all probabilities 1 this reduces exactly to classic core numbers.
+    """
+    if not 0.0 < eta <= 1.0:
+        raise InvalidParameterError(f"eta must be in (0, 1], got {eta}")
+    plist = _normalise(graph, probabilities)
+    index = graph.edge_index
+    alive = [True] * graph.n
+
+    def incident_probs(v: int) -> list[float]:
+        return [plist[index.id_of(v, w)] for w in graph.neighbors(v)
+                if alive[w]]
+
+    degree = [eta_degree(incident_probs(v), eta) for v in graph.vertices()]
+    lam = [0] * graph.n
+    heap = [(degree[v], v) for v in graph.vertices()]
+    heapq.heapify(heap)
+    current = 0
+    while heap:
+        d, v = heapq.heappop(heap)
+        if not alive[v] or d != degree[v]:
+            continue
+        alive[v] = False
+        current = max(current, d)
+        lam[v] = current
+        for w in graph.neighbors(v):
+            if alive[w]:
+                degree[w] = eta_degree(incident_probs(w), eta)
+                heapq.heappush(heap, (degree[w], w))
+    return lam
+
+
+def uncertain_k_core(graph: Graph, k: int,
+                     probabilities: Mapping[tuple[int, int], float] | Sequence[float],
+                     eta: float = 0.5,
+                     lam: list[int] | None = None,
+                     connectivity_threshold: float = 0.0) -> list[list[int]]:
+    """*Connected* (k, η)-cores, each as a sorted vertex list.
+
+    The uncertain-core literature never defines connectivity (exactly the
+    gap the paper's survey highlights), so it is made explicit here:
+    traversal crosses an edge only if its existence probability is at
+    least ``connectivity_threshold`` (0.0 = structural connectivity over
+    all edges; raise it to demand reliable connections).
+    """
+    plist = _normalise(graph, probabilities)
+    index = graph.edge_index
+    if lam is None:
+        lam = uncertain_core_numbers(graph, plist, eta)
+    keep = {v for v in graph.vertices() if lam[v] >= k}
+    seen: set[int] = set()
+    out: list[list[int]] = []
+    for start in sorted(keep):
+        if start in seen:
+            continue
+        component = [start]
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for w in graph.neighbors(u):
+                if (w in keep and w not in seen
+                        and plist[index.id_of(u, w)] >= connectivity_threshold):
+                    seen.add(w)
+                    component.append(w)
+                    queue.append(w)
+        out.append(sorted(component))
+    return out

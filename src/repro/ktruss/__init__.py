@@ -1,0 +1,24 @@
+"""k-truss decompositions and the TCP index (the (2,3) nucleus case)."""
+
+from repro.ktruss.tcp import TcpIndex, build_tcp_index
+from repro.ktruss.truss import (
+    k_dense,
+    k_dense_edges,
+    k_truss,
+    max_trussness,
+    truss_communities,
+    truss_hierarchy,
+    truss_numbers,
+)
+
+__all__ = [
+    "truss_numbers",
+    "max_trussness",
+    "k_dense",
+    "k_dense_edges",
+    "k_truss",
+    "truss_communities",
+    "truss_hierarchy",
+    "TcpIndex",
+    "build_tcp_index",
+]

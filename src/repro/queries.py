@@ -1,0 +1,131 @@
+"""Community-search queries over a precomputed hierarchy.
+
+The motivating application for k-truss communities (Huang et al.) is
+*query* workloads: "which dense communities does this user belong to, at
+which strengths?"  With the full hierarchy computed once by this library,
+those queries reduce to tree walks.  :class:`HierarchyIndex` builds the
+needed inverse maps once and then answers:
+
+* :meth:`max_nucleus` / :meth:`nucleus_at` — community of a cell at its
+  own λ or at a chosen k;
+* :meth:`communities_of_vertex` — for r >= 2, the nuclei any of whose
+  cells touch a vertex (the TCP query, answered from the hierarchy);
+* :meth:`profile` — a vertex's chain of nested communities from the root
+  to its densest nucleus, with sizes and densities (community "zoom").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.density import edge_density
+from repro.core.decomposition import Decomposition
+from repro.errors import InvalidParameterError
+
+__all__ = ["CommunityLevel", "HierarchyIndex"]
+
+
+@dataclass
+class CommunityLevel:
+    """One step of a vertex's community profile."""
+
+    k: int
+    node_id: int
+    num_vertices: int
+    num_edges: int
+    density: float
+
+    def __str__(self) -> str:
+        return (f"k={self.k}: {self.num_vertices} vertices, "
+                f"{self.num_edges} edges, density {self.density:.3f}")
+
+
+class HierarchyIndex:
+    """Reusable query index over a :class:`Decomposition`."""
+
+    def __init__(self, decomposition: Decomposition):
+        if decomposition.hierarchy is None:
+            raise InvalidParameterError(
+                f"{decomposition.algorithm} produced no hierarchy to index")
+        self.decomposition = decomposition
+        self.tree = decomposition.hierarchy.condense()
+        self.view = decomposition.view
+        self._node_of_cell: dict[int, int] = {}
+        for node in self.tree.nodes:
+            for cell in node.own_cells:
+                self._node_of_cell[cell] = node.id
+        self._nodes_of_vertex: dict[int, set[int]] = {}
+        for cell in range(self.view.num_cells):
+            node = self._node_of_cell[cell]
+            for vertex in self.view.cell_vertices(cell):
+                self._nodes_of_vertex.setdefault(vertex, set()).add(node)
+
+    # ------------------------------------------------------------------
+    def node_of_cell(self, cell: int) -> int:
+        """Condensed-tree node holding the cell directly."""
+        return self._node_of_cell[cell]
+
+    def max_nucleus(self, cell: int) -> list[int]:
+        """Cells of the maximum nucleus of ``cell`` (Definition 3)."""
+        return self.tree.subtree_cells(self._node_of_cell[cell])
+
+    def nucleus_at(self, cell: int, k: int) -> list[int]:
+        """Cells of the k-nucleus containing ``cell`` (k <= λ(cell))."""
+        hierarchy = self.decomposition.hierarchy
+        assert hierarchy is not None
+        if k > hierarchy.lam[cell]:
+            raise InvalidParameterError(
+                f"cell {cell} has lambda {hierarchy.lam[cell]} < k={k}")
+        node_id = self._node_of_cell[cell]
+        while True:
+            node = self.tree[node_id]
+            parent = node.parent
+            if node.k <= k or parent is None or self.tree[parent].k < k:
+                return self.tree.subtree_cells(node_id)
+            node_id = parent
+
+    def communities_of_vertex(self, vertex: int, k: int) -> list[list[int]]:
+        """All maximal k-level nuclei touching ``vertex`` (cell lists).
+
+        For (2,3) with ``k = trussness - 2`` this answers the same query
+        as the TCP index, from the hierarchy instead of per-vertex forests.
+        """
+        found: dict[int, list[int]] = {}
+        for node_id in self._nodes_of_vertex.get(vertex, ()):
+            # climb to the shallowest ancestor still at level >= k
+            current = node_id
+            if self.tree[current].k < k:
+                continue
+            while True:
+                parent = self.tree[current].parent
+                if parent is None or self.tree[parent].k < k:
+                    break
+                current = parent
+            found.setdefault(current, self.tree.subtree_cells(current))
+        return [sorted(cells) for _, cells in sorted(found.items())]
+
+    def profile(self, vertex: int) -> list[CommunityLevel]:
+        """Root-to-densest chain of communities containing ``vertex``."""
+        nodes = self._nodes_of_vertex.get(vertex)
+        if not nodes:
+            return []
+        deepest = max(nodes, key=lambda n: self.tree[n].k)
+        chain: list[int] = []
+        current: int | None = deepest
+        while current is not None:
+            chain.append(current)
+            current = self.tree[current].parent
+        chain.reverse()
+        graph = self.decomposition.graph
+        out: list[CommunityLevel] = []
+        for node_id in chain:
+            node = self.tree[node_id]
+            if node_id == self.tree.root:
+                continue
+            vertices = self.view.vertices_of_cells(
+                self.tree.subtree_cells(node_id))
+            sub = graph.subgraph(vertices)
+            out.append(CommunityLevel(
+                k=node.k, node_id=node_id, num_vertices=sub.n,
+                num_edges=sub.m, density=edge_density(sub)))
+        return out

@@ -1,0 +1,5 @@
+"""Dynamic-graph maintenance (the paper's reference [41] setting)."""
+
+from repro.streaming.kcore import IncrementalCoreMaintainer
+
+__all__ = ["IncrementalCoreMaintainer"]

@@ -1,0 +1,81 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import Graph
+from repro.graph import generators
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def small_graphs(draw, min_n: int = 2, max_n: int = 12, max_m: int = 36):
+    """Random simple graphs small enough for brute-force oracles."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if possible:
+        edges = draw(st.lists(st.sampled_from(possible), max_size=max_m,
+                              unique=True))
+    else:
+        edges = []
+    return Graph(n, edges)
+
+
+@st.composite
+def dense_small_graphs(draw, min_n: int = 4, max_n: int = 10):
+    """Small graphs biased dense, so (2,3)/(3,4) structure actually appears."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    keep = draw(st.lists(st.booleans(), min_size=len(possible),
+                         max_size=len(possible)))
+    edges = [e for e, flag in zip(possible, keep) if flag]
+    return Graph(n, edges)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert to networkx (all vertices preserved, including isolated)."""
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.n))
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+# ---------------------------------------------------------------------------
+# fixtures: the recurring example graphs
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph(3, [(0, 1), (0, 2), (1, 2)])
+
+
+@pytest.fixture
+def k4() -> Graph:
+    return generators.complete_graph(4)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    return generators.complete_graph(5)
+
+
+@pytest.fixture
+def petersen() -> Graph:
+    """The Petersen graph: 3-regular, triangle-free."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    return Graph(10, outer + inner + spokes)
+
+
+@pytest.fixture
+def social() -> Graph:
+    """A 200-vertex clustered power-law graph for integration tests."""
+    return generators.powerlaw_cluster(200, 6, 0.6, seed=42)

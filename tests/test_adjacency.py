@@ -1,0 +1,186 @@
+"""Unit tests for the Graph data structure."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidGraphError
+from repro.graph.adjacency import EdgeIndex, Graph, normalize_edge
+
+from conftest import small_graphs
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph.empty(0)
+        assert g.n == 0
+        assert g.m == 0
+        assert list(g.edges()) == []
+
+    def test_isolated_vertices(self):
+        g = Graph.empty(5)
+        assert g.n == 5
+        assert g.m == 0
+        assert all(g.degree(v) == 0 for v in range(5))
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        assert g.m == 1
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph(2, [(0, 2)])
+        with pytest.raises(InvalidGraphError):
+            Graph(2, [(-1, 0)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Graph(-1, [])
+
+    def test_from_edges_infers_n(self):
+        g = Graph.from_edges([(0, 3), (1, 2)])
+        assert g.n == 4
+        assert g.m == 2
+
+    def test_from_edges_explicit_n(self):
+        g = Graph.from_edges([(0, 1)], n=10)
+        assert g.n == 10
+
+    def test_from_edges_empty(self):
+        g = Graph.from_edges([])
+        assert g.n == 0
+
+    def test_name(self):
+        g = Graph(1, [], name="lonely")
+        assert g.name == "lonely"
+        assert "lonely" in repr(g)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(3, 0), (3, 4), (3, 1)])
+        assert g.neighbors(3) == [0, 1, 4]
+
+    def test_degree_and_degrees(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degrees() == [3, 1, 1, 1]
+
+    def test_edges_lexicographic(self):
+        g = Graph(4, [(2, 3), (0, 2), (1, 0)])
+        assert list(g.edges()) == [(0, 1), (0, 2), (2, 3)]
+
+    def test_has_edge_bounds(self):
+        g = Graph(2, [(0, 1)])
+        assert not g.has_edge(5, 0)
+
+    def test_common_neighbors(self):
+        g = Graph(5, [(0, 2), (1, 2), (0, 3), (1, 3), (0, 4)])
+        assert g.common_neighbors(0, 1) == [2, 3]
+        assert g.common_neighbor_count(0, 1) == 2
+
+    def test_common_neighbors_none(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.common_neighbors(0, 3) == []
+
+    def test_equality(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        c = Graph(3, [(0, 2)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+
+class TestSubgraph:
+    def test_relabelled(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.n == 3
+        assert sorted(sub.edges()) == [(0, 1), (1, 2)]
+
+    def test_unrelabelled_preserves_ids(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([1, 2, 3], relabel=False)
+        assert sub.n == 5
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 1)
+
+    def test_edge_subgraph(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        ids = [g.edge_index.id_of(0, 1), g.edge_index.id_of(2, 3)]
+        sub = g.edge_subgraph(ids)
+        assert sub.m == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(2, 3)
+        assert not sub.has_edge(1, 2)
+
+    def test_edge_subgraph_relabel(self):
+        g = Graph(10, [(7, 8), (8, 9)])
+        eid = g.edge_index.id_of(8, 9)
+        sub = g.edge_subgraph([eid], relabel=True)
+        assert sub.n == 2
+        assert sub.m == 1
+
+
+class TestEdgeIndex:
+    def test_ids_are_dense_and_sorted(self):
+        g = Graph(4, [(2, 3), (0, 1), (0, 2)])
+        idx = g.edge_index
+        assert len(idx) == 3
+        assert [idx.endpoints(i) for i in range(3)] == [(0, 1), (0, 2), (2, 3)]
+
+    def test_id_of_either_orientation(self):
+        g = Graph(3, [(0, 2)])
+        idx = g.edge_index
+        assert idx.id_of(0, 2) == idx.id_of(2, 0)
+
+    def test_get_missing(self):
+        g = Graph(3, [(0, 1)])
+        assert g.edge_index.get(0, 2) is None
+
+    def test_id_of_missing_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(KeyError):
+            g.edge_index.id_of(1, 2)
+
+    def test_iteration(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert list(g.edge_index) == [(0, 1), (1, 2)]
+
+    def test_normalize_edge(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_standalone_edge_index(self):
+        idx = EdgeIndex([(5, 2), (1, 0)])
+        assert idx.endpoints(0) == (0, 1)
+        assert idx.endpoints(1) == (2, 5)
+
+
+@given(small_graphs())
+def test_degree_sum_is_twice_edges(g):
+    assert sum(g.degrees()) == 2 * g.m
+
+
+@given(small_graphs())
+def test_neighbors_symmetric(g):
+    for u in g.vertices():
+        for v in g.neighbors(u):
+            assert u in g.neighbor_set(v)
+
+
+@given(small_graphs())
+def test_edges_iterate_once_each(g):
+    edges = list(g.edges())
+    assert len(edges) == g.m
+    assert len(set(edges)) == g.m
+    assert all(u < v for u, v in edges)

@@ -1,0 +1,211 @@
+"""Per-algorithm behaviour: naive, DFT, FND, LCPS, Hypo."""
+
+import pytest
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.dft import dft_hierarchy
+from repro.core.fnd import FndInstrumentation, fnd_decomposition
+from repro.core.hypo import hypo_traversal
+from repro.core.lcps import lcps_hierarchy
+from repro.core.peeling import peel
+from repro.core.traversal import naive_hierarchy
+from repro.core.views import EdgeView, VertexView, build_view
+from repro.errors import InvalidParameterError, UnknownAlgorithmError
+from repro.examples_graphs import figure2_graph, figure4_graph
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+
+
+class TestNaive:
+    def test_two_three_cores(self):
+        g = figure2_graph()
+        view = VertexView(g)
+        h = naive_hierarchy(view, peel(view))
+        h.validate()
+        fam = h.canonical_nuclei()
+        assert (3, frozenset({0, 1, 2, 3})) in fam
+        assert (3, frozenset({4, 5, 6, 7})) in fam
+
+    def test_empty_graph(self):
+        g = Graph.empty(3)
+        view = VertexView(g)
+        h = naive_hierarchy(view, peel(view))
+        h.validate()
+        assert h.num_subnuclei == 0
+        assert h.canonical_nuclei() == set()
+
+    def test_hierarchy_nesting(self):
+        g = figure2_graph()
+        view = VertexView(g)
+        h = naive_hierarchy(view, peel(view))
+        tree = h.condense()
+        three_cores = [n for n in tree.nodes if n.k == 3]
+        assert all(tree[n.parent].k == 2 for n in three_cores)
+
+
+class TestDft:
+    def test_subnuclei_are_maximal(self):
+        g = figure4_graph()
+        view = VertexView(g)
+        h = dft_hierarchy(view, peel(view))
+        h.validate()
+        # T_{1,2}: the K4, and the two one-vertex sub-cores {4}, {5}
+        assert h.num_subnuclei == 3
+
+    def test_equal_lambda_merge_across_denser_region(self):
+        """The paper's A/E case: sub-cores merged via Find-r through the K4."""
+        g = figure4_graph()
+        view = VertexView(g)
+        h = dft_hierarchy(view, peel(view))
+        fam = h.canonical_nuclei()
+        assert (2, frozenset(range(6))) in fam  # one 2-core with both 4 and 5
+
+    def test_isolated_cells_attach_to_root(self):
+        g = Graph(4, [(0, 1)])
+        view = VertexView(g)
+        h = dft_hierarchy(view, peel(view))
+        assert h.comp[2] == h.root
+        assert h.comp[3] == h.root
+
+    def test_triangle_free_23_hierarchy_is_trivial(self, petersen):
+        view = EdgeView(petersen)
+        h = dft_hierarchy(view, peel(view))
+        h.validate()
+        assert h.num_subnuclei == 0
+
+
+class TestFnd:
+    def test_instrumentation_counts(self):
+        g = figure2_graph()
+        stats = FndInstrumentation()
+        view = VertexView(g)
+        peeling, h = fnd_decomposition(view, instrumentation=stats)
+        h.validate()
+        assert stats.num_subnuclei == h.num_subnuclei
+        assert stats.num_subnuclei >= 4  # >= |T_{1,2}|
+        assert stats.num_downward_connections >= 1
+
+    def test_lambda_matches_plain_peeling(self):
+        g = generators.powerlaw_cluster(100, 5, 0.5, seed=8)
+        view = VertexView(g)
+        plain = peel(view)
+        peeling, _ = fnd_decomposition(view)
+        assert peeling.lam == plain.lam
+        assert peeling.max_lambda == plain.max_lambda
+
+    def test_star_late_center(self):
+        """Star graph: the centre is processed last; FND must still unify."""
+        g = generators.star(6)
+        view = VertexView(g)
+        _, h = fnd_decomposition(view)
+        h.validate()
+        fam = h.canonical_nuclei()
+        assert fam == {(1, frozenset(range(7)))}
+
+    def test_nonmaximal_count_at_least_maximal(self):
+        g = generators.powerlaw_cluster(150, 5, 0.6, seed=3)
+        view = VertexView(g)
+        stats = FndInstrumentation()
+        fnd_decomposition(view, instrumentation=stats)
+        dft = dft_hierarchy(view, peel(view))
+        assert stats.num_subnuclei >= dft.num_subnuclei
+
+    def test_empty_graph(self):
+        view = VertexView(Graph.empty(0))
+        peeling, h = fnd_decomposition(view)
+        assert peeling.lam == []
+        h.validate()
+
+
+class TestLcps:
+    def test_requires_12_peeling(self):
+        g = figure2_graph()
+        wrong = peel(EdgeView(g))
+        with pytest.raises(InvalidParameterError):
+            lcps_hierarchy(g, wrong)
+
+    def test_disconnected_components(self):
+        g = Graph(8, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)])
+        view = VertexView(g)
+        h = lcps_hierarchy(g, peel(view))
+        h.validate()
+        fam = h.canonical_nuclei()
+        assert (2, frozenset({0, 1, 2})) in fam
+        assert (2, frozenset({4, 5, 6})) in fam
+
+    def test_chain_nodes_filtered_canonically(self):
+        g = generators.complete_graph(5)  # lambda 4 everywhere
+        view = VertexView(g)
+        h = lcps_hierarchy(g, peel(view))
+        fam = h.canonical_nuclei()
+        assert fam == {(4, frozenset(range(5)))}
+
+    def test_deep_then_shallow_then_deep(self):
+        """Two K4s joined by a 2-path: close/open brackets on one queue."""
+        g = figure2_graph()
+        view = VertexView(g)
+        h = lcps_hierarchy(g, peel(view))
+        fam = h.canonical_nuclei()
+        assert (3, frozenset({0, 1, 2, 3})) in fam
+        assert (3, frozenset({4, 5, 6, 7})) in fam
+
+
+class TestHypo:
+    def test_counts_components(self):
+        g = Graph(6, [(0, 1), (2, 3)])
+        view = VertexView(g)
+        assert hypo_traversal(view, peel(view)) == 4  # 2 pairs + 2 isolated
+
+    def test_visits_everything(self, social):
+        view = VertexView(social)
+        assert hypo_traversal(view, peel(view)) >= 1
+
+
+class TestDecompositionApi:
+    def test_unknown_algorithm(self, k4):
+        with pytest.raises(UnknownAlgorithmError):
+            nucleus_decomposition(k4, 1, 2, algorithm="magic")
+
+    def test_lcps_rejected_for_23(self, k4):
+        with pytest.raises(InvalidParameterError):
+            nucleus_decomposition(k4, 2, 3, algorithm="lcps")
+
+    def test_hypo_has_no_hierarchy(self, k4):
+        result = nucleus_decomposition(k4, 1, 2, algorithm="hypo")
+        assert result.hierarchy is None
+        with pytest.raises(InvalidParameterError):
+            result.nucleus_vertices(0)
+
+    def test_timings_populated(self, social):
+        result = nucleus_decomposition(social, 1, 2, algorithm="dft")
+        assert result.peel_seconds > 0
+        assert result.post_seconds >= 0
+        assert result.total_seconds >= result.peel_seconds
+
+    def test_fnd_reports_split(self, social):
+        result = nucleus_decomposition(social, 2, 3, algorithm="fnd")
+        assert result.fnd_stats is not None
+        assert result.post_seconds == pytest.approx(
+            result.fnd_stats.build_seconds, abs=1e-6)
+
+    def test_view_reuse(self, social):
+        view = build_view(social, 1, 2)
+        a = nucleus_decomposition(social, 1, 2, algorithm="dft", view=view)
+        b = nucleus_decomposition(social, 1, 2, algorithm="fnd", view=view)
+        assert a.lam == b.lam
+
+    def test_nucleus_subgraph(self):
+        g = figure2_graph()
+        result = nucleus_decomposition(g, 1, 2, algorithm="fnd")
+        tree = result.hierarchy.condense()
+        k3 = next(n for n in tree.nodes if n.k == 3)
+        sub = result.nucleus_subgraph(k3.id)
+        assert sub.n == 4 and sub.m == 6  # a K4
+
+    def test_nuclei_at_level(self):
+        g = figure2_graph()
+        result = nucleus_decomposition(g, 1, 2, algorithm="fnd")
+        dense = result.nuclei_at_level(3)
+        assert len(dense) == 2
+        tree = result.hierarchy.condense()
+        assert all(tree[i].k == 3 for i in dense)

@@ -1,0 +1,113 @@
+"""Analysis layer: density reports, Table-3 stats, hierarchy stats, oracle
+self-consistency."""
+
+import pytest
+
+from repro.analysis.density import average_degree, densest_nuclei, edge_density
+from repro.analysis.reference import (
+    reference_core_numbers,
+    reference_lambda,
+    reference_nuclei,
+)
+from repro.analysis.stats import hierarchy_stats, table3_row
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.views import build_view
+from repro.examples_graphs import figure2_graph, figure5_graph
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+
+
+class TestDensity:
+    def test_clique_density_one(self, k5):
+        assert edge_density(k5) == 1.0
+
+    def test_empty(self):
+        assert edge_density(Graph.empty(0)) == 0.0
+        assert edge_density(Graph.empty(1)) == 0.0
+        assert average_degree(Graph.empty(0)) == 0.0
+
+    def test_average_degree(self, k4):
+        assert average_degree(k4) == 3.0
+
+    def test_densest_nuclei_finds_planted_clique(self):
+        g = generators.planted_cliques(2, 8, bridge_edges=0,
+                                       noise_vertices=20, noise_edges=30, seed=7)
+        result = nucleus_decomposition(g, 1, 2, algorithm="fnd")
+        reports = densest_nuclei(result, min_vertices=5)
+        assert reports
+        assert reports[0].density == 1.0
+        assert reports[0].num_vertices == 8
+
+    def test_densest_respects_limit_and_min_size(self):
+        g = figure5_graph()
+        result = nucleus_decomposition(g, 1, 2, algorithm="fnd")
+        assert len(densest_nuclei(result, min_vertices=2, limit=2)) == 2
+        assert all(r.num_vertices >= 8
+                   for r in densest_nuclei(result, min_vertices=8))
+
+    def test_hypo_rejected(self, k4):
+        result = nucleus_decomposition(k4, 1, 2, algorithm="hypo")
+        with pytest.raises(ValueError):
+            densest_nuclei(result)
+
+
+class TestHierarchyStats:
+    def test_figure2(self):
+        result = nucleus_decomposition(figure2_graph(), 1, 2, algorithm="fnd")
+        stats = hierarchy_stats(result)
+        assert stats.max_lambda == 3
+        assert stats.num_leaves == 2
+        assert stats.largest_leaf == 4
+        assert stats.depth == 3
+
+    def test_rejects_hypo(self, k4):
+        result = nucleus_decomposition(k4, 1, 2, algorithm="hypo")
+        with pytest.raises(ValueError):
+            hierarchy_stats(result)
+
+
+class TestTable3Row:
+    def test_figure2_counts(self):
+        row = table3_row(figure2_graph())
+        assert row.num_vertices == 11
+        assert row.num_edges == 17
+        assert row.num_triangles == 8  # 4 per K4
+        assert row.num_four_cliques == 2
+        assert row.t12 == 5  # two K4 subcores, {8}, {9}, and the pendant {10}
+        assert row.t12_star >= row.t12
+        assert row.t23_star >= row.t23
+        assert row.c_down_23 >= 0
+
+    def test_skip_34(self, k5):
+        row = table3_row(k5, include_34=False)
+        assert row.t34 == 0 and row.t34_star == 0 and row.c_down_34 == 0
+
+    def test_ratios(self, k5):
+        row = table3_row(k5)
+        assert row.edge_density == pytest.approx(2.0)
+        assert row.triangle_density == pytest.approx(1.0)
+        assert row.k4_density == pytest.approx(0.5)
+        assert len(row.as_tuple()) == 16
+
+
+class TestReferenceOracle:
+    """The oracle itself must be right on graphs we can verify by hand."""
+
+    def test_core_numbers_k4_plus_pendant(self):
+        g = Graph(5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)])
+        assert reference_core_numbers(g) == [3, 3, 3, 3, 1]
+
+    def test_lambda_k4(self, k4):
+        view = build_view(k4, 2, 3)
+        assert reference_lambda(k4, view) == [2] * 6
+
+    def test_nuclei_two_triangles(self):
+        g = Graph(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        view = build_view(g, 1, 2)
+        fam = reference_nuclei(g, view)
+        assert fam == {(2, frozenset({0, 1, 2})), (2, frozenset({3, 4, 5}))}
+
+    def test_nuclei_reuse_lambda(self, k4):
+        view = build_view(k4, 1, 2)
+        lam = reference_lambda(k4, view)
+        assert reference_nuclei(k4, view, lam) == reference_nuclei(k4, view)

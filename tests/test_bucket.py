@@ -1,0 +1,118 @@
+"""Bucket priority queues: model-based and unit tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.bucket import MaxBucketQueue, MinBucketQueue
+
+
+class TestMinBucketQueue:
+    def test_pops_in_priority_order(self):
+        q = MinBucketQueue([3, 1, 2])
+        assert q.pop() == (1, 1)
+        assert q.pop() == (2, 2)
+        assert q.pop() == (0, 3)
+        assert q.pop() is None
+
+    def test_update_moves_item_down(self):
+        q = MinBucketQueue([5, 5, 5])
+        q.update(2, 1)
+        assert q.pop() == (2, 1)
+
+    def test_stale_entries_skipped(self):
+        q = MinBucketQueue([4, 4])
+        q.update(0, 3)
+        q.update(0, 2)  # two updates leave a stale entry at 3
+        assert q.pop() == (0, 2)
+        assert q.pop() == (1, 4)
+
+    def test_each_item_popped_once(self):
+        q = MinBucketQueue([2, 2, 2])
+        q.update(1, 1)
+        popped = []
+        while (item := q.pop()) is not None:
+            popped.append(item[0])
+        assert sorted(popped) == [0, 1, 2]
+
+    def test_empty(self):
+        assert MinBucketQueue([]).pop() is None
+
+    def test_equal_priority_all_returned(self):
+        q = MinBucketQueue([0, 0, 0, 0])
+        assert sorted(q.pop()[0] for _ in range(4)) == [0, 1, 2, 3]
+
+
+class TestMaxBucketQueue:
+    def test_pops_maximum_first(self):
+        q = MaxBucketQueue(10)
+        q.push(0, 2)
+        q.push(1, 7)
+        q.push(2, 5)
+        assert q.pop() == (1, 7)
+        assert q.pop() == (2, 5)
+        assert q.pop() == (0, 2)
+        assert q.pop() is None
+
+    def test_interleaved_push_pop(self):
+        q = MaxBucketQueue(10)
+        q.push(0, 3)
+        assert q.pop() == (0, 3)
+        q.push(1, 1)
+        q.push(2, 9)  # pushing above cursor must rewind it
+        assert q.pop() == (2, 9)
+        assert q.pop() == (1, 1)
+
+    def test_len(self):
+        q = MaxBucketQueue(5)
+        assert len(q) == 0
+        q.push(0, 1)
+        q.push(1, 2)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60))
+def test_min_queue_is_a_sort(priorities):
+    q = MinBucketQueue(list(priorities))
+    out = []
+    while (popped := q.pop()) is not None:
+        out.append(popped[1])
+    assert out == sorted(priorities)
+
+
+@given(st.lists(st.tuples(st.integers(0, 20)), min_size=1, max_size=50))
+def test_max_queue_is_a_reverse_sort(items):
+    q = MaxBucketQueue(20)
+    for i, (p,) in enumerate(items):
+        q.push(i, p)
+    out = []
+    while (popped := q.pop()) is not None:
+        out.append(popped[1])
+    assert out == sorted((p for (p,) in items), reverse=True)
+
+
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=30),
+       st.data())
+def test_min_queue_with_monotone_updates(priorities, data):
+    """Simulate peeling: repeatedly pop, then decrement some survivors."""
+    q = MinBucketQueue(list(priorities))
+    current = list(priorities)
+    extracted: list[tuple[int, int]] = []
+    alive = set(range(len(priorities)))
+    while True:
+        popped = q.pop()
+        if popped is None:
+            break
+        item, priority = popped
+        assert item in alive
+        assert priority == current[item]
+        # pop order must be globally non-decreasing, like lambda values
+        if extracted:
+            assert priority >= extracted[-1][1]
+        extracted.append(popped)
+        alive.discard(item)
+        for other in list(alive):
+            if current[other] > priority and data.draw(st.booleans()):
+                current[other] -= 1
+                q.update(other, current[other])
+    assert not alive

@@ -1,0 +1,90 @@
+"""CLI smoke tests (argument parsing and end-to-end output)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.adjacency import Graph
+from repro.graph.io import save_edge_list
+from repro.examples_graphs import figure2_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig2.txt"
+    save_edge_list(figure2_graph(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_decompose_defaults(self):
+        args = build_parser().parse_args(["decompose", "g.txt"])
+        assert (args.r, args.s, args.algorithm) == (1, 2, "fnd")
+
+    def test_dataset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "not_a_dataset"])
+
+
+class TestCommands:
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices : 11" in out
+        assert "triangles: 8" in out
+
+    def test_decompose_with_tree(self, graph_file, capsys):
+        assert main(["decompose", graph_file, "--algorithm", "lcps",
+                     "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "max lambda : 3" in out
+        assert "k=3" in out
+
+    def test_decompose_truss(self, graph_file, capsys):
+        assert main(["decompose", graph_file, "--r", "2", "--s", "3"]) == 0
+        assert "nuclei" in capsys.readouterr().out
+
+    def test_decompose_hypo(self, graph_file, capsys):
+        assert main(["decompose", graph_file, "--algorithm", "hypo"]) == 0
+        assert "builds none" in capsys.readouterr().out
+
+    def test_dataset_command(self, capsys):
+        assert main(["dataset", "uk2005", "--size", "tiny"]) == 0
+        assert "max lambda" in capsys.readouterr().out
+
+    def test_densest(self, tmp_path, capsys):
+        from repro.graph import generators
+        path = tmp_path / "g.txt"
+        save_edge_list(generators.planted_cliques(2, 6, seed=1), path)
+        assert main(["densest", str(path), "--top", "3"]) == 0
+        assert "density=" in capsys.readouterr().out
+
+    def test_export_json(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "h.json"
+        assert main(["export", graph_file, str(out)]) == 0
+        from repro.export import load_hierarchy
+        load_hierarchy(out).validate()
+
+    def test_export_dot(self, graph_file, tmp_path):
+        out = tmp_path / "h.dot"
+        assert main(["export", graph_file, str(out), "--format", "dot"]) == 0
+        assert out.read_text().startswith("digraph")
+
+    def test_export_skeleton_dot(self, graph_file, tmp_path):
+        out = tmp_path / "s.dot"
+        assert main(["export", graph_file, str(out),
+                     "--format", "skeleton-dot"]) == 0
+        assert "digraph" in out.read_text()
+
+    def test_missing_file_friendly_error(self, capsys):
+        assert main(["stats", "/definitely/not/here.txt"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_file_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("only-one-token\n")
+        assert main(["stats", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err

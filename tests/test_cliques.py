@@ -1,0 +1,145 @@
+"""Clique enumeration tested against networkx and brute force."""
+
+from itertools import combinations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+from repro.graph.cliques import (
+    clique_count,
+    cliques,
+    count_cliques_per_vertex,
+    degree_order,
+    edge_triangle_counts,
+    forward_adjacency,
+    four_clique_count,
+    four_cliques,
+    triangle_count,
+    triangle_k4_counts,
+    triangles,
+)
+
+from conftest import small_graphs, to_networkx
+
+
+def brute_force_cliques(g: Graph, r: int) -> set[tuple[int, ...]]:
+    out = set()
+    for combo in combinations(range(g.n), r):
+        if all(g.has_edge(u, v) for u, v in combinations(combo, 2)):
+            out.add(combo)
+    return out
+
+
+class TestDegreeOrder:
+    def test_rank_is_permutation(self):
+        g = generators.star(4)
+        rank = degree_order(g)
+        assert sorted(rank) == list(range(g.n))
+
+    def test_low_degree_first(self):
+        g = generators.star(4)  # centre 0 has degree 4, leaves 1
+        rank = degree_order(g)
+        assert rank[0] == g.n - 1  # the hub is last
+
+    def test_forward_adjacency_orients_each_edge_once(self):
+        g = generators.complete_graph(5)
+        fwd = forward_adjacency(g)
+        assert sum(len(f) for f in fwd) == g.m
+
+
+class TestTriangles:
+    def test_triangle_graph(self, triangle):
+        assert list(triangles(triangle)) == [(0, 1, 2)]
+
+    def test_triangle_free(self, petersen):
+        assert triangle_count(petersen) == 0
+
+    def test_k4_has_four_triangles(self, k4):
+        assert triangle_count(k4) == 4
+
+    def test_kn_count(self):
+        g = generators.complete_graph(7)
+        assert triangle_count(g) == 35  # C(7,3)
+
+    def test_each_triangle_once_and_sorted(self):
+        g = generators.complete_graph(5)
+        found = list(triangles(g))
+        assert len(found) == len(set(found)) == 10
+        assert all(a < b < c for a, b, c in found)
+
+    def test_edge_triangle_counts_k4(self, k4):
+        assert edge_triangle_counts(k4) == [2] * 6
+
+    def test_edge_triangle_counts_bowtie(self):
+        g = Graph(5, [(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)])
+        counts = edge_triangle_counts(g)
+        assert all(c == 1 for c in counts)
+
+
+class TestFourCliques:
+    def test_k4(self, k4):
+        assert list(four_cliques(k4)) == [(0, 1, 2, 3)]
+
+    def test_k6_count(self):
+        assert four_clique_count(generators.complete_graph(6)) == 15  # C(6,4)
+
+    def test_no_k4_in_triangle(self, triangle):
+        assert four_clique_count(triangle) == 0
+
+    def test_triangle_k4_counts_k5(self, k5):
+        tri_id, counts = triangle_k4_counts(k5)
+        assert len(tri_id) == 10
+        assert counts == [2] * 10  # each triangle of K5 is in C(2,1)=2 K4s
+
+
+class TestGenericCliques:
+    def test_r1_is_vertices(self, k4):
+        assert list(cliques(k4, 1)) == [(0,), (1,), (2,), (3,)]
+
+    def test_r2_is_edges(self, k4):
+        assert set(cliques(k4, 2)) == set(k4.edges())
+
+    def test_r5_in_k6(self):
+        assert clique_count(generators.complete_graph(6), 5) == 6
+
+    def test_bad_r(self, k4):
+        with pytest.raises(InvalidParameterError):
+            list(cliques(k4, 0))
+
+    def test_count_cliques_per_vertex(self, k4):
+        assert count_cliques_per_vertex(k4, 3) == [3] * 4  # C(3,2)=3 each
+
+
+@given(small_graphs(max_n=10))
+def test_triangles_match_networkx(g):
+    expected = sum(nx.triangles(to_networkx(g)).values()) // 3
+    assert triangle_count(g) == expected
+
+
+@given(small_graphs(max_n=9))
+@settings(max_examples=50)
+def test_cliques_match_brute_force(g):
+    for r in (3, 4):
+        assert set(cliques(g, r)) == brute_force_cliques(g, r)
+
+
+@given(small_graphs(max_n=9))
+@settings(max_examples=50)
+def test_specialised_enumerators_match_generic(g):
+    assert set(triangles(g)) == set(cliques(g, 3))
+    assert set(four_cliques(g)) == set(cliques(g, 4))
+
+
+@given(small_graphs(max_n=9))
+@settings(max_examples=30)
+def test_edge_triangle_counts_consistent(g):
+    counts = edge_triangle_counts(g)
+    assert sum(counts) == 3 * triangle_count(g)
+    index = g.edge_index
+    for eid in range(len(index)):
+        u, v = index.endpoints(eid)
+        assert counts[eid] == g.common_neighbor_count(u, v)

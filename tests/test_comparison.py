@@ -1,0 +1,75 @@
+"""Hierarchy comparison metrics."""
+
+from hypothesis import given, settings
+
+from repro.analysis.comparison import (
+    compare_hierarchies,
+    nucleus_jaccard,
+)
+from repro.core.decomposition import nucleus_decomposition
+from repro.examples_graphs import figure2_graph
+from repro.graph import generators
+
+from conftest import small_graphs
+
+
+class TestJaccard:
+    def test_identical(self):
+        s = frozenset({1, 2, 3})
+        assert nucleus_jaccard(s, s) == 1.0
+
+    def test_disjoint(self):
+        assert nucleus_jaccard(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_empty(self):
+        assert nucleus_jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_partial(self):
+        assert nucleus_jaccard(frozenset({1, 2}), frozenset({2, 3})) == 1 / 3
+
+
+class TestCompare:
+    def test_same_algorithm_identical(self):
+        g = figure2_graph()
+        a = nucleus_decomposition(g, 1, 2, algorithm="dft").hierarchy
+        b = nucleus_decomposition(g, 1, 2, algorithm="fnd").hierarchy
+        result = compare_hierarchies(a, b)
+        assert result.identical
+        assert result.precision == result.recall == 1.0
+        assert result.mean_best_jaccard == 1.0
+
+    def test_perturbed_graph_similar_not_identical(self):
+        g = generators.powerlaw_cluster(100, 5, 0.6, seed=8)
+        thinned = generators.edge_dropout(g, 0.05, seed=9)
+        a = nucleus_decomposition(g, 1, 2, algorithm="fnd").hierarchy
+        b = nucleus_decomposition(thinned, 1, 2, algorithm="fnd").hierarchy
+        result = compare_hierarchies(a, b)
+        assert not result.identical
+        assert result.mean_best_jaccard > 0.3
+
+    def test_unrelated_graphs_dissimilar(self):
+        a = nucleus_decomposition(generators.complete_graph(6), 1, 2,
+                                  algorithm="fnd").hierarchy
+        b = nucleus_decomposition(generators.path_graph(6), 1, 2,
+                                  algorithm="fnd").hierarchy
+        result = compare_hierarchies(a, b)
+        assert result.shared_nuclei == 0
+
+    def test_empty_hierarchies(self):
+        from repro.graph.adjacency import Graph
+        a = nucleus_decomposition(Graph.empty(3), 1, 2, algorithm="fnd").hierarchy
+        b = nucleus_decomposition(Graph.empty(3), 1, 2, algorithm="fnd").hierarchy
+        result = compare_hierarchies(a, b)
+        assert result.identical
+        assert result.precision == 1.0
+
+
+@given(small_graphs(max_n=10))
+@settings(max_examples=30, deadline=None)
+def test_all_algorithms_score_identical_random(g):
+    hierarchies = [nucleus_decomposition(g, 1, 2, algorithm=a).hierarchy
+                   for a in ("naive", "dft", "fnd", "lcps")]
+    for other in hierarchies[1:]:
+        result = compare_hierarchies(hierarchies[0], other)
+        assert result.identical
+        assert result.mean_best_jaccard == 1.0

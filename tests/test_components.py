@@ -1,0 +1,105 @@
+"""Unit tests for connectivity utilities."""
+
+import networkx as nx
+from hypothesis import given
+
+from repro.graph.adjacency import Graph
+from repro.graph.components import (
+    bfs_order,
+    components_from_adjacency,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graph import generators
+
+from conftest import small_graphs, to_networkx
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = generators.path_graph(5)
+        assert connected_components(g) == [[0, 1, 2, 3, 4]]
+
+    def test_two_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert connected_components(g) == [[0, 1], [2, 3], [4]]
+
+    def test_all_isolated(self):
+        g = Graph.empty(3)
+        assert connected_components(g) == [[0], [1], [2]]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph.empty(0)) == []
+
+    def test_components_sorted_by_smallest_vertex(self):
+        g = Graph(6, [(4, 5), (0, 1)])
+        comps = connected_components(g)
+        assert comps[0] == [0, 1]
+        assert [4, 5] in comps
+
+
+class TestBfs:
+    def test_bfs_covers_component(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert sorted(bfs_order(g, 0)) == [0, 1, 2]
+        assert sorted(bfs_order(g, 3)) == [3, 4]
+
+    def test_bfs_breadth_order(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        order = bfs_order(g, 0)
+        assert order[0] == 0
+        assert set(order[1:3]) == {1, 2}
+        assert order[3] == 3
+
+
+class TestIsConnected:
+    def test_connected(self):
+        assert is_connected(generators.cycle_graph(4))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph(3, [(0, 1)]))
+
+    def test_empty_is_connected(self):
+        assert is_connected(Graph.empty(0))
+
+    def test_singleton_is_connected(self):
+        assert is_connected(Graph.empty(1))
+
+
+class TestLargestComponent:
+    def test_picks_biggest(self):
+        g = Graph(7, [(0, 1), (1, 2), (2, 0), (3, 4)])
+        big = largest_component(g)
+        assert big.n == 3
+        assert big.m == 3
+
+    def test_empty(self):
+        assert largest_component(Graph.empty(0)).n == 0
+
+
+class TestImplicitComponents:
+    def test_adjacency_callback(self):
+        # items 0-4 in a ring defined implicitly
+        comps = components_from_adjacency(
+            5, lambda i: [(i + 1) % 5, (i - 1) % 5])
+        assert comps == [[0, 1, 2, 3, 4]]
+
+    def test_seeds_restrict_search(self):
+        neighbors = {0: [1], 1: [0], 2: [3], 3: [2], 4: []}
+        comps = components_from_adjacency(5, neighbors.__getitem__, seeds=[2])
+        assert comps == [[2, 3]]
+
+
+@given(small_graphs())
+def test_components_match_networkx(g):
+    ours = {frozenset(c) for c in connected_components(g)}
+    theirs = {frozenset(c) for c in nx.connected_components(to_networkx(g))}
+    assert ours == theirs
+
+
+@given(small_graphs())
+def test_components_partition_vertices(g):
+    comps = connected_components(g)
+    seen = [v for comp in comps for v in comp]
+    assert sorted(seen) == list(range(g.n))

@@ -1,0 +1,87 @@
+"""The dataset registry: determinism, sizes, and structural signatures."""
+
+import pytest
+
+from repro.errors import UnknownDatasetError
+from repro.graph.datasets import (
+    DATASETS,
+    PAPER_STATS,
+    dataset_names,
+    load_dataset,
+    table1_datasets,
+)
+
+
+class TestRegistry:
+    def test_nine_datasets_in_paper_order(self):
+        names = dataset_names()
+        assert len(names) == 9
+        assert names[0] == "skitter"
+        assert names[-1] == "wiki_0611"
+
+    def test_all_have_paper_stats(self):
+        assert set(dataset_names()) == set(PAPER_STATS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownDatasetError):
+            load_dataset("facebook_of_mars")
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(UnknownDatasetError):
+            load_dataset("skitter", size="enormous")
+
+    def test_table1_subset(self):
+        assert set(table1_datasets()) <= set(dataset_names())
+
+    def test_spec_repr_stable(self):
+        spec = DATASETS["mit"]
+        assert spec.paper_name.startswith("MIT")
+
+
+class TestDeterminismAndScale:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_tiny_deterministic(self, name):
+        a = load_dataset(name, "tiny")
+        b = load_dataset(name, "tiny")
+        assert a == b
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_sizes_increase(self, name):
+        tiny = load_dataset(name, "tiny")
+        small = load_dataset(name, "small")
+        assert small.n > tiny.n
+        assert small.m > tiny.m
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_graph_named_after_dataset(self, name):
+        assert load_dataset(name, "tiny").name == f"{name}-tiny"
+
+
+class TestStructuralSignatures:
+    """Each stand-in must reproduce its original's qualitative trait."""
+
+    def test_facebook_standins_are_dense(self):
+        for name in ("berkeley13", "mit", "stanford3", "texas84"):
+            g = load_dataset(name, "tiny")
+            assert g.m / g.n > 5.0, name  # paper: E/V between 37 and 49
+
+    def test_web_and_wiki_standins_are_sparse(self):
+        for name in ("google", "wiki_0611"):
+            g = load_dataset(name, "tiny")
+            assert g.m / g.n < 6.0, name
+
+    def test_uk2005_signature_extreme_k4_ratio(self):
+        from repro.graph.cliques import four_clique_count, triangle_count
+        g = load_dataset("uk2005", "tiny")
+        ours = four_clique_count(g) / max(1, triangle_count(g))
+        others = []
+        for name in ("google", "skitter"):
+            other = load_dataset(name, "tiny")
+            others.append(four_clique_count(other) / max(1, triangle_count(other)))
+        assert all(ours > o for o in others)
+
+    def test_facebook_triangle_density_above_web(self):
+        from repro.graph.cliques import triangle_count
+        fb = load_dataset("mit", "tiny")
+        web = load_dataset("google", "tiny")
+        assert triangle_count(fb) / fb.m > triangle_count(web) / web.m

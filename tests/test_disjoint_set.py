@@ -1,0 +1,156 @@
+"""Disjoint-set forests: unit + model-based property tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.disjoint_set import DisjointSetForest, RootedForest
+
+
+class TestDisjointSetForest:
+    def test_initial_singletons(self):
+        dsu = DisjointSetForest(4)
+        assert dsu.set_count == 4
+        assert all(dsu.find(i) == i for i in range(4))
+
+    def test_union_connects(self):
+        dsu = DisjointSetForest(4)
+        dsu.union(0, 1)
+        assert dsu.connected(0, 1)
+        assert not dsu.connected(0, 2)
+        assert dsu.set_count == 3
+
+    def test_union_idempotent(self):
+        dsu = DisjointSetForest(3)
+        dsu.union(0, 1)
+        root = dsu.union(0, 1)
+        assert dsu.set_count == 2
+        assert root == dsu.find(0)
+
+    def test_transitivity(self):
+        dsu = DisjointSetForest(5)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        dsu.union(3, 4)
+        assert dsu.connected(0, 2)
+        assert not dsu.connected(2, 3)
+
+    def test_make_set(self):
+        dsu = DisjointSetForest(2)
+        new = dsu.make_set()
+        assert new == 2
+        assert dsu.find(new) == new
+        assert dsu.set_count == 3
+
+    def test_len(self):
+        assert len(DisjointSetForest(7)) == 7
+
+
+class TestRootedForest:
+    def test_make_node(self):
+        f = RootedForest()
+        a, b = f.make_node(), f.make_node()
+        assert (a, b) == (0, 1)
+        assert f.parent[a] is None
+        assert f.find(a) == a
+
+    def test_union_sets_parent_and_root(self):
+        f = RootedForest()
+        a, b = f.make_node(), f.make_node()
+        survivor = f.union(a, b)
+        loser = b if survivor == a else a
+        assert f.parent[loser] == survivor
+        assert f.root[loser] == survivor
+        assert f.find(a) == f.find(b) == survivor
+
+    def test_union_by_rank(self):
+        f = RootedForest()
+        a, b, c = (f.make_node() for _ in range(3))
+        big = f.union(a, b)  # rank of survivor becomes 1
+        assert f.union(big, c) == big  # lower-rank c goes under big
+
+    def test_attach_preserves_parent_semantics(self):
+        f = RootedForest()
+        child, parent = f.make_node(), f.make_node()
+        f.attach(child, parent)
+        assert f.parent[child] == parent
+        assert f.find(child) == parent
+
+    def test_find_compresses_root_not_parent(self):
+        f = RootedForest()
+        a, b, c = (f.make_node() for _ in range(3))
+        f.attach(a, b)
+        f.attach(b, c)
+        assert f.find(a) == c
+        assert f.root[a] == c       # compressed
+        assert f.parent[a] == b     # hierarchy edge untouched
+        assert f.parent[b] == c
+
+    def test_union_self_noop(self):
+        f = RootedForest()
+        a = f.make_node()
+        assert f.union(a, a) == a
+        assert f.parent[a] is None
+
+    def test_deep_chain_compression(self):
+        f = RootedForest()
+        nodes = [f.make_node() for _ in range(50)]
+        for child, parent in zip(nodes, nodes[1:]):
+            f.attach(child, parent)
+        top = f.find(nodes[0])
+        assert top == nodes[-1]
+        # after one find, the whole chain's roots point at the top
+        assert all(f.root[v] == top for v in nodes[:-1])
+        # but parents still spell out the original chain
+        assert all(f.parent[v] == nodes[i + 1] for i, v in enumerate(nodes[:-1]))
+
+
+@given(st.integers(2, 25), st.lists(
+    st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=60))
+def test_dsu_matches_naive_model(n, unions):
+    """Model-based: DisjointSetForest vs a dict-of-frozensets partition."""
+    dsu = DisjointSetForest(n)
+    model: dict[int, set[int]] = {i: {i} for i in range(n)}
+    for raw_x, raw_y in unions:
+        x, y = raw_x % n, raw_y % n
+        dsu.union(x, y)
+        sx, sy = model[x], model[y]
+        if sx is not sy:
+            merged = sx | sy
+            for v in merged:
+                model[v] = merged
+    for x in range(n):
+        for y in range(n):
+            assert dsu.connected(x, y) == (model[x] is model[y] or model[x] == model[y])
+
+
+@given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40))
+def test_rooted_forest_find_agrees_with_dsu(pairs):
+    """Union-r produces the same partition as the classic structure."""
+    n = 15
+    f = RootedForest()
+    for _ in range(n):
+        f.make_node()
+    dsu = DisjointSetForest(n)
+    for x, y in pairs:
+        f.union(x, y)
+        dsu.union(x, y)
+    for x in range(n):
+        for y in range(n):
+            assert (f.find(x) == f.find(y)) == dsu.connected(x, y)
+
+
+@given(st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=30))
+def test_rooted_forest_parent_edges_form_forest(pairs):
+    """Parent pointers written by Union-r never form a cycle."""
+    n = 12
+    f = RootedForest()
+    for _ in range(n):
+        f.make_node()
+    for x, y in pairs:
+        f.union(x, y)
+    for start in range(n):
+        seen = set()
+        cur = start
+        while cur is not None:
+            assert cur not in seen
+            seen.add(cur)
+            cur = f.parent[cur]

@@ -1,0 +1,141 @@
+"""Adversarial and degenerate inputs across the whole stack."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.peeling import peel
+from repro.core.views import build_view
+from repro.errors import InvalidParameterError
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+
+from conftest import small_graphs
+
+ALL_ALGORITHMS_12 = ("naive", "dft", "fnd", "lcps", "hypo")
+
+
+class TestDegenerateGraphs:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS_12)
+    def test_empty_graph(self, algorithm):
+        result = nucleus_decomposition(Graph.empty(0), 1, 2, algorithm=algorithm)
+        assert result.lam == []
+        if result.hierarchy is not None:
+            result.hierarchy.validate()
+            assert result.hierarchy.canonical_nuclei() == set()
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS_12)
+    def test_only_isolated_vertices(self, algorithm):
+        result = nucleus_decomposition(Graph.empty(5), 1, 2, algorithm=algorithm)
+        assert result.lam == [0] * 5
+        if result.hierarchy is not None:
+            # all vertices hang off the root; no nuclei exist
+            assert result.hierarchy.canonical_nuclei() == set()
+
+    @pytest.mark.parametrize("algorithm", ("naive", "dft", "fnd"))
+    def test_single_edge_all_rs(self, algorithm):
+        g = Graph(2, [(0, 1)])
+        for (r, s) in ((1, 2), (2, 3)):
+            result = nucleus_decomposition(g, r, s, algorithm=algorithm)
+            result.hierarchy.validate()
+        # at (1,2) a single edge is a 1-nucleus
+        fam = nucleus_decomposition(g, 1, 2, algorithm=algorithm) \
+            .hierarchy.canonical_nuclei()
+        assert fam == {(1, frozenset({0, 1}))}
+
+    def test_edgeless_truss_views(self):
+        g = Graph.empty(4)
+        for (r, s) in ((2, 3), (3, 4)):
+            result = nucleus_decomposition(g, r, s, algorithm="fnd")
+            assert result.lam == []
+            assert result.hierarchy.canonical_nuclei() == set()
+
+    def test_huge_star(self):
+        g = generators.star(500)
+        for algorithm in ALL_ALGORITHMS_12:
+            result = nucleus_decomposition(g, 1, 2, algorithm=algorithm)
+            assert result.max_lambda == 1
+            if result.hierarchy is not None:
+                assert result.hierarchy.canonical_nuclei() == {
+                    (1, frozenset(range(501)))}
+
+    def test_long_path(self):
+        g = generators.path_graph(1000)
+        fam = nucleus_decomposition(g, 1, 2, algorithm="fnd") \
+            .hierarchy.canonical_nuclei()
+        assert fam == {(1, frozenset(range(1000)))}
+
+    def test_disjoint_cliques_many_components(self):
+        blocks = 12
+        edges = []
+        for b in range(blocks):
+            base = 4 * b
+            edges.extend((base + i, base + j)
+                         for i in range(4) for j in range(i + 1, 4))
+        g = Graph(4 * blocks, edges)
+        for algorithm in ("naive", "dft", "fnd", "lcps"):
+            fam = nucleus_decomposition(g, 1, 2, algorithm=algorithm) \
+                .hierarchy.canonical_nuclei()
+            assert len(fam) == blocks
+            assert all(k == 3 for k, _ in fam)
+
+    def test_nested_cliques_deep_hierarchy(self):
+        # K4 inside K8 inside K12 (as vertex subsets with extra edges)
+        edges = set()
+        for size, span in ((12, range(12)), (8, range(8)), (4, range(4))):
+            for i in span:
+                for j in span:
+                    if i < j:
+                        edges.add((i, j))
+        g = Graph(12, list(edges))  # it's just K12
+        fam = nucleus_decomposition(g, 1, 2, algorithm="fnd") \
+            .hierarchy.canonical_nuclei()
+        assert fam == {(11, frozenset(range(12)))}
+
+
+class TestParameterValidation:
+    def test_r_ge_s_rejected(self, k4):
+        with pytest.raises(InvalidParameterError):
+            build_view(k4, 2, 2)
+        with pytest.raises(InvalidParameterError):
+            nucleus_decomposition(k4, 3, 2)
+
+    def test_bad_queue_kind(self, k4):
+        with pytest.raises(InvalidParameterError):
+            peel(build_view(k4, 1, 2), queue_kind="fibonacci")
+
+    def test_heap_queue_matches_bucket(self, social):
+        view = build_view(social, 1, 2)
+        assert peel(view, queue_kind="heap").lam == \
+            peel(view, queue_kind="bucket").lam
+
+
+class TestDftAblation:
+    def test_no_compression_same_result(self, social):
+        from repro.core.dft import dft_hierarchy
+        view = build_view(social, 1, 2)
+        peeling = peel(view)
+        on = dft_hierarchy(view, peeling, path_compression=True)
+        off = dft_hierarchy(view, peeling, path_compression=False)
+        off.validate()
+        assert on.canonical_nuclei() == off.canonical_nuclei()
+
+
+@given(small_graphs(max_n=10))
+@settings(max_examples=30, deadline=None)
+def test_heap_and_bucket_agree_random(g):
+    for (r, s) in ((1, 2), (2, 3)):
+        view = build_view(g, r, s)
+        assert peel(view, queue_kind="heap").lam == \
+            peel(view, queue_kind="bucket").lam
+
+
+@given(small_graphs(max_n=10))
+@settings(max_examples=30, deadline=None)
+def test_dft_compression_ablation_random(g):
+    from repro.core.dft import dft_hierarchy
+    view = build_view(g, 1, 2)
+    peeling = peel(view)
+    on = dft_hierarchy(view, peeling, path_compression=True)
+    off = dft_hierarchy(view, peeling, path_compression=False)
+    assert on.canonical_nuclei() == off.canonical_nuclei()

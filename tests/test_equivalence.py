@@ -1,0 +1,149 @@
+"""Cross-algorithm equivalence: the backbone property of the whole library.
+
+Naive, DFT and FND (and LCPS for (1,2)) must produce the *same* canonical
+nucleus family on every graph, which in turn must match the brute-force
+definition-driven oracle.  These are the invariants the paper's correctness
+rests on; hypothesis explores the graph space.
+"""
+
+from hypothesis import given, settings
+
+from repro.analysis.reference import reference_lambda, reference_nuclei
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.views import build_view
+from repro.examples_graphs import (
+    figure1_graph,
+    figure2_graph,
+    figure4_graph,
+    figure5_graph,
+)
+from repro.graph import generators
+
+from conftest import dense_small_graphs, small_graphs
+
+FIXED_GRAPHS = [
+    figure1_graph(),
+    figure2_graph(),
+    figure4_graph(),
+    figure5_graph(),
+    generators.ring_of_cliques(4, 5),
+    generators.planted_cliques(3, 6, seed=5),
+    generators.powerlaw_cluster(90, 5, 0.6, seed=11),
+    generators.erdos_renyi(40, 0.25, seed=12),
+    generators.barabasi_albert(60, 3, seed=13),
+]
+
+
+def families(graph, r, s, algorithms):
+    view = build_view(graph, r, s)
+    out = {}
+    for algorithm in algorithms:
+        result = nucleus_decomposition(graph, r, s, algorithm=algorithm, view=view)
+        result.hierarchy.validate()
+        out[algorithm] = result.hierarchy.canonical_nuclei()
+    return out
+
+
+class TestFixedGraphs:
+    def test_12_all_algorithms_agree(self):
+        for g in FIXED_GRAPHS:
+            fams = families(g, 1, 2, ["naive", "dft", "fnd", "lcps"])
+            baseline = fams["naive"]
+            assert all(f == baseline for f in fams.values()), g.name
+
+    def test_23_all_algorithms_agree(self):
+        for g in FIXED_GRAPHS:
+            fams = families(g, 2, 3, ["naive", "dft", "fnd"])
+            baseline = fams["naive"]
+            assert all(f == baseline for f in fams.values()), g.name
+
+    def test_34_all_algorithms_agree(self):
+        for g in FIXED_GRAPHS[:6]:  # the dense fixed graphs
+            fams = families(g, 3, 4, ["naive", "dft", "fnd"])
+            baseline = fams["naive"]
+            assert all(f == baseline for f in fams.values()), g.name
+
+    def test_lambda_identical_across_algorithms(self):
+        for g in FIXED_GRAPHS:
+            view = build_view(g, 2, 3)
+            lams = [nucleus_decomposition(g, 2, 3, algorithm=a, view=view).lam
+                    for a in ("naive", "dft", "fnd", "hypo")]
+            assert all(l == lams[0] for l in lams), g.name
+
+
+@given(small_graphs(max_n=11))
+@settings(max_examples=60, deadline=None)
+def test_12_equivalence_random(g):
+    fams = families(g, 1, 2, ["naive", "dft", "fnd", "lcps"])
+    baseline = fams["naive"]
+    assert all(f == baseline for f in fams.values())
+
+
+@given(small_graphs(max_n=11))
+@settings(max_examples=40, deadline=None)
+def test_12_matches_oracle_random(g):
+    view = build_view(g, 1, 2)
+    expected = reference_nuclei(g, view, reference_lambda(g, view))
+    result = nucleus_decomposition(g, 1, 2, algorithm="fnd", view=view)
+    assert result.hierarchy.canonical_nuclei() == expected
+
+
+@given(dense_small_graphs(max_n=9))
+@settings(max_examples=40, deadline=None)
+def test_23_equivalence_and_oracle_random(g):
+    view = build_view(g, 2, 3)
+    expected = reference_nuclei(g, view, reference_lambda(g, view))
+    fams = families(g, 2, 3, ["naive", "dft", "fnd"])
+    for algorithm, fam in fams.items():
+        assert fam == expected, algorithm
+
+
+@given(dense_small_graphs(max_n=8))
+@settings(max_examples=25, deadline=None)
+def test_34_equivalence_and_oracle_random(g):
+    view = build_view(g, 3, 4)
+    expected = reference_nuclei(g, view, reference_lambda(g, view))
+    fams = families(g, 3, 4, ["naive", "dft", "fnd"])
+    for algorithm, fam in fams.items():
+        assert fam == expected, algorithm
+
+
+@given(dense_small_graphs(max_n=8))
+@settings(max_examples=20, deadline=None)
+def test_generic_rs_equivalence_random(g):
+    """(1,3) and (2,4) via the generic view: all algorithms still agree."""
+    for r, s in ((1, 3), (2, 4)):
+        view = build_view(g, r, s)
+        expected = reference_nuclei(g, view, reference_lambda(g, view))
+        fams = families(g, r, s, ["naive", "dft", "fnd"])
+        for algorithm, fam in fams.items():
+            assert fam == expected, (algorithm, r, s)
+
+
+@given(small_graphs(max_n=11))
+@settings(max_examples=40, deadline=None)
+def test_nuclei_nest_random(g):
+    """Laminarity: a lower-level nucleus that touches a deeper one contains it.
+
+    (A deeper nucleus may have NO canonical lower-level container when the
+    lower core coincides with it and is dropped as a chain node — e.g. an
+    isolated triangle has a 2-nucleus but no distinct 1-nucleus.)
+    """
+    view = build_view(g, 1, 2)
+    result = nucleus_decomposition(g, 1, 2, algorithm="fnd", view=view)
+    fam = sorted(result.hierarchy.canonical_nuclei())
+    by_level: dict[int, list[frozenset]] = {}
+    for k, cells in fam:
+        by_level.setdefault(k, []).append(cells)
+    for k, nuclei in by_level.items():
+        lower_levels = [kk for kk in by_level if kk < k]
+        for nucleus in nuclei:
+            for kk in lower_levels:
+                for other in by_level[kk]:
+                    if other & nucleus:
+                        assert nucleus <= other, (
+                            f"{k}-nucleus straddles a {kk}-nucleus")
+            # same-level nuclei are pairwise disjoint
+            for sibling in by_level[k]:
+                if sibling is not nucleus:
+                    assert not (sibling & nucleus)

@@ -1,0 +1,226 @@
+"""Generator sanity: determinism, sizes, and the structural traits each
+generator exists to provide."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import generators as gen
+from repro.graph.components import is_connected
+from repro.analysis.density import edge_density
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("build", [
+        lambda seed: gen.erdos_renyi(40, 0.2, seed=seed),
+        lambda seed: gen.barabasi_albert(40, 3, seed=seed),
+        lambda seed: gen.powerlaw_cluster(40, 3, 0.5, seed=seed),
+        lambda seed: gen.chung_lu(40, 2.5, 6.0, seed=seed),
+        lambda seed: gen.copying_model(40, 3, 0.5, seed=seed),
+    ])
+    def test_same_seed_same_graph(self, build):
+        assert build(7) == build(7)
+
+    def test_different_seed_differs(self):
+        a = gen.erdos_renyi(50, 0.3, seed=1)
+        b = gen.erdos_renyi(50, 0.3, seed=2)
+        assert a != b
+
+
+class TestBasicShapes:
+    def test_complete(self):
+        g = gen.complete_graph(6)
+        assert g.m == 15
+        assert edge_density(g) == 1.0
+
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.m == 4
+        assert is_connected(g)
+
+    def test_cycle(self):
+        g = gen.cycle_graph(6)
+        assert g.m == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            gen.cycle_graph(2)
+
+    def test_star(self):
+        g = gen.star(7)
+        assert g.n == 8
+        assert g.degree(0) == 7
+
+
+class TestErdosRenyi:
+    def test_p_zero(self):
+        assert gen.erdos_renyi(20, 0.0, seed=0).m == 0
+
+    def test_p_one_is_complete(self):
+        g = gen.erdos_renyi(10, 1.0, seed=0)
+        assert g.m == 45
+
+    def test_expected_edge_count_rough(self):
+        g = gen.erdos_renyi(200, 0.1, seed=5)
+        expected = 0.1 * 200 * 199 / 2
+        assert 0.8 * expected < g.m < 1.2 * expected
+
+    def test_invalid_p(self):
+        with pytest.raises(InvalidParameterError):
+            gen.erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = gen.barabasi_albert(100, 3, seed=1)
+        assert g.m == 3 * (100 - 3)
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(400, 2, seed=1)
+        degrees = sorted(g.degrees())
+        assert degrees[-1] > 4 * (2 * g.m / g.n)  # hub way above average
+
+    def test_invalid_m(self):
+        with pytest.raises(InvalidParameterError):
+            gen.barabasi_albert(10, 0)
+        with pytest.raises(InvalidParameterError):
+            gen.barabasi_albert(5, 5)
+
+
+class TestPowerlawCluster:
+    def test_higher_closure_more_triangles(self):
+        from repro.graph.cliques import triangle_count
+        low = gen.powerlaw_cluster(150, 4, 0.0, seed=3)
+        high = gen.powerlaw_cluster(150, 4, 0.9, seed=3)
+        assert triangle_count(high) > triangle_count(low)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            gen.powerlaw_cluster(10, 0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            gen.powerlaw_cluster(10, 2, 1.5)
+
+
+class TestChungLu:
+    def test_average_degree_rough(self):
+        g = gen.chung_lu(500, 2.5, 10.0, seed=2)
+        avg = 2 * g.m / g.n
+        assert 4.0 < avg < 14.0  # collisions lose some edges
+
+    def test_invalid_exponent(self):
+        with pytest.raises(InvalidParameterError):
+            gen.chung_lu(10, 1.0)
+
+
+class TestCopyingModel:
+    def test_size(self):
+        g = gen.copying_model(100, 4, 0.5, seed=0)
+        assert g.n == 100
+        assert g.m >= 4  # at least the seed clique
+
+    def test_invalid_out_degree(self):
+        with pytest.raises(InvalidParameterError):
+            gen.copying_model(10, 0)
+
+
+class TestPlantedCliques:
+    def test_clique_edges_present(self):
+        g = gen.planted_cliques(3, 5, bridge_edges=1, seed=0)
+        for c in range(3):
+            base = 5 * c
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    assert g.has_edge(base + i, base + j)
+
+    def test_k4_density_extreme(self):
+        # the uk-2005 signature: |K4|/|triangles| far above social graphs
+        from repro.graph.cliques import four_clique_count, triangle_count
+        g = gen.planted_cliques(3, 12, seed=1)
+        assert four_clique_count(g) / triangle_count(g) > 2.0
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            gen.planted_cliques(0, 5)
+
+
+class TestPlantedHierarchy:
+    def test_size(self):
+        g = gen.planted_hierarchy(branching=2, depth=2, leaf_size=5, seed=0)
+        assert g.n == 4 * 5
+
+    def test_leaves_denser_than_graph(self):
+        g = gen.planted_hierarchy(branching=2, depth=2, leaf_size=8,
+                                  base_p=0.05, level_p_step=0.4, seed=1)
+        leaf = g.subgraph(range(8))
+        assert edge_density(leaf) > edge_density(g)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            gen.planted_hierarchy(branching=1, depth=2, leaf_size=4)
+
+
+class TestRmat:
+    def test_size_and_determinism(self):
+        g = gen.rmat(6, edge_factor=4, seed=3)
+        assert g.n == 64
+        assert g.m > 0
+        assert g == gen.rmat(6, edge_factor=4, seed=3)
+
+    def test_skew(self):
+        g = gen.rmat(8, edge_factor=8, seed=1)
+        degrees = sorted(g.degrees())
+        average = 2 * g.m / g.n
+        assert degrees[-1] > 3 * average  # hubs exist
+
+    def test_invalid_partition(self):
+        with pytest.raises(InvalidParameterError):
+            gen.rmat(4, partition=(0, 0, 0, 0))
+
+
+class TestStochasticBlock:
+    def test_blocks_denser_inside(self):
+        g = gen.stochastic_block([15, 15], p_in=0.8, p_out=0.02, seed=4)
+        inside = g.subgraph(range(15))
+        assert edge_density(inside) > 4 * edge_density(g.subgraph(range(30))) \
+            or edge_density(inside) > 0.5
+
+    def test_p_out_zero_disconnects(self):
+        from repro.graph.components import connected_components
+        g = gen.stochastic_block([8, 8], p_in=1.0, p_out=0.0, seed=0)
+        assert len(connected_components(g)) == 2
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(InvalidParameterError):
+            gen.stochastic_block([4, 4], p_in=0.1, p_out=0.5)
+
+
+class TestEdgeDropout:
+    def test_rate_zero_identity(self):
+        g = gen.complete_graph(6)
+        assert gen.edge_dropout(g, 0.0, seed=1) == g
+
+    def test_rate_removes_edges(self):
+        g = gen.complete_graph(20)
+        thinned = gen.edge_dropout(g, 0.5, seed=2)
+        assert 0 < thinned.m < g.m
+        assert thinned.n == g.n
+
+    def test_deterministic(self):
+        g = gen.complete_graph(10)
+        assert gen.edge_dropout(g, 0.3, seed=5) == gen.edge_dropout(g, 0.3, seed=5)
+
+    def test_invalid_rate(self):
+        with pytest.raises(InvalidParameterError):
+            gen.edge_dropout(gen.complete_graph(3), 1.0)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = gen.ring_of_cliques(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 10 + 4
+        assert is_connected(g)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            gen.ring_of_cliques(2, 5)

@@ -1,0 +1,158 @@
+"""The Hierarchy / NucleusTree result types."""
+
+import pytest
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.hierarchy import Hierarchy
+from repro.examples_graphs import figure2_graph, figure5_graph
+from repro.graph import generators
+
+
+def build_manual_hierarchy() -> Hierarchy:
+    """Small hand-made skeleton: root(0) <- A(2) <- B(3), C(3); B~B2 merged."""
+    #   nodes: 0=A(λ2) 1=B(λ3) 2=B2(λ3, same nucleus as B) 3=C(λ3) 4=root
+    node_lambda = [2, 3, 3, 3, 0]
+    parent = [4, 0, 1, 0, None]
+    #   cells: λ: two at 2 (A), three at 3 (B/B2/C), one at 0 (root)
+    lam = [2, 2, 3, 3, 3, 0]
+    comp = [0, 0, 1, 2, 3, 4]
+    return Hierarchy(1, 2, lam, node_lambda, parent, comp, root=4,
+                     algorithm="manual")
+
+
+class TestHierarchyBasics:
+    def test_counts(self):
+        h = build_manual_hierarchy()
+        assert h.num_cells == 6
+        assert h.num_nodes == 5
+        assert h.num_subnuclei == 4
+        assert h.max_lambda == 3
+
+    def test_members(self):
+        h = build_manual_hierarchy()
+        assert h.members(0) == [0, 1]
+        assert h.members(4) == [5]
+
+    def test_children_lists(self):
+        h = build_manual_hierarchy()
+        children = h.children_lists()
+        assert children[4] == [0]
+        assert sorted(children[0]) == [1, 3]
+
+    def test_validate_passes(self):
+        build_manual_hierarchy().validate()
+
+    def test_validate_catches_bad_comp(self):
+        h = build_manual_hierarchy()
+        h.comp[0] = 1  # cell with lambda 2 assigned to a lambda-3 node
+        with pytest.raises(AssertionError):
+            h.validate()
+
+    def test_validate_catches_cycle(self):
+        h = build_manual_hierarchy()
+        h.parent[1] = 2
+        h.parent[2] = 1
+        with pytest.raises(AssertionError):
+            h.validate()
+
+    def test_repr(self):
+        assert "manual" in repr(build_manual_hierarchy())
+
+
+class TestCondense:
+    def test_equal_lambda_nodes_grouped(self):
+        h = build_manual_hierarchy()
+        tree = h.condense()
+        # B and B2 collapse: root, A, B+B2, C
+        assert len(tree) == 4
+        ks = sorted(node.k for node in tree.nodes)
+        assert ks == [0, 2, 3, 3]
+
+    def test_subtree_cells_nested(self):
+        h = build_manual_hierarchy()
+        tree = h.condense()
+        a = next(n for n in tree.nodes if n.k == 2)
+        assert sorted(tree.subtree_cells(a.id)) == [0, 1, 2, 3, 4]
+
+    def test_own_cells_partition(self):
+        h = build_manual_hierarchy()
+        tree = h.condense()
+        all_cells = sorted(c for n in tree.nodes for c in n.own_cells)
+        assert all_cells == list(range(6))
+
+    def test_condense_cached(self):
+        h = build_manual_hierarchy()
+        assert h.condense() is h.condense()
+
+    def test_depth_and_leaves(self):
+        tree = build_manual_hierarchy().condense()
+        assert tree.depth() == 2
+        assert len(tree.leaves()) == 2
+
+    def test_format_output(self):
+        text = build_manual_hierarchy().condense().format()
+        assert "k=0" in text and "k=3" in text
+
+    def test_format_truncation(self):
+        text = build_manual_hierarchy().condense().format(max_nodes=1)
+        assert "truncated" in text
+
+
+class TestCanonicalNuclei:
+    def test_manual(self):
+        fam = build_manual_hierarchy().canonical_nuclei()
+        assert (2, frozenset({0, 1, 2, 3, 4})) in fam
+        assert (3, frozenset({2, 3})) in fam
+        assert (3, frozenset({4})) in fam
+        assert len(fam) == 3
+
+    def test_chain_nodes_dropped(self):
+        # root <- empty chain node (λ1, no members, one child) <- leaf (λ2)
+        h = Hierarchy(1, 2, lam=[2, 2], node_lambda=[1, 2, 0],
+                      parent=[2, 0, None], comp=[1, 1], root=2,
+                      algorithm="manual")
+        fam = h.canonical_nuclei()
+        assert fam == {(2, frozenset({0, 1}))}
+
+
+class TestNucleusOfCell:
+    def test_max_nucleus(self):
+        g = figure2_graph()
+        h = nucleus_decomposition(g, 1, 2, algorithm="dft").hierarchy
+        assert sorted(h.nucleus_of_cell(0)) == [0, 1, 2, 3]      # its 3-core
+        assert sorted(h.nucleus_of_cell(8)) == list(range(10))   # the 2-core
+
+    def test_lower_level_nucleus(self):
+        g = figure2_graph()
+        h = nucleus_decomposition(g, 1, 2, algorithm="fnd").hierarchy
+        assert sorted(h.nucleus_of_cell(0, k=2)) == list(range(10))
+        assert sorted(h.nucleus_of_cell(0, k=1)) == list(range(11))
+
+    def test_k_above_lambda_raises(self):
+        g = figure2_graph()
+        h = nucleus_decomposition(g, 1, 2, algorithm="fnd").hierarchy
+        with pytest.raises(ValueError):
+            h.nucleus_of_cell(10, k=5)
+
+    def test_skipped_level_resolves_to_denser_nucleus(self):
+        g = generators.complete_graph(5)  # all lambda 4, no level-2 node
+        h = nucleus_decomposition(g, 1, 2, algorithm="dft").hierarchy
+        assert sorted(h.nucleus_of_cell(0, k=2)) == [0, 1, 2, 3, 4]
+
+
+class TestOnRealDecompositions:
+    def test_figure5_three_levels(self):
+        g = figure5_graph()
+        result = nucleus_decomposition(g, 1, 2, algorithm="fnd")
+        tree = result.hierarchy.condense()
+        ks = sorted({n.k for n in tree.nodes})
+        assert ks == [0, 4, 5, 6]
+        leaves = tree.leaves()
+        assert len(leaves) == 3  # K7 and the two K6s
+
+    def test_all_cells_covered_once(self):
+        g = generators.powerlaw_cluster(120, 5, 0.5, seed=4)
+        h = nucleus_decomposition(g, 2, 3, algorithm="fnd").hierarchy
+        tree = h.condense()
+        cells = sorted(c for n in tree.nodes for c in n.own_cells)
+        assert cells == list(range(h.num_cells))

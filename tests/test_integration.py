@@ -1,0 +1,76 @@
+"""End-to-end integration: the full stack on every tiny dataset stand-in.
+
+Each dataset flows through: load → decompose with every algorithm at every
+(r,s) → hierarchies agree → stats/density/queries/export all operate on
+the result.  These are the workflows README advertises, run verbatim.
+"""
+
+import pytest
+
+from repro.analysis.comparison import compare_hierarchies
+from repro.analysis.density import densest_nuclei
+from repro.analysis.skeleton import skeleton_report
+from repro.analysis.stats import hierarchy_stats
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.partition import decompose_by_components
+from repro.core.views import build_view
+from repro.export import hierarchy_from_json, hierarchy_to_json
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.queries import HierarchyIndex
+
+
+@pytest.fixture(scope="module", params=dataset_names())
+def tiny(request):
+    return load_dataset(request.param, "tiny")
+
+
+class TestFullStack:
+    def test_12_algorithms_agree(self, tiny):
+        view = build_view(tiny, 1, 2)
+        results = {a: nucleus_decomposition(tiny, 1, 2, algorithm=a, view=view)
+                   for a in ("naive", "dft", "fnd", "lcps")}
+        for result in results.values():
+            result.hierarchy.validate()
+        baseline = results["naive"].hierarchy
+        for name, result in results.items():
+            assert compare_hierarchies(baseline, result.hierarchy).identical, name
+
+    def test_23_algorithms_agree(self, tiny):
+        view = build_view(tiny, 2, 3)
+        results = [nucleus_decomposition(tiny, 2, 3, algorithm=a, view=view)
+                   for a in ("naive", "dft", "fnd")]
+        families = [r.hierarchy.canonical_nuclei() for r in results]
+        assert families[0] == families[1] == families[2]
+
+    def test_34_dft_fnd_agree(self, tiny):
+        view = build_view(tiny, 3, 4)
+        dft = nucleus_decomposition(tiny, 3, 4, algorithm="dft", view=view)
+        fnd = nucleus_decomposition(tiny, 3, 4, algorithm="fnd", view=view)
+        assert dft.hierarchy.canonical_nuclei() == \
+            fnd.hierarchy.canonical_nuclei()
+
+    def test_analysis_layer_runs(self, tiny):
+        result = nucleus_decomposition(tiny, 2, 3, algorithm="fnd")
+        stats = hierarchy_stats(result)
+        assert stats.num_nuclei >= 0
+        report = skeleton_report(result.hierarchy)
+        assert report.num_subnuclei == result.hierarchy.num_subnuclei
+        for nucleus in densest_nuclei(result, min_vertices=4, limit=3):
+            assert 0.0 <= nucleus.density <= 1.0
+
+    def test_queries_and_export_round_trip(self, tiny):
+        result = nucleus_decomposition(tiny, 1, 2, algorithm="fnd")
+        index = HierarchyIndex(result)
+        hub = max(tiny.vertices(), key=tiny.degree)
+        profile = index.profile(hub)
+        if profile:
+            assert profile[-1].k == result.lam[hub]
+        restored = hierarchy_from_json(hierarchy_to_json(result.hierarchy))
+        assert restored.canonical_nuclei() == \
+            result.hierarchy.canonical_nuclei()
+
+    def test_component_decomposition_matches(self, tiny):
+        merged = decompose_by_components(tiny, 1, 2)
+        whole = nucleus_decomposition(tiny, 1, 2, algorithm="fnd")
+        assert merged.hierarchy.canonical_nuclei() == \
+            whole.hierarchy.canonical_nuclei()

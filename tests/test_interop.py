@@ -1,0 +1,92 @@
+"""Interop with networkx / numpy / scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidGraphError
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+from repro.graph.interop import (
+    from_adjacency_matrix,
+    from_networkx,
+    from_scipy_sparse,
+    to_adjacency_matrix,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+from conftest import small_graphs
+
+
+class TestNetworkx:
+    def test_round_trip(self, social):
+        assert from_networkx(to_networkx(social)) == social
+
+    def test_isolated_vertices_preserved(self):
+        g = Graph(4, [(0, 1)])
+        assert to_networkx(g).number_of_nodes() == 4
+        assert from_networkx(to_networkx(g)).n == 4
+
+    def test_from_networkx_directed_symmetrised(self):
+        import networkx as nx
+        d = nx.DiGraph()
+        d.add_edges_from([(0, 1), (1, 0), (1, 2)])
+        g = from_networkx(d)
+        assert g.m == 2
+
+    def test_from_networkx_string_labels(self):
+        import networkx as nx
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        g = from_networkx(nxg)
+        assert (g.n, g.m) == (2, 1)
+
+
+class TestDenseMatrix:
+    def test_round_trip(self, k4):
+        assert from_adjacency_matrix(to_adjacency_matrix(k4)) == k4
+
+    def test_matrix_is_symmetric(self, social):
+        matrix = to_adjacency_matrix(social)
+        assert (matrix == matrix.T).all()
+        assert matrix.trace() == 0
+
+    def test_asymmetric_input_symmetrised(self):
+        matrix = np.array([[0, 1], [0, 0]])
+        assert from_adjacency_matrix(matrix).m == 1
+
+    def test_diagonal_dropped(self):
+        matrix = np.eye(3)
+        assert from_adjacency_matrix(matrix).m == 0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            from_adjacency_matrix(np.zeros((2, 3)))
+
+
+class TestScipySparse:
+    def test_round_trip(self, social):
+        assert from_scipy_sparse(to_scipy_sparse(social)) == social
+
+    def test_shape_and_nnz(self, k4):
+        sparse = to_scipy_sparse(k4)
+        assert sparse.shape == (4, 4)
+        assert sparse.nnz == 12  # both directions
+
+    def test_non_square_rejected(self):
+        from scipy.sparse import csr_matrix
+        with pytest.raises(InvalidGraphError):
+            from_scipy_sparse(csr_matrix((2, 3)))
+
+    def test_core_numbers_survive_round_trip(self, social):
+        from repro.kcore import core_numbers
+        restored = from_scipy_sparse(to_scipy_sparse(social))
+        assert core_numbers(restored) == core_numbers(social)
+
+
+@given(small_graphs(max_n=10))
+def test_all_round_trips_random(g):
+    assert from_networkx(to_networkx(g)) == g
+    assert from_adjacency_matrix(to_adjacency_matrix(g)) == g
+    assert from_scipy_sparse(to_scipy_sparse(g)) == g

@@ -1,0 +1,123 @@
+"""k-core convenience layer vs networkx and the connectivity semantics."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+from repro.kcore import (
+    core_hierarchy,
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    k_core,
+    k_core_subgraph,
+    shells,
+)
+from repro.examples_graphs import figure2_graph
+
+from conftest import small_graphs, to_networkx
+
+
+class TestCoreNumbers:
+    def test_matches_networkx(self, social):
+        expected = nx.core_number(to_networkx(social))
+        assert core_numbers(social) == [expected[v] for v in range(social.n)]
+
+    def test_degeneracy(self, k5):
+        assert degeneracy(k5) == 4
+
+    def test_degeneracy_ordering_is_permutation(self, social):
+        order = degeneracy_ordering(social)
+        assert sorted(order) == list(range(social.n))
+
+
+class TestConnectedKCores:
+    def test_figure2_has_two_3cores(self):
+        g = figure2_graph()
+        cores = k_core(g, 3)
+        assert sorted(map(tuple, cores)) == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_2core_is_single(self):
+        g = figure2_graph()
+        cores = k_core(g, 2)
+        assert len(cores) == 1
+        assert cores[0] == list(range(10))
+
+    def test_0core_includes_isolated(self):
+        g = Graph(3, [(0, 1)])
+        cores = k_core(g, 0)
+        assert [2] in cores
+
+    def test_no_cores_above_degeneracy(self, k4):
+        assert k_core(k4, 4) == []
+
+    def test_precomputed_lambda_reused(self):
+        g = figure2_graph()
+        lam = core_numbers(g)
+        assert k_core(g, 3, lam=lam) == k_core(g, 3)
+
+
+class TestKCoreSubgraph:
+    def test_batagelj_closure_disconnected(self):
+        """The BZ convention keeps both 3-cores in ONE subgraph."""
+        g = figure2_graph()
+        sub = k_core_subgraph(g, 3)
+        assert sub.m == 12  # the two K4s
+        assert not sub.has_edge(3, 8)
+
+    def test_matches_networkx_k_core(self, social):
+        for k in (1, 2, 3):
+            ours = k_core_subgraph(social, k)
+            theirs = nx.k_core(to_networkx(social), k)
+            assert sorted(ours.edges()) == sorted(theirs.edges())
+
+
+class TestShells:
+    def test_partition(self, social):
+        sh = shells(social)
+        assert sorted(v for vs in sh.values() for v in vs) == list(range(social.n))
+
+    def test_figure2_shells(self):
+        sh = shells(figure2_graph())
+        assert sh[3] == [0, 1, 2, 3, 4, 5, 6, 7]
+        assert sh[2] == [8, 9]
+        assert sh[1] == [10]
+
+
+class TestCoreHierarchy:
+    def test_default_lcps(self):
+        result = core_hierarchy(figure2_graph())
+        assert result.algorithm == "lcps"
+        assert result.hierarchy is not None
+
+    def test_other_algorithm(self):
+        result = core_hierarchy(figure2_graph(), algorithm="fnd")
+        assert result.algorithm == "fnd"
+
+
+@given(small_graphs(max_n=12))
+@settings(max_examples=40)
+def test_connected_cores_partition_closure(g):
+    """Connected k-cores partition the BZ closure, for every k."""
+    lam = core_numbers(g)
+    top = max(lam, default=0)
+    for k in range(1, top + 1):
+        closure = {v for v in g.vertices() if lam[v] >= k}
+        cores = k_core(g, k, lam=lam)
+        seen = [v for core in cores for v in core]
+        assert sorted(seen) == sorted(closure)
+        assert len(set(seen)) == len(seen)
+
+
+@given(small_graphs(max_n=12))
+@settings(max_examples=40)
+def test_each_connected_core_has_min_degree_k(g):
+    lam = core_numbers(g)
+    top = max(lam, default=0)
+    for k in range(1, top + 1):
+        for core in k_core(g, k, lam=lam):
+            members = set(core)
+            for v in core:
+                inside = sum(1 for w in g.neighbors(v) if w in members)
+                assert inside >= k

@@ -1,0 +1,114 @@
+"""Definition-level checks: each reported nucleus satisfies Definition 2.
+
+For every k-(r,s) nucleus S the library reports:
+  1. minimum s-clique degree within S is >= k,
+  2. S is Ks-connected (cells joined through s-cliques inside S),
+  3. S is maximal (no cell outside S could be added).
+These are verified directly on the cell sets, independent of how the
+algorithms bookkeep.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.core.views import CellView, build_view
+from repro.graph.adjacency import Graph
+
+from conftest import dense_small_graphs, small_graphs
+
+
+def s_cliques_inside(view: CellView, cells: frozenset[int]) -> list[tuple[int, ...]]:
+    """All s-cliques whose member cells all lie inside ``cells``."""
+    out = []
+    seen = set()
+    for cell in cells:
+        for others in view.cofaces(cell):
+            clique = tuple(sorted((cell, *others)))
+            if clique in seen:
+                continue
+            seen.add(clique)
+            if all(c in cells for c in clique):
+                out.append(clique)
+    return out
+
+
+def check_min_degree(view: CellView, cells: frozenset[int], k: int) -> None:
+    inside = s_cliques_inside(view, cells)
+    degree = {c: 0 for c in cells}
+    for clique in inside:
+        for c in clique:
+            degree[c] += 1
+    assert all(d >= k for d in degree.values()), (
+        f"cell with s-degree < {k} inside nucleus")
+
+
+def check_connected(view: CellView, cells: frozenset[int]) -> None:
+    if len(cells) <= 1:
+        return
+    inside = s_cliques_inside(view, cells)
+    parent = {c: c for c in cells}
+
+    def find(c):
+        while parent[c] != c:
+            parent[c] = parent[parent[c]]
+            c = parent[c]
+        return c
+
+    for clique in inside:
+        anchor = find(clique[0])
+        for other in clique[1:]:
+            parent[find(other)] = anchor
+    roots = {find(c) for c in cells}
+    assert len(roots) == 1, "nucleus is not Ks-connected"
+
+
+def check_maximal(view: CellView, cells: frozenset[int], k: int,
+                  lam: list[int]) -> None:
+    """No outside cell is joined to S by an s-clique at level >= k."""
+    for cell in cells:
+        for others in view.cofaces(cell):
+            clique = (cell, *others)
+            if min(lam[c] for c in clique) >= k:
+                assert all(c in cells for c in clique), (
+                    "nucleus missing a reachable high-lambda cell")
+
+
+def assert_all_nuclei_valid(g: Graph, r: int, s: int) -> None:
+    view = build_view(g, r, s)
+    result = nucleus_decomposition(g, r, s, algorithm="fnd", view=view)
+    for k, cells in result.hierarchy.canonical_nuclei():
+        check_min_degree(view, cells, k)
+        check_connected(view, cells)
+        check_maximal(view, cells, k, result.lam)
+
+
+@given(small_graphs(max_n=11))
+@settings(max_examples=50, deadline=None)
+def test_12_nuclei_satisfy_definition(g):
+    assert_all_nuclei_valid(g, 1, 2)
+
+
+@given(dense_small_graphs(max_n=9))
+@settings(max_examples=30, deadline=None)
+def test_23_nuclei_satisfy_definition(g):
+    assert_all_nuclei_valid(g, 2, 3)
+
+
+@given(dense_small_graphs(max_n=8))
+@settings(max_examples=20, deadline=None)
+def test_34_nuclei_satisfy_definition(g):
+    assert_all_nuclei_valid(g, 3, 4)
+
+
+@given(small_graphs(max_n=11))
+@settings(max_examples=40, deadline=None)
+def test_lambda_is_max_nucleus_level(g):
+    """λ(u) really is the largest k with u inside a k-nucleus."""
+    view = build_view(g, 1, 2)
+    result = nucleus_decomposition(g, 1, 2, algorithm="fnd", view=view)
+    best = {c: 0 for c in range(view.num_cells)}
+    for k, cells in result.hierarchy.canonical_nuclei():
+        for c in cells:
+            best[c] = max(best[c], k)
+    for c in range(view.num_cells):
+        assert best[c] == result.lam[c]

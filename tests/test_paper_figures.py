@@ -1,0 +1,145 @@
+"""Executable versions of the paper's illustrative Figures 1-5."""
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.examples_graphs import (
+    bowtie,
+    figure1_graph,
+    figure2_graph,
+    figure3_graph,
+    figure4_graph,
+    figure5_graph,
+    two_triangles_sharing_edge,
+)
+from repro.kcore import k_core
+from repro.ktruss import k_dense, k_truss, truss_communities
+
+
+class TestFigure1:
+    """(2,3) vs (2,4) nuclei differ on the same graph."""
+
+    def test_1_23_nucleus_spans_everything(self):
+        g = figure1_graph()
+        result = nucleus_decomposition(g, 2, 3, algorithm="fnd")
+        fam = result.hierarchy.canonical_nuclei()
+        one_level = [cells for k, cells in fam if k == 1]
+        assert len(one_level) == 1
+        vertices = result.view.vertices_of_cells(one_level[0])
+        assert vertices == set(range(8))  # triangle chain joins the K4s
+
+    def test_2_23_nuclei_split_into_k4s(self):
+        g = figure1_graph()
+        result = nucleus_decomposition(g, 2, 3, algorithm="fnd")
+        fam = result.hierarchy.canonical_nuclei()
+        two_level = sorted(
+            tuple(sorted(result.view.vertices_of_cells(cells)))
+            for k, cells in fam if k == 2)
+        assert two_level == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_1_24_nuclei_split_into_k4s(self):
+        g = figure1_graph()
+        result = nucleus_decomposition(g, 2, 4, algorithm="fnd")
+        fam = result.hierarchy.canonical_nuclei()
+        top = [cells for k, cells in fam if k >= 1]
+        vertex_sets = sorted(
+            tuple(sorted(result.view.vertices_of_cells(cells))) for cells in top)
+        assert vertex_sets == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+
+class TestFigure2:
+    """Multiple 3-cores: peeling alone cannot distinguish them."""
+
+    def test_lambda_values_identical_across_the_two_cores(self):
+        g = figure2_graph()
+        result = nucleus_decomposition(g, 1, 2, algorithm="fnd")
+        assert result.lam[0] == result.lam[4] == 3
+
+    def test_exactly_two_connected_3cores(self):
+        assert sorted(map(tuple, k_core(figure2_graph(), 3))) == [
+            (0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_hierarchy_shape(self):
+        g = figure2_graph()
+        tree = nucleus_decomposition(g, 1, 2, algorithm="lcps").hierarchy.condense()
+        # root -> 1-core -> 2-core -> two 3-cores
+        assert tree.depth() == 3
+        assert len([n for n in tree.nodes if n.k == 3]) == 2
+
+
+class TestFigure3:
+    """The k-dense / k-truss / k-truss-community disagreement."""
+
+    def test_counts_disagree(self):
+        g = figure3_graph()
+        dense_subgraph = k_dense(g, 3)
+        trusses = k_truss(g, 3)
+        communities = truss_communities(g, 3)
+        from repro.graph.components import connected_components
+        dense_components = [c for c in connected_components(dense_subgraph)
+                            if len(c) > 1]
+        assert len(dense_components) == 2  # but returned as ONE subgraph
+        assert len(trusses) == 2
+        assert len(communities) == 3
+
+    def test_bowtie_halves_share_vertex_not_triangle(self):
+        g = bowtie()
+        communities = truss_communities(g, 3)
+        assert len(communities) == 2
+        shared = set.intersection(*[
+            {v for e in c for v in g.edge_index.endpoints(e)}
+            for c in communities])
+        assert shared == {0}
+
+
+class TestFigure4:
+    """Two equal-λ sub-cores joined only through a denser sub-nucleus."""
+
+    def test_three_subcores(self):
+        g = figure4_graph()
+        h = nucleus_decomposition(g, 1, 2, algorithm="dft").hierarchy
+        assert h.num_subnuclei == 3
+
+    def test_single_2core_contains_both(self):
+        g = figure4_graph()
+        cores = k_core(g, 2)
+        assert len(cores) == 1
+        assert cores[0] == [0, 1, 2, 3, 4, 5]
+
+    def test_fnd_matches_dft(self):
+        g = figure4_graph()
+        a = nucleus_decomposition(g, 1, 2, algorithm="dft").hierarchy
+        b = nucleus_decomposition(g, 1, 2, algorithm="fnd").hierarchy
+        assert a.canonical_nuclei() == b.canonical_nuclei()
+
+
+class TestFigure5:
+    """Hierarchy-skeleton with several sub-nuclei per level."""
+
+    def test_three_lambda_levels(self):
+        g = figure5_graph()
+        result = nucleus_decomposition(g, 1, 2, algorithm="fnd")
+        assert sorted(set(result.lam)) == [4, 5, 6]
+
+    def test_tree_branches(self):
+        g = figure5_graph()
+        tree = nucleus_decomposition(g, 1, 2, algorithm="fnd").hierarchy.condense()
+        four_core = [n for n in tree.nodes if n.k == 4]
+        assert len(four_core) == 1
+        assert len(four_core[0].children) == 3  # K7 + two K6s
+
+    def test_k7_is_the_densest_nucleus(self):
+        g = figure5_graph()
+        result = nucleus_decomposition(g, 1, 2, algorithm="fnd")
+        tree = result.hierarchy.condense()
+        deepest = max(tree.nodes, key=lambda n: n.k)
+        assert deepest.k == 6
+        assert result.nucleus_vertices(deepest.id) == set(range(7))
+
+
+class TestHelperGraphs:
+    def test_diamond(self):
+        g = two_triangles_sharing_edge()
+        assert g.n == 4 and g.m == 5
+
+    def test_bowtie(self):
+        g = bowtie()
+        assert g.n == 5 and g.m == 6

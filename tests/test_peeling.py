@@ -1,0 +1,140 @@
+"""Peeling (Set-λ) against networkx, the reference oracle, and invariants."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.analysis.reference import reference_core_numbers, reference_lambda
+from repro.core.peeling import peel
+from repro.core.views import EdgeView, TriangleView, VertexView, build_view
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+
+from conftest import dense_small_graphs, small_graphs, to_networkx
+
+
+class TestCoreNumbers:
+    def test_clique(self, k5):
+        assert peel(VertexView(k5)).lam == [4] * 5
+
+    def test_path(self):
+        g = generators.path_graph(5)
+        assert peel(VertexView(g)).lam == [1] * 5
+
+    def test_cycle(self):
+        g = generators.cycle_graph(6)
+        assert peel(VertexView(g)).lam == [2] * 6
+
+    def test_star(self):
+        g = generators.star(5)
+        assert peel(VertexView(g)).lam == [1] * 6
+
+    def test_isolated_vertices_zero(self):
+        g = Graph(4, [(0, 1)])
+        result = peel(VertexView(g))
+        assert result.lam == [1, 1, 0, 0]
+        assert result.max_lambda == 1
+
+    def test_figure2(self):
+        from repro.examples_graphs import figure2_graph
+        lam = peel(VertexView(figure2_graph())).lam
+        assert lam == [3, 3, 3, 3, 3, 3, 3, 3, 2, 2, 1]
+
+    def test_order_is_valid_degeneracy_order(self):
+        g = generators.powerlaw_cluster(80, 4, 0.5, seed=9)
+        result = peel(VertexView(g))
+        position = {v: i for i, v in enumerate(result.order)}
+        degeneracy = result.max_lambda
+        for v in g.vertices():
+            later = sum(1 for w in g.neighbors(v) if position[w] > position[v])
+            assert later <= degeneracy
+
+
+class TestTrussNumbers:
+    def test_k4(self, k4):
+        assert peel(EdgeView(k4)).lam == [2] * 6
+
+    def test_triangle_free(self, petersen):
+        result = peel(EdgeView(petersen))
+        assert result.lam == [0] * 15
+        assert result.max_lambda == 0
+
+    def test_bowtie(self):
+        from repro.examples_graphs import bowtie
+        assert peel(EdgeView(bowtie())).lam == [1] * 6
+
+    def test_figure1_connector_weaker_than_cliques(self):
+        from repro.examples_graphs import figure1_graph
+        g = figure1_graph()
+        lam = peel(EdgeView(g)).lam
+        assert lam[g.edge_index.id_of(2, 3)] == 2   # K4 edge
+        assert lam[g.edge_index.id_of(2, 4)] == 1   # triangle-chain edge
+
+
+class TestNucleus34:
+    def test_k5(self, k5):
+        assert peel(TriangleView(k5)).lam == [2] * 10
+
+    def test_k4_single(self, k4):
+        assert peel(TriangleView(k4)).lam == [1] * 4
+
+    def test_k6(self):
+        g = generators.complete_graph(6)
+        assert peel(TriangleView(g)).lam == [3] * 20
+
+
+@given(small_graphs(max_n=14))
+@settings(max_examples=80)
+def test_core_numbers_match_networkx(g):
+    ours = peel(VertexView(g)).lam
+    theirs = nx.core_number(to_networkx(g))
+    assert ours == [theirs[v] for v in range(g.n)]
+
+
+@given(small_graphs(max_n=14))
+@settings(max_examples=40)
+def test_core_numbers_match_independent_reference(g):
+    assert peel(VertexView(g)).lam == reference_core_numbers(g)
+
+
+@given(dense_small_graphs(max_n=9))
+@settings(max_examples=30, deadline=None)
+def test_lambda_matches_oracle_all_rs(g):
+    for r, s in ((1, 2), (2, 3), (3, 4)):
+        view = build_view(g, r, s)
+        assert peel(view).lam == reference_lambda(g, view)
+
+
+@given(small_graphs(max_n=10, max_m=24))
+@settings(max_examples=40)
+def test_core_numbers_monotone_under_edge_insertion(g):
+    """Adding an edge never lowers any core number."""
+    before = peel(VertexView(g)).lam
+    missing = [(u, v) for u in range(g.n) for v in range(u + 1, g.n)
+               if not g.has_edge(u, v)]
+    if not missing:
+        return
+    extra = missing[len(missing) // 2]
+    bigger = Graph(g.n, list(g.edges()) + [extra])
+    after = peel(VertexView(bigger)).lam
+    assert all(b >= a for a, b in zip(before, after))
+
+
+@given(small_graphs(max_n=12))
+@settings(max_examples=40)
+def test_lambda_at_most_degree_and_peel_order_monotone(g):
+    result = peel(VertexView(g))
+    assert all(result.lam[v] <= g.degree(v) for v in g.vertices())
+    values = [result.lam[v] for v in result.order]
+    assert values == sorted(values)  # lambda assigned in non-decreasing order
+
+
+@given(dense_small_graphs(max_n=9))
+@settings(max_examples=30)
+def test_truss_lambda_bounded_by_core_lambda(g):
+    """λ₃(e) <= min(λ₂(u), λ₂(v)) - 1 for e=(u,v) (standard bound)."""
+    core = peel(VertexView(g)).lam
+    truss = peel(EdgeView(g)).lam
+    index = g.edge_index
+    for eid in range(len(index)):
+        u, v = index.endpoints(eid)
+        assert truss[eid] <= max(0, min(core[u], core[v]) - 1)

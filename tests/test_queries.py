@@ -1,0 +1,108 @@
+"""HierarchyIndex community-search queries."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.errors import InvalidParameterError
+from repro.examples_graphs import bowtie, figure2_graph
+from repro.graph import generators
+from repro.ktruss.tcp import build_tcp_index
+from repro.queries import HierarchyIndex
+
+from conftest import dense_small_graphs
+
+
+class TestBasics:
+    def test_rejects_hypo(self, k4):
+        result = nucleus_decomposition(k4, 1, 2, algorithm="hypo")
+        with pytest.raises(InvalidParameterError):
+            HierarchyIndex(result)
+
+    def test_max_nucleus_figure2(self):
+        index = HierarchyIndex(
+            nucleus_decomposition(figure2_graph(), 1, 2, algorithm="fnd"))
+        assert sorted(index.max_nucleus(0)) == [0, 1, 2, 3]
+        assert sorted(index.max_nucleus(8)) == list(range(10))
+
+    def test_nucleus_at_level(self):
+        index = HierarchyIndex(
+            nucleus_decomposition(figure2_graph(), 1, 2, algorithm="fnd"))
+        assert sorted(index.nucleus_at(0, 2)) == list(range(10))
+        assert sorted(index.nucleus_at(0, 1)) == list(range(11))
+
+    def test_nucleus_at_too_deep_raises(self):
+        index = HierarchyIndex(
+            nucleus_decomposition(figure2_graph(), 1, 2, algorithm="fnd"))
+        with pytest.raises(InvalidParameterError):
+            index.nucleus_at(10, 3)
+
+
+class TestVertexCommunities:
+    def test_bowtie_center_in_two_triangle_communities(self):
+        g = bowtie()
+        index = HierarchyIndex(nucleus_decomposition(g, 2, 3, algorithm="fnd"))
+        communities = index.communities_of_vertex(0, 1)
+        assert len(communities) == 2
+        assert all(len(c) == 3 for c in communities)
+
+    def test_leaf_vertex_single_community(self):
+        g = bowtie()
+        index = HierarchyIndex(nucleus_decomposition(g, 2, 3, algorithm="fnd"))
+        assert len(index.communities_of_vertex(3, 1)) == 1
+
+    def test_level_zero_gives_everything_reachable(self):
+        g = figure2_graph()
+        index = HierarchyIndex(nucleus_decomposition(g, 1, 2, algorithm="fnd"))
+        communities = index.communities_of_vertex(0, 1)
+        assert len(communities) == 1
+        assert sorted(communities[0]) == list(range(11))
+
+    def test_unknown_vertex_empty(self):
+        g = bowtie()
+        index = HierarchyIndex(nucleus_decomposition(g, 2, 3, algorithm="fnd"))
+        assert index.communities_of_vertex(99, 1) == []
+
+
+class TestProfile:
+    def test_profile_is_nested_and_density_increases_with_k(self):
+        g = generators.planted_hierarchy(2, 2, 8, base_p=0.05,
+                                         level_p_step=0.45, seed=3)
+        index = HierarchyIndex(nucleus_decomposition(g, 1, 2, algorithm="fnd"))
+        profile = index.profile(0)
+        assert profile
+        ks = [level.k for level in profile]
+        assert ks == sorted(ks)
+        sizes = [level.num_vertices for level in profile]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_isolated_vertex_profile_empty(self):
+        from repro.graph.adjacency import Graph
+        g = Graph(3, [(0, 1)])
+        index = HierarchyIndex(nucleus_decomposition(g, 1, 2, algorithm="fnd"))
+        assert index.profile(2) == []
+
+    def test_profile_str(self):
+        index = HierarchyIndex(
+            nucleus_decomposition(figure2_graph(), 1, 2, algorithm="fnd"))
+        text = str(index.profile(0)[-1])
+        assert "k=3" in text and "density" in text
+
+
+@given(dense_small_graphs(max_n=8))
+@settings(max_examples=20, deadline=None)
+def test_queries_match_tcp_index(g):
+    """Hierarchy-based vertex queries == TCP-index queries (k-truss)."""
+    decomposition = nucleus_decomposition(g, 2, 3, algorithm="fnd")
+    index = HierarchyIndex(decomposition)
+    tcp = build_tcp_index(g)
+    edge_index = g.edge_index
+    for v in g.vertices():
+        for truss_k in (3, 4):
+            ours = {frozenset(edge_index.endpoints(e) for e in community)
+                    for community in index.communities_of_vertex(v, truss_k - 2)}
+            # hierarchy query returns nuclei CONTAINING v's cells at level
+            # >= k; keep only those that actually touch v, as TCP does
+            ours = {c for c in ours if any(v in e for e in c)}
+            theirs = {frozenset(c) for c in tcp.communities_of(v, truss_k)}
+            assert ours == theirs

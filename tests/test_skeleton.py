@@ -1,0 +1,58 @@
+"""Skeleton anatomy reports (paper §6 open question)."""
+
+from repro.analysis.skeleton import skeleton_report
+from repro.core.decomposition import nucleus_decomposition
+from repro.examples_graphs import figure4_graph, figure5_graph
+from repro.graph import generators
+
+
+class TestSkeletonReport:
+    def test_figure5_levels(self):
+        h = nucleus_decomposition(figure5_graph(), 1, 2, algorithm="dft").hierarchy
+        report = skeleton_report(h)
+        assert report.max_lambda == 6
+        assert report.num_levels == 3
+        assert [p.lam for p in report.levels] == [6, 5, 4]
+        assert report.level(6).count == 1
+        assert report.level(5).count == 2
+        assert report.level(4).total_cells == 6  # the frame vertices
+
+    def test_figure4_equal_lambda_edges(self):
+        h = nucleus_decomposition(figure4_graph(), 1, 2, algorithm="dft").hierarchy
+        report = skeleton_report(h)
+        # the two single-vertex sub-cores merge: one dashed edge in Fig-5 terms
+        assert report.equal_lambda_edges == 1
+        assert report.cross_lambda_edges == 1  # K4 under a 2-level node
+
+    def test_level_profile_sizes(self):
+        h = nucleus_decomposition(figure4_graph(), 1, 2, algorithm="dft").hierarchy
+        report = skeleton_report(h)
+        level2 = report.level(2)
+        assert level2.count == 2
+        assert level2.largest == 1 and level2.smallest == 1
+        assert level2.mean_size == 1.0
+
+    def test_missing_level_none(self):
+        h = nucleus_decomposition(figure5_graph(), 1, 2, algorithm="dft").hierarchy
+        assert skeleton_report(h).level(99) is None
+
+    def test_fnd_has_at_least_dft_subnuclei(self):
+        g = generators.powerlaw_cluster(150, 5, 0.6, seed=17)
+        dft = nucleus_decomposition(g, 2, 3, algorithm="dft").hierarchy
+        fnd = nucleus_decomposition(g, 2, 3, algorithm="fnd").hierarchy
+        assert skeleton_report(fnd).num_subnuclei >= \
+            skeleton_report(dft).num_subnuclei
+
+    def test_format_renders(self):
+        h = nucleus_decomposition(figure5_graph(), 1, 2, algorithm="dft").hierarchy
+        text = skeleton_report(h).format()
+        assert "sub-nuclei" in text
+        assert "lambda" in text
+
+    def test_counts_are_consistent(self):
+        g = generators.powerlaw_cluster(120, 5, 0.5, seed=3)
+        h = nucleus_decomposition(g, 1, 2, algorithm="dft").hierarchy
+        report = skeleton_report(h)
+        assert sum(p.count for p in report.levels) == report.num_subnuclei
+        assert report.equal_lambda_edges + report.cross_lambda_edges \
+            <= report.num_subnuclei

@@ -1,0 +1,159 @@
+"""Incremental k-core maintenance vs full recomputation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidGraphError
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+from repro.kcore import core_numbers
+from repro.streaming import IncrementalCoreMaintainer
+
+from conftest import small_graphs
+
+
+class TestBasics:
+    def test_from_graph(self):
+        g = generators.complete_graph(4)
+        maintainer = IncrementalCoreMaintainer(g)
+        assert maintainer.core_numbers() == [3, 3, 3, 3]
+        assert maintainer.m == 6
+
+    def test_empty_start(self):
+        maintainer = IncrementalCoreMaintainer(n=3)
+        assert maintainer.core_numbers() == [0, 0, 0]
+
+    def test_add_vertex(self):
+        maintainer = IncrementalCoreMaintainer(n=1)
+        new = maintainer.add_vertex()
+        assert new == 1
+        assert maintainer.core_numbers() == [0, 0]
+
+    def test_snapshot_round_trip(self):
+        g = generators.cycle_graph(5)
+        maintainer = IncrementalCoreMaintainer(g)
+        assert maintainer.snapshot() == g
+
+    def test_self_loop_rejected(self):
+        maintainer = IncrementalCoreMaintainer(n=2)
+        with pytest.raises(InvalidGraphError):
+            maintainer.insert_edge(1, 1)
+
+    def test_missing_edge_removal_rejected(self):
+        maintainer = IncrementalCoreMaintainer(n=2)
+        with pytest.raises(InvalidGraphError):
+            maintainer.remove_edge(0, 1)
+
+    def test_duplicate_insert_is_noop(self):
+        maintainer = IncrementalCoreMaintainer(n=2)
+        assert maintainer.insert_edge(0, 1) == [0, 1]  # both go 0 -> 1
+        assert maintainer.insert_edge(0, 1) == []
+
+
+class TestSingleUpdates:
+    def test_closing_a_triangle(self):
+        maintainer = IncrementalCoreMaintainer(Graph(3, [(0, 1), (1, 2)]))
+        assert maintainer.core_numbers() == [1, 1, 1]
+        gained = maintainer.insert_edge(0, 2)
+        assert gained == [0, 1, 2]
+        assert maintainer.core_numbers() == [2, 2, 2]
+
+    def test_breaking_a_triangle(self):
+        maintainer = IncrementalCoreMaintainer(generators.cycle_graph(3))
+        dropped = maintainer.remove_edge(0, 1)
+        assert dropped == [0, 1, 2]
+        assert maintainer.core_numbers() == [1, 1, 1]
+
+    def test_pendant_attach_only_lifts_the_pendant(self):
+        g = generators.complete_graph(4)
+        maintainer = IncrementalCoreMaintainer(g)
+        maintainer.add_vertex()
+        assert maintainer.insert_edge(0, 4) == [4]  # 0 -> 1, clique untouched
+        assert maintainer.core_numbers() == [3, 3, 3, 3, 1]
+
+    def test_insertion_bounded_by_one(self):
+        g = generators.powerlaw_cluster(60, 4, 0.5, seed=5)
+        maintainer = IncrementalCoreMaintainer(g)
+        before = maintainer.core_numbers()
+        missing = next((u, v) for u in range(g.n) for v in range(u + 1, g.n)
+                       if not g.has_edge(u, v))
+        maintainer.insert_edge(*missing)
+        after = maintainer.core_numbers()
+        assert all(b <= a <= b + 1 for b, a in zip(before, after))
+
+    def test_subcore_is_equal_lambda_component(self):
+        from repro.examples_graphs import figure4_graph
+        maintainer = IncrementalCoreMaintainer(figure4_graph())
+        assert sorted(maintainer.subcore(0)) == [0, 1, 2, 3]  # the K4
+        assert maintainer.subcore(4) == [4]  # lone sub-core vertex
+
+
+class TestAgainstRecompute:
+    def test_insert_remove_cycle_restores(self):
+        g = generators.powerlaw_cluster(50, 4, 0.6, seed=9)
+        maintainer = IncrementalCoreMaintainer(g)
+        baseline = maintainer.core_numbers()
+        missing = [(u, v) for u in range(g.n) for v in range(u + 1, g.n)
+                   if not g.has_edge(u, v)][:20]
+        for u, v in missing:
+            maintainer.insert_edge(u, v)
+        for u, v in reversed(missing):
+            maintainer.remove_edge(u, v)
+        assert maintainer.core_numbers() == baseline
+
+    def test_growing_a_clique(self):
+        maintainer = IncrementalCoreMaintainer(n=6)
+        for u in range(6):
+            for v in range(u + 1, 6):
+                maintainer.insert_edge(u, v)
+                fresh = core_numbers(maintainer.snapshot())
+                assert maintainer.core_numbers() == fresh
+
+    def test_dismantling_a_clique(self):
+        maintainer = IncrementalCoreMaintainer(generators.complete_graph(6))
+        for u in range(6):
+            for v in range(u + 1, 6):
+                maintainer.remove_edge(u, v)
+                fresh = core_numbers(maintainer.snapshot())
+                assert maintainer.core_numbers() == fresh
+
+
+@given(small_graphs(max_n=10, max_m=25),
+       st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_random_insertions_match_recompute(g, raw_edges):
+    maintainer = IncrementalCoreMaintainer(g)
+    for raw_u, raw_v in raw_edges:
+        u, v = raw_u % g.n, raw_v % g.n
+        if u == v or maintainer.has_edge(u, v):
+            continue
+        maintainer.insert_edge(u, v)
+        assert maintainer.core_numbers() == core_numbers(maintainer.snapshot())
+
+
+@given(small_graphs(max_n=10, max_m=30), st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_removals_match_recompute(g, data):
+    maintainer = IncrementalCoreMaintainer(g)
+    edges = list(g.edges())
+    removals = data.draw(st.lists(st.sampled_from(edges), unique=True,
+                                  max_size=10)) if edges else []
+    for u, v in removals:
+        maintainer.remove_edge(u, v)
+        assert maintainer.core_numbers() == core_numbers(maintainer.snapshot())
+
+
+@given(small_graphs(max_n=9, max_m=20), st.data())
+@settings(max_examples=40, deadline=None)
+def test_mixed_stream_matches_recompute(g, data):
+    maintainer = IncrementalCoreMaintainer(g)
+    for _ in range(data.draw(st.integers(0, 12))):
+        u = data.draw(st.integers(0, g.n - 1))
+        v = data.draw(st.integers(0, g.n - 1))
+        if u == v:
+            continue
+        if maintainer.has_edge(u, v):
+            maintainer.remove_edge(u, v)
+        else:
+            maintainer.insert_edge(u, v)
+        assert maintainer.core_numbers() == core_numbers(maintainer.snapshot())

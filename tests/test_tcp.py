@@ -1,0 +1,90 @@
+"""TCP index: spanning-forest structure and community queries."""
+
+from hypothesis import given, settings
+
+from repro.core.decomposition import nucleus_decomposition
+from repro.graph import generators
+from repro.ktruss.tcp import build_tcp_index
+from repro.ktruss.truss import truss_communities, truss_numbers
+
+from conftest import dense_small_graphs
+
+
+class TestConstruction:
+    def test_k4_forest(self, k4):
+        index = build_tcp_index(k4)
+        # ego network of each K4 vertex is a triangle: spanning tree has 2 edges
+        for x in range(4):
+            edges = sum(len(v) for v in index.forest[x].values()) // 2
+            assert edges == 2
+
+    def test_triangle_free_graph_empty_forests(self, petersen):
+        index = build_tcp_index(petersen)
+        assert index.tree_edge_count() == 0
+
+    def test_precomputed_trussness_accepted(self, k4):
+        tau = truss_numbers(k4, convention="truss")
+        index = build_tcp_index(k4, trussness=tau)
+        assert index.trussness == tau
+
+    def test_forest_never_exceeds_ego_size(self, social):
+        index = build_tcp_index(social)
+        for x in social.vertices():
+            tree_edges = sum(len(v) for v in index.forest[x].values()) // 2
+            assert tree_edges <= max(0, social.degree(x) - 1)
+
+
+class TestReachability:
+    def test_k4_reaches_whole_ego(self, k4):
+        index = build_tcp_index(k4)
+        assert sorted(index.reachable(0, 1, 2)) == [1, 2, 3]
+
+    def test_threshold_cuts(self, k4):
+        index = build_tcp_index(k4)
+        # K4 trussness is 4 everywhere; threshold 5 blocks traversal
+        assert index.reachable(0, 1, 5) == [1]
+
+    def test_missing_vertex(self, k4):
+        # vertex 1 is a neighbour but threshold above everything
+        assert build_tcp_index(k4).reachable(0, 1, 99) == [1]
+
+
+class TestQueries:
+    def test_bowtie_two_communities_at_center(self):
+        from repro.examples_graphs import bowtie
+        g = bowtie()
+        index = build_tcp_index(g)
+        communities = index.communities_of(0, 3)
+        assert len(communities) == 2
+        sizes = sorted(len(c) for c in communities)
+        assert sizes == [3, 3]
+
+    def test_leaf_vertex_single_community(self):
+        from repro.examples_graphs import bowtie
+        g = bowtie()
+        index = build_tcp_index(g)
+        communities = index.communities_of(1, 3)
+        assert len(communities) == 1
+        assert communities[0] == {(0, 1), (0, 2), (1, 2)}
+
+    def test_no_communities_above_max(self, k4):
+        index = build_tcp_index(k4)
+        assert index.communities_of(0, 5) == []
+
+
+@given(dense_small_graphs(max_n=9))
+@settings(max_examples=30, deadline=None)
+def test_queries_match_nucleus_decomposition(g):
+    """TCP answers = the (k-2)-(2,3) nuclei containing the query vertex."""
+    index = build_tcp_index(g)
+    decomposition = nucleus_decomposition(g, 2, 3, algorithm="fnd")
+    for k in (3, 4):
+        expected_all = truss_communities(g, k, decomposition=decomposition)
+        expected_sets = [
+            {g.edge_index.endpoints(e) for e in community}
+            for community in expected_all]
+        for v in g.vertices():
+            got = index.communities_of(v, k)
+            relevant = [c for c in expected_sets
+                        if any(v in edge for edge in c)]
+            assert sorted(map(sorted, got)) == sorted(map(sorted, relevant))

@@ -1,0 +1,98 @@
+"""Temporal (k, h)-cores."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidGraphError
+from repro.kcore import core_numbers
+from repro.kcore.temporal import (
+    interaction_counts,
+    temporal_core_numbers,
+    temporal_core_profile,
+    temporal_k_core,
+    threshold_graph,
+)
+
+from conftest import small_graphs
+
+
+def triangle_events():
+    """A triangle talked through at different intensities."""
+    return ([(0, 1, t) for t in range(5)] +      # 5 interactions
+            [(1, 2, t) for t in range(3)] +      # 3
+            [(0, 2, t) for t in range(1)])       # 1
+
+
+class TestInteractionCounts:
+    def test_counts(self):
+        counts = interaction_counts(triangle_events())
+        assert counts == {(0, 1): 5, (1, 2): 3, (0, 2): 1}
+
+    def test_orientation_merged(self):
+        assert interaction_counts([(1, 0, 0), (0, 1, 1)]) == {(0, 1): 2}
+
+    def test_self_interactions_dropped(self):
+        assert interaction_counts([(2, 2, 0)]) == {}
+
+
+class TestThresholdGraph:
+    def test_h1_keeps_all(self):
+        g = threshold_graph(3, triangle_events(), 1)
+        assert g.m == 3
+
+    def test_h2_drops_weak_edge(self):
+        g = threshold_graph(3, triangle_events(), 2)
+        assert g.m == 2
+        assert not g.has_edge(0, 2)
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidGraphError):
+            threshold_graph(3, [], 0)
+
+
+class TestTemporalCores:
+    def test_h1_is_static_core(self):
+        lam = temporal_core_numbers(3, triangle_events(), h=1)
+        assert lam == [2, 2, 2]
+
+    def test_h2_breaks_triangle(self):
+        lam = temporal_core_numbers(3, triangle_events(), h=2)
+        assert lam == [1, 1, 1]  # a path remains
+
+    def test_h_above_everything(self):
+        lam = temporal_core_numbers(3, triangle_events(), h=6)
+        assert lam == [0, 0, 0]
+
+    def test_connected_temporal_cores(self):
+        events = triangle_events() + [(3, 4, 0), (3, 4, 1),
+                                      (4, 5, 0), (4, 5, 1), (3, 5, 0), (3, 5, 1)]
+        cores = temporal_k_core(6, events, k=2, h=1)
+        assert cores == [[0, 1, 2], [3, 4, 5]]
+        assert temporal_k_core(6, events, k=2, h=2) == [[3, 4, 5]]
+
+
+class TestProfile:
+    def test_profile_levels(self):
+        profile = temporal_core_profile(3, triangle_events())
+        assert sorted(profile) == [1, 2, 3, 4, 5]
+        assert profile[1] == [2, 2, 2]
+        assert profile[5] == [1, 1, 0]
+
+    def test_empty_events(self):
+        assert temporal_core_profile(4, []) == {1: [0, 0, 0, 0]}
+
+    def test_profile_monotone_in_h(self):
+        profile = temporal_core_profile(3, triangle_events())
+        hs = sorted(profile)
+        for h_low, h_high in zip(hs, hs[1:]):
+            assert all(a >= b for a, b in zip(profile[h_low], profile[h_high]))
+
+
+@given(small_graphs(max_n=10), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_replicated_events_shift_threshold(g, copies):
+    """Each edge repeated `copies` times: h <= copies gives the static core."""
+    events = [(u, v, t) for u, v in g.edges() for t in range(copies)]
+    lam = temporal_core_numbers(g.n, events, h=copies)
+    assert lam == core_numbers(g)
+    assert temporal_core_numbers(g.n, events, h=copies + 1) == [0] * g.n

@@ -1,0 +1,150 @@
+"""k-truss variants: the Figure 3 semantics, plus brute-force validation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.examples_graphs import figure3_graph
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+from repro.ktruss import (
+    k_dense,
+    k_dense_edges,
+    k_truss,
+    max_trussness,
+    truss_communities,
+    truss_hierarchy,
+    truss_numbers,
+)
+
+from conftest import dense_small_graphs
+
+
+def brute_force_k_dense(g: Graph, k: int) -> set[tuple[int, int]]:
+    """Iteratively delete edges with < k-2 triangles until stable."""
+    edges = set(g.edges())
+    changed = True
+    while changed:
+        changed = False
+        adjacency: dict[int, set[int]] = {}
+        for u, v in edges:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        for u, v in list(edges):
+            common = adjacency.get(u, set()) & adjacency.get(v, set())
+            if len(common) < k - 2:
+                edges.discard((u, v))
+                changed = True
+    return edges
+
+
+class TestTrussNumbers:
+    def test_conventions_differ_by_two(self, k4):
+        nucleus = truss_numbers(k4, convention="nucleus")
+        truss = truss_numbers(k4, convention="truss")
+        assert [t - n for t, n in zip(truss, nucleus)] == [2] * 6
+
+    def test_bad_convention(self, k4):
+        with pytest.raises(InvalidParameterError):
+            truss_numbers(k4, convention="weird")
+
+    def test_max_trussness_triangle_free(self, petersen):
+        assert max_trussness(petersen) == 2
+
+    def test_max_trussness_k5(self, k5):
+        assert max_trussness(k5) == 5  # K5 is a 5-truss
+
+
+class TestFigure3Semantics:
+    """The k-dense / k-truss / k-truss-community distinction, executable."""
+
+    def test_k_dense_is_one_disconnected_subgraph(self):
+        g = figure3_graph()
+        dense = k_dense(g, 3)
+        assert dense.m == 9  # bowtie (6 edges) + triangle (3); edge 8-9 dropped
+        assert not dense.has_edge(8, 9)
+
+    def test_k_truss_splits_by_vertex_connectivity(self):
+        g = figure3_graph()
+        trusses = k_truss(g, 3)
+        assert len(trusses) == 2  # bowtie stays whole, triangle separate
+        sizes = sorted(len(t) for t in trusses)
+        assert sizes == [3, 6]
+
+    def test_truss_communities_split_bowtie(self):
+        g = figure3_graph()
+        communities = truss_communities(g, 3)
+        assert len(communities) == 3  # bowtie halves + triangle
+        assert all(len(c) == 3 for c in communities)
+
+    def test_every_edge_trivially_2dense(self):
+        g = figure3_graph()
+        assert len(k_dense_edges(g, 2)) == g.m
+
+
+class TestTrussCommunities:
+    def test_k4s_sharing_edge_joined(self):
+        # two K4s glued along edge (2,3): the shared edge triangle-connects
+        # them, so they form ONE 4-truss community
+        g = Graph.from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (2, 4), (2, 5), (3, 4), (3, 5), (4, 5)])
+        communities = truss_communities(g, 4)  # >= 2 triangles per edge
+        assert len(communities) == 1
+        verts = {v for c in communities[0]
+                 for v in g.edge_index.endpoints(c)}
+        assert verts == {0, 1, 2, 3, 4, 5}
+
+    def test_decomposition_reuse(self):
+        g = figure3_graph()
+        decomposition = truss_hierarchy(g)
+        a = truss_communities(g, 3, decomposition=decomposition)
+        b = truss_communities(g, 3)
+        assert sorted(map(tuple, a)) == sorted(map(tuple, b))
+
+    def test_nested_thresholds(self):
+        g = generators.powerlaw_cluster(80, 6, 0.7, seed=21)
+        decomposition = truss_hierarchy(g)
+        communities_k4 = truss_communities(g, 4, decomposition=decomposition)
+        communities_k5 = truss_communities(g, 5, decomposition=decomposition)
+        for high in communities_k5:
+            assert any(set(high) <= set(low) for low in communities_k4)
+
+
+class TestTrussHierarchy:
+    def test_algorithms_agree(self):
+        g = generators.powerlaw_cluster(60, 5, 0.7, seed=2)
+        fams = {a: truss_hierarchy(g, algorithm=a).hierarchy.canonical_nuclei()
+                for a in ("naive", "dft", "fnd")}
+        assert fams["naive"] == fams["dft"] == fams["fnd"]
+
+
+@given(dense_small_graphs(max_n=9))
+@settings(max_examples=40, deadline=None)
+def test_k_dense_matches_brute_force(g):
+    for k in (3, 4, 5):
+        expected = brute_force_k_dense(g, k)
+        got = {g.edge_index.endpoints(e) for e in k_dense_edges(g, k)}
+        assert got == expected
+
+
+@given(dense_small_graphs(max_n=9))
+@settings(max_examples=30, deadline=None)
+def test_k_truss_components_cover_k_dense(g):
+    for k in (3, 4):
+        dense_ids = set(k_dense_edges(g, k))
+        trusses = k_truss(g, k)
+        covered = {e for t in trusses for e in t}
+        assert covered == dense_ids
+
+
+@given(dense_small_graphs(max_n=9))
+@settings(max_examples=30, deadline=None)
+def test_communities_refine_trusses(g):
+    """Every k-truss community is contained in exactly one k-truss."""
+    decomposition = truss_hierarchy(g)
+    for k in (3, 4):
+        trusses = [set(t) for t in k_truss(g, k)]
+        for community in truss_communities(g, k, decomposition=decomposition):
+            containers = [t for t in trusses if set(community) <= t]
+            assert len(containers) == 1

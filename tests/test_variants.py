@@ -1,0 +1,120 @@
+"""Weighted and directed core variants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidGraphError, InvalidParameterError
+from repro.graph import generators
+from repro.graph.adjacency import Graph
+from repro.kcore import core_numbers
+from repro.kcore.variants import (
+    directed_core_numbers,
+    weighted_core_numbers,
+    weighted_k_core,
+)
+
+from conftest import small_graphs
+
+
+class TestWeightedCores:
+    def test_unit_weights_match_unweighted(self, social):
+        weights = [1.0] * social.m
+        weighted = weighted_core_numbers(social, weights)
+        assert weighted == [float(x) for x in core_numbers(social)]
+
+    def test_scaling_weights_scales_lambda(self, k4):
+        ones = weighted_core_numbers(k4, [1.0] * 6)
+        doubled = weighted_core_numbers(k4, [2.0] * 6)
+        assert doubled == [2 * x for x in ones]
+
+    def test_weight_dict_either_orientation(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        by_pair = {(1, 0): 3.0, (1, 2): 1.0}
+        lam = weighted_core_numbers(g, by_pair)
+        assert lam[0] == 3.0
+
+    def test_missing_weight_raises(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        with pytest.raises(InvalidParameterError):
+            weighted_core_numbers(g, {(0, 1): 1.0})
+
+    def test_wrong_length_raises(self, k4):
+        with pytest.raises(InvalidParameterError):
+            weighted_core_numbers(k4, [1.0])
+
+    def test_negative_weight_raises(self, k4):
+        with pytest.raises(InvalidParameterError):
+            weighted_core_numbers(k4, [-1.0] * 6)
+
+    def test_heavy_block_separates(self):
+        # two triangles, one with heavy edges: only it survives threshold 4
+        g = Graph(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        weights = {(0, 1): 5.0, (0, 2): 5.0, (1, 2): 5.0,
+                   (3, 4): 1.0, (3, 5): 1.0, (4, 5): 1.0}
+        cores = weighted_k_core(g, 4.0, weights)
+        assert cores == [[0, 1, 2]]
+
+    def test_connected_weighted_cores_split(self):
+        # figure-2 style: two heavy triangles joined by a light path
+        g = Graph(7, [(0, 1), (0, 2), (1, 2), (4, 5), (4, 6), (5, 6),
+                      (2, 3), (3, 4)])
+        weights = {e: (5.0 if e in {(0, 1), (0, 2), (1, 2),
+                                    (4, 5), (4, 6), (5, 6)} else 0.5)
+                   for e in g.edges()}
+        cores = weighted_k_core(g, 6.0, weights)
+        assert cores == [[0, 1, 2], [4, 5, 6]]
+
+
+class TestDirectedCores:
+    def test_directed_cycle(self):
+        arcs = [(0, 1), (1, 2), (2, 0)]
+        in_core, out_core = directed_core_numbers(3, arcs)
+        assert in_core == [1, 1, 1]
+        assert out_core == [1, 1, 1]
+
+    def test_acyclic_graph_all_zero(self):
+        # a DAG has no subgraph with min in-degree >= 1: peeling cascades
+        arcs = [(0, i) for i in range(1, 5)]
+        in_core, out_core = directed_core_numbers(5, arcs)
+        assert in_core == [0] * 5
+        assert out_core == [0] * 5
+
+    def test_self_loops_ignored(self):
+        in_core, out_core = directed_core_numbers(2, [(0, 0), (0, 1)])
+        assert in_core == [0, 0]  # the lone arc unravels once 0 is peeled
+
+    def test_cycle_with_tail(self):
+        arcs = [(0, 1), (1, 2), (2, 0), (2, 3)]
+        in_core, out_core = directed_core_numbers(4, arcs)
+        # the tail vertex is fed by the cycle, so it has in-core 1 —
+        # but it feeds nothing, so its out-core is 0
+        assert in_core == [1, 1, 1, 1]
+        assert out_core == [1, 1, 1, 0]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(InvalidGraphError):
+            directed_core_numbers(2, [(0, 5)])
+
+    def test_complete_bidirected_matches_undirected(self, k4):
+        arcs = [(u, v) for u, v in k4.edges()] + \
+               [(v, u) for u, v in k4.edges()]
+        in_core, out_core = directed_core_numbers(4, arcs)
+        assert in_core == [3, 3, 3, 3]
+        assert out_core == [3, 3, 3, 3]
+
+
+@given(small_graphs(max_n=10))
+@settings(max_examples=40, deadline=None)
+def test_unit_weighted_equals_unweighted_random(g):
+    weighted = weighted_core_numbers(g, [1.0] * g.m)
+    assert weighted == [float(x) for x in core_numbers(g)]
+
+
+@given(small_graphs(max_n=10))
+@settings(max_examples=30, deadline=None)
+def test_bidirected_equals_undirected_random(g):
+    arcs = [(u, v) for u, v in g.edges()] + [(v, u) for u, v in g.edges()]
+    in_core, out_core = directed_core_numbers(g.n, arcs)
+    expected = core_numbers(g)
+    assert in_core == expected
+    assert out_core == expected
