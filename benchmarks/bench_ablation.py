@@ -15,7 +15,6 @@ against the obvious alternative:
 
 import pytest
 
-from repro.core.decomposition import nucleus_decomposition
 from repro.core.dft import dft_hierarchy
 from repro.core.fnd import fnd_decomposition
 from repro.core.peeling import peel

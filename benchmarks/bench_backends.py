@@ -1,0 +1,161 @@
+"""Object vs CSR engine on the peel hot paths.
+
+Two modes:
+
+* **pytest-benchmark** (``pytest benchmarks/bench_backends.py``): one
+  benchmark per (workload, backend) pair on the paper's stand-in datasets.
+* **standalone smoke** (``python benchmarks/bench_backends.py [--quick]
+  [--json OUT]``): times both backends on generator graphs, asserts the λ
+  arrays are identical, prints the speedups and optionally writes the JSON
+  consumed by ``check_regression.py``.
+
+The smoke run also times a fixed pure-Python *calibration* loop so results
+recorded on one machine can be rescaled on another (see
+``check_regression.py``).  Workload timing covers the full peel phase —
+initial clique-degree counting plus the peel loop — exactly what
+``nucleus_decomposition`` charges to ``peel_seconds``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+try:
+    from repro.backends import BACKENDS, as_backend, core_peel, truss_peel
+except ImportError:  # clean checkout, package not installed: use the src tree
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.backends import BACKENDS, as_backend, core_peel, truss_peel
+from repro.graph import generators
+
+from conftest import run_once
+
+#: (name, peel function, generator args) — sizes tuned so the object
+#: backend takes O(100ms), enough to dwarf timer noise in one round
+SMOKE_WORKLOADS = {
+    "quick": {
+        "kcore": (core_peel, dict(n=20000, m=8, p=0.5, seed=7)),
+        "truss23": (truss_peel, dict(n=6000, m=10, p=0.6, seed=11)),
+    },
+    "full": {
+        "kcore": (core_peel, dict(n=60000, m=8, p=0.5, seed=7)),
+        "truss23": (truss_peel, dict(n=16000, m=10, p=0.6, seed=11)),
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark mode
+# ---------------------------------------------------------------------------
+@pytest.mark.benchmark(group="backends-kcore-peel")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kcore_peel_backends(benchmark, dataset, backend):
+    graph = as_backend(dataset, backend)  # conversion not charged to the peel
+    result = run_once(benchmark, core_peel, graph, backend=backend)
+    benchmark.extra_info["dataset"] = dataset.name
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["max_lambda"] = result.max_lambda
+
+
+@pytest.mark.benchmark(group="backends-truss23-peel")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_truss23_peel_backends(benchmark, dataset, backend):
+    graph = as_backend(dataset, backend)
+    result = run_once(benchmark, truss_peel, graph, backend=backend)
+    benchmark.extra_info["dataset"] = dataset.name
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["max_lambda"] = result.max_lambda
+
+
+# ---------------------------------------------------------------------------
+# standalone smoke mode
+# ---------------------------------------------------------------------------
+def calibration_seconds() -> float:
+    """Time a fixed pure-Python list workload (machine-speed yardstick)."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        data = list(range(200000))
+        for value in data:
+            if value & 1:
+                acc += value
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _best_of(repeats: int, func, *args, **kwargs) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_smoke(mode: str = "quick", repeats: int = 3) -> dict:
+    """Time every smoke workload on both backends; λ must match exactly."""
+    results: dict = {
+        "mode": mode,
+        "calibration_seconds": calibration_seconds(),
+        "workloads": {},
+    }
+    for name, (peel_func, spec) in SMOKE_WORKLOADS[mode].items():
+        graph = generators.powerlaw_cluster(
+            spec["n"], spec["m"], spec["p"], seed=spec["seed"],
+            name=f"{name}-smoke")
+        csr = as_backend(graph, "csr")
+        csr.hot_arrays()  # structure build is not part of the peel
+        _ = graph.edge_index
+        obj_seconds, obj_result = _best_of(repeats, peel_func, graph,
+                                           backend="object")
+        csr_seconds, csr_result = _best_of(repeats, peel_func, csr,
+                                           backend="csr")
+        if obj_result.lam != csr_result.lam:
+            raise AssertionError(
+                f"{name}: backends disagree on lambda — CSR engine is broken")
+        results["workloads"][name] = {
+            "n": graph.n,
+            "m": graph.m,
+            "max_lambda": obj_result.max_lambda,
+            "object_seconds": round(obj_seconds, 6),
+            "csr_seconds": round(csr_seconds, 6),
+            "speedup": round(obj_seconds / csr_seconds, 3),
+        }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="object vs CSR backend peel comparison")
+    parser.add_argument("--quick", action="store_true",
+                        help="small graphs (the CI smoke configuration)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the results as JSON")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    results = run_smoke("quick" if args.quick else "full",
+                        repeats=args.repeats)
+    print(f"calibration: {results['calibration_seconds'] * 1000:.1f} ms")
+    for name, row in results["workloads"].items():
+        print(f"{name:8s} n={row['n']:>6} m={row['m']:>7}  "
+              f"object {row['object_seconds']:.3f}s  "
+              f"csr {row['csr_seconds']:.3f}s  "
+              f"speedup {row['speedup']:.2f}x  (identical lambda)")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,9 @@ Regenerate the formatted table with::
 
 import pytest
 
-from repro.core.decomposition import nucleus_decomposition
+from repro.backends import decompose
 
-from conftest import run_once
+from conftest import BENCH_BACKEND, run_once
 
 ALGORITHMS = ("naive", "dft", "fnd", "lcps", "hypo")
 
@@ -21,9 +21,10 @@ ALGORITHMS = ("naive", "dft", "fnd", "lcps", "hypo")
 @pytest.mark.benchmark(group="table4-kcore")
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_kcore_hierarchy(benchmark, dataset, algorithm):
-    result = run_once(benchmark, nucleus_decomposition, dataset, 1, 2,
-                      algorithm=algorithm)
+    result = run_once(benchmark, decompose, dataset, 1, 2,
+                      algorithm=algorithm, backend=BENCH_BACKEND)
     benchmark.extra_info["dataset"] = dataset.name
+    benchmark.extra_info["backend"] = BENCH_BACKEND
     benchmark.extra_info["max_lambda"] = result.max_lambda
     benchmark.extra_info["peel_seconds"] = round(result.peel_seconds, 6)
     benchmark.extra_info["post_seconds"] = round(result.post_seconds, 6)

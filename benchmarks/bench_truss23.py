@@ -14,10 +14,10 @@ Regenerate the formatted table with::
 
 import pytest
 
-from repro.core.decomposition import nucleus_decomposition
+from repro.backends import decompose
 from repro.ktruss.tcp import build_tcp_index
 
-from conftest import run_once
+from conftest import BENCH_BACKEND, run_once
 
 ALGORITHMS = ("naive", "dft", "fnd", "hypo")
 
@@ -25,9 +25,10 @@ ALGORITHMS = ("naive", "dft", "fnd", "hypo")
 @pytest.mark.benchmark(group="table5-truss23")
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_truss23_hierarchy(benchmark, dataset, algorithm):
-    result = run_once(benchmark, nucleus_decomposition, dataset, 2, 3,
-                      algorithm=algorithm)
+    result = run_once(benchmark, decompose, dataset, 2, 3,
+                      algorithm=algorithm, backend=BENCH_BACKEND)
     benchmark.extra_info["dataset"] = dataset.name
+    benchmark.extra_info["backend"] = BENCH_BACKEND
     benchmark.extra_info["max_lambda"] = result.max_lambda
     benchmark.extra_info["peel_seconds"] = round(result.peel_seconds, 6)
     benchmark.extra_info["post_seconds"] = round(result.post_seconds, 6)

@@ -1,0 +1,110 @@
+"""Benchmark regression gate for the peel hot path.
+
+Runs the quick backend smoke (``bench_backends.run_smoke``) and compares it
+against the committed ``BENCH_baseline.json``.  CI machines differ in raw
+speed, so times are first rescaled by the ratio of the two runs' pure-Python
+calibration loops; the gate then fails when
+
+* the CSR peel of any workload is more than ``--threshold`` (default 1.5x)
+  slower than the rescaled baseline, or
+* the CSR backend has lost its edge over the object backend (speedup below
+  ``--min-speedup``, default 1.5x — the committed baseline records ~2.5x).
+
+λ parity between the backends is asserted inside the smoke run itself.
+
+Usage::
+
+    python benchmarks/check_regression.py             # gate against baseline
+    python benchmarks/check_regression.py --update    # refresh the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from bench_backends import run_smoke
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: calibration ratios outside this band mean the machines are too different
+#: for absolute-time comparison to be meaningful; the gate then only checks
+#: the object-vs-CSR speedup, which is machine-independent.
+_SCALE_BAND = (0.2, 5.0)
+
+
+def check(fresh: dict, baseline: dict, threshold: float,
+          min_speedup: float) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    scale = fresh["calibration_seconds"] / baseline["calibration_seconds"]
+    comparable = _SCALE_BAND[0] <= scale <= _SCALE_BAND[1]
+    if not comparable:
+        print(f"note: calibration ratio {scale:.2f} outside {_SCALE_BAND}; "
+              f"skipping absolute-time comparison")
+    for name, base_row in baseline["workloads"].items():
+        row = fresh["workloads"].get(name)
+        if row is None:
+            failures.append(f"{name}: workload missing from fresh run")
+            continue
+        if comparable:
+            budget = base_row["csr_seconds"] * scale * threshold
+            if row["csr_seconds"] > budget:
+                failures.append(
+                    f"{name}: CSR peel took {row['csr_seconds']:.3f}s, over "
+                    f"budget {budget:.3f}s ({threshold}x rescaled baseline "
+                    f"{base_row['csr_seconds']:.3f}s, scale {scale:.2f})")
+        if row["speedup"] < min_speedup:
+            failures.append(
+                f"{name}: CSR speedup {row['speedup']:.2f}x fell below "
+                f"{min_speedup}x (baseline recorded {base_row['speedup']:.2f}x)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a fresh benchmark smoke run against the "
+                    "committed baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="write a fresh baseline instead of checking")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="max allowed slowdown of the CSR peel vs the "
+                             "rescaled baseline (default 1.5)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="min required CSR-over-object speedup "
+                             "(default 1.5)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    args = parser.parse_args(argv)
+
+    fresh = run_smoke("quick")
+    for name, row in fresh["workloads"].items():
+        print(f"{name:8s} object {row['object_seconds']:.3f}s  "
+              f"csr {row['csr_seconds']:.3f}s  speedup {row['speedup']:.2f}x")
+
+    if args.update:
+        with open(args.baseline, "w") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; run with --update",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    failures = check(fresh, baseline, args.threshold, args.min_speedup)
+    if failures:
+        for message in failures:
+            print(f"REGRESSION: {message}", file=sys.stderr)
+        return 1
+    print("benchmark regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,9 @@
 Datasets are the synthetic stand-ins from :mod:`repro.graph.datasets`
 (DESIGN.md §4 documents the substitution).  Size is controlled by the
 ``REPRO_BENCH_SIZE`` environment variable: ``tiny`` | ``small`` (default) |
-``medium``.  Graphs are built once per session and shared — every algorithm
-is measured on the identical object, as in the paper.
+``medium``; the graph engine by ``REPRO_BENCH_BACKEND``: ``object``
+(default) | ``csr``.  Graphs are built once per session and shared — every
+algorithm is measured on the identical object, as in the paper.
 """
 
 from __future__ import annotations
@@ -16,6 +17,10 @@ import pytest
 from repro.graph.datasets import dataset_names, load_dataset
 
 BENCH_SIZE = os.environ.get("REPRO_BENCH_SIZE", "small")
+
+#: graph engine the decomposition benchmarks run on: ``object`` | ``csr``
+#: (see repro.backends; same λ either way, different constants)
+BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "object")
 
 #: datasets ordered as in the paper's tables
 ALL_DATASETS = dataset_names()

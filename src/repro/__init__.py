@@ -56,6 +56,7 @@ from repro.errors import (
     UnknownDatasetError,
 )
 from repro.graph import (
+    CSRGraph,
     Graph,
     connected_components,
     load_edge_list,
@@ -63,6 +64,8 @@ from repro.graph import (
     save_edge_list,
 )
 from repro.graph import generators
+from repro import backends
+from repro.backends import BACKENDS
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.kcore import (
     core_hierarchy,
@@ -87,6 +90,9 @@ __all__ = [
     "__version__",
     # graph substrate
     "Graph",
+    "CSRGraph",
+    "backends",
+    "BACKENDS",
     "generators",
     "connected_components",
     "load_edge_list",

@@ -1,0 +1,129 @@
+"""Backend dispatch: run any decomposition on either graph representation.
+
+Two backends implement the peeling engine:
+
+* ``"object"`` — :class:`~repro.graph.adjacency.Graph`, per-vertex
+  ``set``/``list`` adjacency.  Flexible, allocation-heavy.
+* ``"csr"`` — :class:`~repro.graph.csr.CSRGraph`, flat ``indptr`` /
+  ``indices`` / edge-id arrays with direct peels
+  (:mod:`repro.core.csr_peel`) and merge-intersection cell views.
+
+Callers pick per run: every function here takes ``backend=`` (or an
+already-converted graph) and guarantees **identical λ output** across
+backends — only speed differs.  Cell ids are representation-independent
+(vertices are shared, edge and triangle ids are lexicographic on both
+backends), so the λ arrays compare element-for-element.  The CLI exposes
+the switch as ``--backend`` and the benchmark suite as the
+``REPRO_BENCH_BACKEND`` environment variable.
+"""
+
+from __future__ import annotations
+
+from repro.core.csr_peel import csr_core_peel, csr_truss_peel
+from repro.core.decomposition import Decomposition, nucleus_decomposition
+from repro.core.peeling import PeelingResult, peel
+from repro.core.views import build_view
+from repro.errors import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "as_backend",
+    "as_csr",
+    "as_object",
+    "backend_view",
+    "core_peel",
+    "decompose",
+    "resolve_backend",
+    "truss_peel",
+]
+
+BACKENDS = ("object", "csr")
+DEFAULT_BACKEND = "object"
+
+
+def _check(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+
+def resolve_backend(graph: Graph | CSRGraph, backend: str | None) -> str:
+    """Resolve a ``backend=None`` sentinel to the engine matching ``graph``.
+
+    An explicit backend name is validated and returned untouched — passing
+    ``backend="object"`` with a :class:`CSRGraph` really does convert and
+    run the object engine (useful for A/B measurements).
+    """
+    if backend is None:
+        return "csr" if isinstance(graph, CSRGraph) else "object"
+    _check(backend)
+    return backend
+
+
+def as_csr(graph: Graph | CSRGraph) -> CSRGraph:
+    """The CSR representation of ``graph`` (no-op if already CSR)."""
+    if isinstance(graph, CSRGraph):
+        return graph
+    return CSRGraph.from_graph(graph)
+
+
+def as_object(graph: Graph | CSRGraph) -> Graph:
+    """The object representation of ``graph`` (no-op if already object)."""
+    if isinstance(graph, Graph):
+        return graph
+    return graph.to_object()
+
+
+def as_backend(graph: Graph | CSRGraph, backend: str) -> Graph | CSRGraph:
+    """Convert ``graph`` to the representation the backend peels."""
+    _check(backend)
+    return as_csr(graph) if backend == "csr" else as_object(graph)
+
+
+def backend_view(graph: Graph | CSRGraph, r: int, s: int, backend: str):
+    """The (r, s) cell view over the chosen backend's representation."""
+    return build_view(as_backend(graph, backend), r, s)
+
+
+def core_peel(graph: Graph | CSRGraph,
+              backend: str = DEFAULT_BACKEND) -> PeelingResult:
+    """(1,2) peel — λ₂ (core numbers) plus degeneracy order.
+
+    The CSR backend runs the direct Batagelj–Zaversnik array peel; the
+    object backend the generic Set-λ over :class:`VertexView`.
+    """
+    _check(backend)
+    if backend == "csr":
+        return csr_core_peel(as_csr(graph))
+    return peel(build_view(as_object(graph), 1, 2))
+
+
+def truss_peel(graph: Graph | CSRGraph,
+               backend: str = DEFAULT_BACKEND) -> PeelingResult:
+    """(2,3) peel — λ₃ per edge id (ids are lexicographic on both backends,
+    so the arrays compare element-for-element)."""
+    _check(backend)
+    if backend == "csr":
+        return csr_truss_peel(as_csr(graph))
+    return peel(build_view(as_object(graph), 2, 3))
+
+
+def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
+              algorithm: str = "fnd",
+              backend: str = DEFAULT_BACKEND) -> Decomposition:
+    """Full nucleus decomposition with the chosen backend's cell views.
+
+    The returned :class:`Decomposition` always carries the object
+    :class:`Graph` (subgraph extraction and reporting live there); the
+    backend choice decides which views feed the peeling and hierarchy
+    phases.
+    """
+    _check(backend)
+    obj = as_object(graph)
+    if backend == "object":
+        return nucleus_decomposition(obj, r, s, algorithm=algorithm)
+    view = build_view(as_csr(graph), r, s)
+    return nucleus_decomposition(obj, r, s, algorithm=algorithm, view=view)

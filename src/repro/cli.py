@@ -15,7 +15,8 @@ import sys
 
 from repro.analysis.density import densest_nuclei
 from repro.analysis.stats import hierarchy_stats
-from repro.core.decomposition import ALGORITHMS, nucleus_decomposition
+from repro.backends import BACKENDS, DEFAULT_BACKEND, decompose
+from repro.core.decomposition import ALGORITHMS
 from repro.errors import ReproError
 from repro.graph.adjacency import Graph
 from repro.graph.cliques import triangle_count
@@ -39,6 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--r", type=int, default=1)
         p.add_argument("--s", type=int, default=2)
         p.add_argument("--algorithm", choices=ALGORITHMS, default="fnd")
+        p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+                       help="graph engine: 'object' (set/list adjacency) or "
+                            "'csr' (flat-array peeling)")
         p.add_argument("--tree", action="store_true",
                        help="print the condensed nucleus tree")
         p.add_argument("--max-nodes", type=int, default=60)
@@ -59,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     densest.add_argument("--s", type=int, default=3)
     densest.add_argument("--top", type=int, default=10)
     densest.add_argument("--min-vertices", type=int, default=4)
+    densest.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND)
 
     export = sub.add_parser(
         "export", help="decompose and export the hierarchy (json/dot)")
@@ -66,16 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("output")
     export.add_argument("--r", type=int, default=1)
     export.add_argument("--s", type=int, default=2)
+    export.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND)
     export.add_argument("--format", choices=["json", "dot", "skeleton-dot"],
                         default="json")
     return parser
 
 
 def _print_decomposition(graph: Graph, r: int, s: int, algorithm: str,
-                         show_tree: bool, max_nodes: int) -> None:
-    result = nucleus_decomposition(graph, r, s, algorithm=algorithm)
+                         show_tree: bool, max_nodes: int,
+                         backend: str = DEFAULT_BACKEND) -> None:
+    result = decompose(graph, r, s, algorithm=algorithm, backend=backend)
     print(f"graph      : {graph!r}")
-    print(f"parameters : ({r},{s}) nucleus, algorithm={algorithm}")
+    print(f"parameters : ({r},{s}) nucleus, algorithm={algorithm}, "
+          f"backend={backend}")
     print(f"max lambda : {result.max_lambda}")
     print(f"peel       : {result.peel_seconds:.4f}s")
     print(f"postprocess: {result.post_seconds:.4f}s")
@@ -108,16 +116,18 @@ def _run(args: argparse.Namespace) -> int:
         return 0
     if args.command == "decompose":
         _print_decomposition(load_graph(args.path), args.r, args.s,
-                             args.algorithm, args.tree, args.max_nodes)
+                             args.algorithm, args.tree, args.max_nodes,
+                             backend=args.backend)
         return 0
     if args.command == "dataset":
         graph = load_dataset(args.name, args.size)
         _print_decomposition(graph, args.r, args.s, args.algorithm,
-                             args.tree, args.max_nodes)
+                             args.tree, args.max_nodes, backend=args.backend)
         return 0
     if args.command == "densest":
         graph = load_graph(args.path)
-        result = nucleus_decomposition(graph, args.r, args.s, algorithm="fnd")
+        result = decompose(graph, args.r, args.s, algorithm="fnd",
+                           backend=args.backend)
         for report in densest_nuclei(result, min_vertices=args.min_vertices,
                                      limit=args.top):
             print(report)
@@ -126,7 +136,8 @@ def _run(args: argparse.Namespace) -> int:
         from repro.export import save_hierarchy, skeleton_to_dot, tree_to_dot
 
         graph = load_graph(args.path)
-        result = nucleus_decomposition(graph, args.r, args.s, algorithm="fnd")
+        result = decompose(graph, args.r, args.s, algorithm="fnd",
+                           backend=args.backend)
         hierarchy = result.hierarchy
         assert hierarchy is not None
         if args.format == "json":

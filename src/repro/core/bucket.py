@@ -15,7 +15,7 @@ bucket sort — same resolution here.
 
 from __future__ import annotations
 
-__all__ = ["MinBucketQueue", "MaxBucketQueue"]
+__all__ = ["MinBucketQueue", "MaxBucketQueue", "FlatBucketQueue"]
 
 
 class MinBucketQueue:
@@ -102,3 +102,93 @@ class MaxBucketQueue:
         item = buckets[cursor].pop()
         self._size -= 1
         return item, cursor
+
+
+class FlatBucketQueue:
+    """Monotone min-priority queue in four flat arrays (Batagelj–Zaversnik).
+
+    A counting sort places the items into ``_vert`` ordered by priority;
+    ``_pos`` inverts it and ``_bins[p]`` points at the first slot of the
+    priority-``p`` block.  A unit decrement swaps the item with the first
+    slot of its block and shifts the block boundary — O(1), with **no**
+    allocation and no stale entries to skip, unlike the lazy
+    :class:`MinBucketQueue`.  Pops walk ``_vert`` left to right, which is
+    exactly non-decreasing current priority.
+
+    Peeling only ever lowers priorities one unit at a time and never below
+    the priority of the last pop, which is precisely the regime where the
+    block-swap invariant holds; :meth:`update` enforces it.
+    """
+
+    __slots__ = ("_deg", "_vert", "_pos", "_bins", "_ptr")
+
+    def __init__(self, priorities: list[int]):
+        n = len(priorities)
+        deg = list(priorities)
+        top = max(deg, default=0)
+        bins = [0] * (top + 2)
+        for p in deg:
+            bins[p + 1] += 1
+        for p in range(top + 1):
+            bins[p + 1] += bins[p]
+        vert = [0] * n
+        pos = [0] * n
+        cursor = bins[:top + 1]
+        for item in range(n):
+            slot = cursor[deg[item]]
+            vert[slot] = item
+            pos[item] = slot
+            cursor[deg[item]] = slot + 1
+        self._deg = deg
+        self._vert = vert
+        self._pos = pos
+        self._bins = bins
+        self._ptr = 0
+
+    def __len__(self) -> int:
+        return len(self._vert) - self._ptr
+
+    def priority(self, item: int) -> int:
+        """Current priority of ``item``."""
+        return self._deg[item]
+
+    def decrement(self, item: int) -> int:
+        """Lower ``item``'s priority by one; returns the new priority.
+
+        Only valid while ``item`` is unpopped and its priority exceeds the
+        last popped priority (the peeling guard ``degrees[v] > k``).
+        """
+        deg = self._deg
+        vert = self._vert
+        pos = self._pos
+        bins = self._bins
+        d = deg[item]
+        slot = pos[item]
+        first = bins[d]
+        other = vert[first]
+        if other != item:
+            vert[first] = item
+            vert[slot] = other
+            pos[item] = first
+            pos[other] = slot
+        bins[d] = first + 1
+        deg[item] = d - 1
+        return d - 1
+
+    def update(self, item: int, priority: int) -> None:
+        """Drop-in for :meth:`MinBucketQueue.update` (unit decrements only)."""
+        if priority != self._deg[item] - 1:
+            raise ValueError(
+                f"FlatBucketQueue supports unit decrements only: item {item} "
+                f"has priority {self._deg[item]}, got {priority}")
+        self.decrement(item)
+
+    def pop(self) -> tuple[int, int] | None:
+        """Remove and return ``(item, priority)`` with minimum priority."""
+        ptr = self._ptr
+        vert = self._vert
+        if ptr >= len(vert):
+            return None
+        item = vert[ptr]
+        self._ptr = ptr + 1
+        return item, self._deg[item]

@@ -1,0 +1,253 @@
+"""Direct peels over the CSR layout: the hot paths, fully inlined.
+
+The generic :func:`repro.core.peeling.peel` is shaped around a
+``CellView`` — per-cell generator calls, tuple allocations, a queue object
+per decrement.  For the two workloads every benchmark and most callers
+actually run, (1,2) k-core and (2,3) k-truss, these functions run the same
+Set-λ algorithm straight over the flat arrays of a
+:class:`~repro.graph.csr.CSRGraph`:
+
+* :func:`csr_core_peel` is Batagelj–Zaversnik verbatim: one counting sort,
+  then one swap per degree decrement, zero allocations in the loop;
+* :func:`csr_truss_peel` peels edges with merge-scan triangle queries —
+  the aligned ``eids`` array yields the two companion edge ids of every
+  triangle without a single hash lookup.
+
+Both return the same :class:`~repro.core.peeling.PeelingResult` as the
+generic peel, with identical λ (λ is unique; only tie order differs).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.core.peeling import PeelingResult
+from repro.graph.csr import (
+    _NUMPY_MIN_TRIANGLE_EDGES,
+    CSRGraph,
+    HAVE_NUMPY,
+    csr_edge_support,
+    csr_triangle_edge_ids,
+)
+
+__all__ = ["csr_core_peel", "csr_truss_peel"]
+
+
+def csr_core_peel(csr: CSRGraph) -> PeelingResult:
+    """(1,2) peel: core number λ₂ of every vertex, in degeneracy order."""
+    n = csr.n
+    indptr, indices, _ = csr.hot_arrays()
+    deg = csr.degrees()
+    top = max(deg, default=0)
+    # counting sort: vert holds vertices by current degree, pos inverts it,
+    # bins[d] is the first slot of the degree-d block
+    bins = [0] * (top + 2)
+    for d in deg:
+        bins[d + 1] += 1
+    for d in range(top + 1):
+        bins[d + 1] += bins[d]
+    vert = [0] * n
+    pos = [0] * n
+    cursor = bins[:top + 1]
+    for v in range(n):
+        slot = cursor[deg[v]]
+        vert[slot] = v
+        pos[v] = slot
+        cursor[deg[v]] = slot + 1
+
+    max_lambda = 0
+    for i in range(n):
+        v = vert[i]
+        dv = deg[v]
+        if dv > max_lambda:
+            max_lambda = dv
+        for p in range(indptr[v], indptr[v + 1]):
+            w = indices[p]
+            dw = deg[w]
+            if dw > dv:
+                first = bins[dw]
+                other = vert[first]
+                if other != w:
+                    slot = pos[w]
+                    vert[first] = w
+                    vert[slot] = other
+                    pos[w] = first
+                    pos[other] = slot
+                bins[dw] = first + 1
+                deg[w] = dw - 1
+    # vert is now the processing order and deg has settled into λ
+    return PeelingResult(lam=deg, max_lambda=max_lambda, order=vert)
+
+
+def csr_truss_peel(csr: CSRGraph, use_numpy: bool | None = None) -> PeelingResult:
+    """(2,3) peel: triangle level λ₃ of every edge, by edge id.
+
+    Two strategies, selected by ``use_numpy`` (``None`` = automatic):
+
+    * **replay** (numpy): list all triangles vectorised once
+      (:func:`~repro.graph.csr.csr_triangle_edge_ids`), lay the two
+      companion edge ids of every (edge, triangle) incidence into flat
+      arrays, and peel by walking that incidence — the inner loop is a pair
+      of list reads and a couple of compares;
+    * **scan** (fallback): recompute each popped edge's triangles on the
+      fly with a scan-the-shorter / bisect-the-longer intersection of the
+      two adjacency runs, Θ(|K₃|·s) memory saved.
+
+    λ output is identical either way.
+    """
+    if use_numpy is None:
+        use_numpy = HAVE_NUMPY and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
+    if use_numpy:
+        return _truss_peel_replay(csr)
+    return _truss_peel_scan(csr)
+
+
+def _truss_peel_replay(csr: CSRGraph) -> PeelingResult:
+    """Materialised-incidence truss peel (numpy set-up, flat replay)."""
+    import numpy as np
+
+    m = csr.m
+    e1, e2, e3 = csr_triangle_edge_ids(csr)
+    sup = np.bincount(np.concatenate([e1, e2, e3]), minlength=m).tolist()
+    # incidence CSR: for each edge occurrence, the two companion edge ids
+    occ = np.concatenate([e1, e2, e3])
+    order = np.argsort(occ, kind="stable")
+    comp1 = np.concatenate([e2, e1, e1])[order].tolist()
+    comp2 = np.concatenate([e3, e3, e2])[order].tolist()
+    inc_ptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(np.bincount(occ, minlength=m), out=inc_ptr[1:])
+    ptr = inc_ptr.tolist()
+
+    top = max(sup, default=0)
+    bins = [0] * (top + 2)
+    for s in sup:
+        bins[s + 1] += 1
+    for s in range(top + 1):
+        bins[s + 1] += bins[s]
+    vert = [0] * m
+    pos = [0] * m
+    cursor = bins[:top + 1]
+    for e in range(m):
+        slot = cursor[sup[e]]
+        vert[slot] = e
+        pos[e] = slot
+        cursor[sup[e]] = slot + 1
+
+    processed = bytearray(m)
+    max_lambda = 0
+    for i in range(m):
+        e = vert[i]
+        k = sup[e]
+        if k > max_lambda:
+            max_lambda = k
+        for slot in range(ptr[e], ptr[e + 1]):
+            ea = comp1[slot]
+            eb = comp2[slot]
+            # a triangle is spent once any of its edges is peeled
+            if processed[ea] or processed[eb]:
+                continue
+            if sup[ea] > k:
+                d = sup[ea]
+                first = bins[d]
+                other = vert[first]
+                if other != ea:
+                    swap = pos[ea]
+                    vert[first] = ea
+                    vert[swap] = other
+                    pos[ea] = first
+                    pos[other] = swap
+                bins[d] = first + 1
+                sup[ea] = d - 1
+            if sup[eb] > k:
+                d = sup[eb]
+                first = bins[d]
+                other = vert[first]
+                if other != eb:
+                    swap = pos[eb]
+                    vert[first] = eb
+                    vert[swap] = other
+                    pos[eb] = first
+                    pos[other] = swap
+                bins[d] = first + 1
+                sup[eb] = d - 1
+        processed[e] = 1
+    return PeelingResult(lam=sup, max_lambda=max_lambda, order=vert)
+
+
+def _truss_peel_scan(csr: CSRGraph) -> PeelingResult:
+    """Recompute-on-the-fly truss peel (no numpy, no materialisation)."""
+    m = csr.m
+    indptr, indices, eids = csr.hot_arrays()
+    esrc, etgt = csr.esrc, csr.etgt
+    sup = csr_edge_support(csr, use_numpy=False)
+    top = max(sup, default=0)
+    bins = [0] * (top + 2)
+    for s in sup:
+        bins[s + 1] += 1
+    for s in range(top + 1):
+        bins[s + 1] += bins[s]
+    vert = [0] * m
+    pos = [0] * m
+    cursor = bins[:top + 1]
+    for e in range(m):
+        slot = cursor[sup[e]]
+        vert[slot] = e
+        pos[e] = slot
+        cursor[sup[e]] = slot + 1
+
+    processed = bytearray(m)
+    bisect = bisect_left
+    max_lambda = 0
+    for i in range(m):
+        e = vert[i]
+        k = sup[e]
+        if k > max_lambda:
+            max_lambda = k
+        u = esrc[e]
+        v = etgt[e]
+        # every triangle through (u, v): scan the shorter adjacency run,
+        # bisect the longer (C-speed, and the window only shrinks because
+        # both runs are sorted)
+        a_lo, a_hi = indptr[u], indptr[u + 1]
+        b_lo, b_hi = indptr[v], indptr[v + 1]
+        if a_hi - a_lo > b_hi - b_lo:
+            a_lo, a_hi, b_lo, b_hi = b_lo, b_hi, a_lo, a_hi
+        for p in range(a_lo, a_hi):
+            w = indices[p]
+            q = bisect(indices, w, b_lo, b_hi)
+            if q >= b_hi:
+                break
+            if indices[q] != w:
+                b_lo = q
+                continue
+            b_lo = q + 1
+            e1 = eids[p]
+            e2 = eids[q]
+            # a triangle is spent once any of its edges is peeled
+            if not processed[e1] and not processed[e2]:
+                if sup[e1] > k:
+                    d = sup[e1]
+                    first = bins[d]
+                    other = vert[first]
+                    if other != e1:
+                        slot = pos[e1]
+                        vert[first] = e1
+                        vert[slot] = other
+                        pos[e1] = first
+                        pos[other] = slot
+                    bins[d] = first + 1
+                    sup[e1] = d - 1
+                if sup[e2] > k:
+                    d = sup[e2]
+                    first = bins[d]
+                    other = vert[first]
+                    if other != e2:
+                        slot = pos[e2]
+                        vert[first] = e2
+                        vert[slot] = other
+                        pos[e2] = first
+                        pos[other] = slot
+                    bins[d] = first + 1
+                    sup[e2] = d - 1
+        processed[e] = 1
+    return PeelingResult(lam=sup, max_lambda=max_lambda, order=vert)

@@ -26,7 +26,7 @@ from repro.core.fnd import FndInstrumentation, fnd_decomposition
 from repro.core.hierarchy import Hierarchy
 from repro.core.hypo import hypo_traversal
 from repro.core.lcps import lcps_hierarchy
-from repro.core.peeling import PeelingResult, peel
+from repro.core.peeling import peel
 from repro.core.traversal import naive_hierarchy
 from repro.core.views import CellView, build_view
 from repro.errors import InvalidParameterError, UnknownAlgorithmError

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.bucket import MinBucketQueue
+from repro.core.bucket import FlatBucketQueue, MinBucketQueue
 from repro.core.disjoint_set import RootedForest
 from repro.core.hierarchy import Hierarchy
 from repro.core.peeling import PeelingResult
@@ -51,11 +51,13 @@ class FndInstrumentation:
 def fnd_decomposition(
     view: CellView,
     instrumentation: FndInstrumentation | None = None,
+    queue_kind: str = "flat",
 ) -> tuple[PeelingResult, Hierarchy]:
     """Run FND end-to-end: extended peeling, then BuildHierarchy.
 
     Returns the peeling result (λ values) and the hierarchy, computed in one
-    pass without any traversal phase.
+    pass without any traversal phase.  ``queue_kind`` is ``"flat"`` (the
+    allocation-free array queue) or ``"bucket"`` (lazy bucket lists).
     """
     n_cells = view.num_cells
     degrees = view.initial_degrees()
@@ -66,7 +68,8 @@ def fnd_decomposition(
     forest = RootedForest()
     node_lambda: list[int] = []
     adj: list[tuple[int, int]] = []  # (higher-lambda node, lower-lambda node)
-    queue = MinBucketQueue(degrees)
+    queue = (FlatBucketQueue(degrees) if queue_kind == "flat"
+             else MinBucketQueue(degrees))
     max_lambda = 0
 
     while True:

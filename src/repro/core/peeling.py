@@ -19,7 +19,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from repro.core.bucket import MinBucketQueue
+from repro.core.bucket import FlatBucketQueue, MinBucketQueue
 from repro.core.views import CellView
 from repro.errors import InvalidParameterError
 
@@ -73,8 +73,10 @@ def peel(view: CellView, queue_kind: str = "bucket") -> PeelingResult:
     """Run Set-λ (Alg. 1) on a cell view and return all λ values.
 
     ``queue_kind`` selects the priority structure: ``"bucket"`` (the
-    paper's choice, O(1) per operation) or ``"heap"`` (O(log n), kept as an
-    ablation baseline).
+    paper's choice, O(1) per operation with lazy invalidation), ``"flat"``
+    (the allocation-free Batagelj–Zaversnik array layout — same asymptotics,
+    smaller constants) or ``"heap"`` (O(log n), kept as an ablation
+    baseline).
     """
     degrees = view.initial_degrees()
     lam = [0] * view.num_cells
@@ -82,11 +84,13 @@ def peel(view: CellView, queue_kind: str = "bucket") -> PeelingResult:
     order: list[int] = []
     if queue_kind == "bucket":
         queue = MinBucketQueue(degrees)
+    elif queue_kind == "flat":
+        queue = FlatBucketQueue(degrees)
     elif queue_kind == "heap":
         queue = _HeapQueue(degrees)
     else:
         raise InvalidParameterError(
-            f"queue_kind must be 'bucket' or 'heap', got {queue_kind!r}")
+            f"queue_kind must be 'bucket', 'flat' or 'heap', got {queue_kind!r}")
     max_lambda = 0
 
     while True:

@@ -23,6 +23,7 @@ times, so storing them buys nothing and costs Θ(s·|K_s|) memory.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from itertools import combinations
 from typing import Iterator, Sequence
 
@@ -33,12 +34,19 @@ from repro.graph.cliques import (
     edge_triangle_counts,
     triangle_k4_counts,
 )
+from repro.graph.csr import (
+    CSRGraph,
+    csr_edge_support,
+    csr_triangle_k4_counts,
+)
 
 __all__ = [
     "CellView",
     "VertexView",
     "EdgeView",
     "TriangleView",
+    "CSREdgeView",
+    "CSRTriangleView",
     "GenericCliqueView",
     "build_view",
 ]
@@ -49,7 +57,7 @@ class CellView:
 
     r: int
     s: int
-    graph: Graph
+    graph: Graph | CSRGraph
 
     @property
     def num_cells(self) -> int:
@@ -84,11 +92,15 @@ class CellView:
 
 
 class VertexView(CellView):
-    """(1,2): cells are vertices, cofaces are edges — the k-core view."""
+    """(1,2): cells are vertices, cofaces are edges — the k-core view.
+
+    Works unchanged on both backends: it only needs ``degrees`` and
+    ``neighbors``, which :class:`~repro.graph.csr.CSRGraph` also provides.
+    """
 
     r, s = 1, 2
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph | CSRGraph):
         self.graph = graph
 
     @property
@@ -133,16 +145,22 @@ class EdgeView(CellView):
 
 
 class TriangleView(CellView):
-    """(3,4): cells are triangles, cofaces are four-cliques."""
+    """(3,4): cells are triangles, cofaces are four-cliques.
+
+    Triangle ids are the lexicographic rank of the sorted vertex triple —
+    deterministic and representation-independent, so λ arrays line up
+    element-for-element with :class:`CSRTriangleView` (whose enumeration
+    yields lex order natively).
+    """
 
     r, s = 3, 4
 
     def __init__(self, graph: Graph):
         self.graph = graph
-        self._id_of, self._degrees = triangle_k4_counts(graph)
-        self._vertices: list[tuple[int, int, int]] = [()] * len(self._id_of)  # type: ignore
-        for tri, tid in self._id_of.items():
-            self._vertices[tid] = tri
+        enum_id, enum_degrees = triangle_k4_counts(graph)
+        self._vertices: list[tuple[int, int, int]] = sorted(enum_id)
+        self._id_of = {tri: tid for tid, tri in enumerate(self._vertices)}
+        self._degrees = [enum_degrees[enum_id[tri]] for tri in self._vertices]
 
     @property
     def num_cells(self) -> int:
@@ -172,6 +190,96 @@ class TriangleView(CellView):
         return self._vertices[cell]
 
 
+class CSREdgeView(CellView):
+    """(2,3) over :class:`CSRGraph`: cofaces via merge scans, ids via the
+    aligned ``eids`` array — no per-triangle hash lookups."""
+
+    r, s = 2, 3
+
+    def __init__(self, graph: CSRGraph):
+        self.graph = graph
+
+    @property
+    def num_cells(self) -> int:
+        return self.graph.m
+
+    def initial_degrees(self) -> list[int]:
+        return csr_edge_support(self.graph)
+
+    def cofaces(self, cell: int) -> Iterator[tuple[int, ...]]:
+        graph = self.graph
+        indptr, indices, eids = graph.hot_arrays()
+        u, v = graph.endpoints(cell)
+        a_lo, a_hi = indptr[u], indptr[u + 1]
+        b_lo, b_hi = indptr[v], indptr[v + 1]
+        if a_hi - a_lo > b_hi - b_lo:
+            a_lo, a_hi, b_lo, b_hi = b_lo, b_hi, a_lo, a_hi
+        for p in range(a_lo, a_hi):
+            w = indices[p]
+            q = bisect_left(indices, w, b_lo, b_hi)
+            if q >= b_hi:
+                break
+            if indices[q] != w:
+                b_lo = q
+                continue
+            b_lo = q + 1
+            yield (eids[p], eids[q])
+
+    def cell_vertices(self, cell: int) -> tuple[int, ...]:
+        return self.graph.endpoints(cell)
+
+
+class CSRTriangleView(CellView):
+    """(3,4) over :class:`CSRGraph`: enumeration by merge intersection.
+
+    Triangle ids are the lexicographic rank of the sorted vertex triple
+    (the enumeration yields them in that order already), matching
+    :class:`TriangleView` element-for-element.
+    """
+
+    r, s = 3, 4
+
+    def __init__(self, graph: CSRGraph):
+        self.graph = graph
+        self._id_of, self._degrees = csr_triangle_k4_counts(graph)
+        self._vertices: list[tuple[int, int, int]] = [()] * len(self._id_of)  # type: ignore
+        for tri, tid in self._id_of.items():
+            self._vertices[tid] = tri
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._vertices)
+
+    def initial_degrees(self) -> list[int]:
+        return list(self._degrees)
+
+    def cofaces(self, cell: int) -> Iterator[tuple[int, ...]]:
+        a, b, c = self._vertices[cell]
+        graph = self.graph
+        id_of = self._id_of
+        indptr, indices, _ = graph.hot_arrays()
+        # scan the smallest adjacency run, bisect the other two
+        runs = sorted(((indptr[v], indptr[v + 1]) for v in (a, b, c)),
+                      key=lambda run: run[1] - run[0])
+        (s_lo, s_hi), (p_lo, p_hi), (q_lo, q_hi) = runs
+        for slot in range(s_lo, s_hi):
+            x = indices[slot]
+            p = bisect_left(indices, x, p_lo, p_hi)
+            if p >= p_hi or indices[p] != x:
+                continue
+            q = bisect_left(indices, x, q_lo, q_hi)
+            if q >= q_hi or indices[q] != x:
+                continue
+            yield (
+                id_of[_sorted3(a, b, x)],
+                id_of[_sorted3(a, c, x)],
+                id_of[_sorted3(b, c, x)],
+            )
+
+    def cell_vertices(self, cell: int) -> tuple[int, ...]:
+        return self._vertices[cell]
+
+
 def _sorted3(a: int, b: int, c: int) -> tuple[int, int, int]:
     """Sort three ints without the generic-sort overhead."""
     if a > b:
@@ -190,7 +298,7 @@ class GenericCliqueView(CellView):
     algorithms for arbitrary nucleus decompositions such as (1,3) and (2,4).
     """
 
-    def __init__(self, graph: Graph, r: int, s: int):
+    def __init__(self, graph: Graph | CSRGraph, r: int, s: int):
         if not 1 <= r < s:
             raise InvalidParameterError(f"need 1 <= r < s, got r={r} s={s}")
         self.graph = graph
@@ -248,14 +356,21 @@ class GenericCliqueView(CellView):
         return self._cells[cell]
 
 
-def build_view(graph: Graph, r: int, s: int) -> CellView:
-    """Return the fastest view implementing the requested (r, s)."""
+def build_view(graph: Graph | CSRGraph, r: int, s: int) -> CellView:
+    """Return the fastest view implementing the requested (r, s).
+
+    Dispatches on the graph representation: a :class:`CSRGraph` gets the
+    merge-intersection views, an object :class:`Graph` the set-probing ones.
+    ``GenericCliqueView`` handles any other (r, s) on either backend (it
+    only uses the shared read API).
+    """
     if not 1 <= r < s:
         raise InvalidParameterError(f"need 1 <= r < s, got r={r} s={s}")
+    csr = isinstance(graph, CSRGraph)
     if (r, s) == (1, 2):
         return VertexView(graph)
     if (r, s) == (2, 3):
-        return EdgeView(graph)
+        return CSREdgeView(graph) if csr else EdgeView(graph)
     if (r, s) == (3, 4):
-        return TriangleView(graph)
+        return CSRTriangleView(graph) if csr else TriangleView(graph)
     return GenericCliqueView(graph, r, s)

@@ -1,6 +1,7 @@
-"""Graph substrate: data structure, IO, generators, clique enumeration."""
+"""Graph substrate: data structures, IO, generators, clique enumeration."""
 
 from repro.graph.adjacency import EdgeIndex, Graph, normalize_edge
+from repro.graph.csr import CSRGraph
 from repro.graph.components import (
     bfs_order,
     connected_components,
@@ -18,6 +19,7 @@ from repro.graph.io import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
     "EdgeIndex",
     "normalize_edge",
     "bfs_order",

@@ -13,7 +13,6 @@ and each clique is produced exactly once as an ordered tuple.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Iterator
 
 from repro.errors import InvalidParameterError

@@ -1,0 +1,565 @@
+"""Flat compressed-sparse-row (CSR) graph: the peeling-engine backend.
+
+:class:`~repro.graph.adjacency.Graph` keeps one Python ``set`` plus one
+``list`` per vertex, which is convenient but costs a pointer chase and a
+small-object allocation on every step of the peel inner loop.  This module
+stores the whole adjacency in four flat typed arrays instead:
+
+* ``indptr[v] .. indptr[v+1]`` delimits the neighbour slots of ``v``;
+* ``indices[p]`` is the neighbour in slot ``p`` (sorted ascending);
+* ``eids[p]`` is the dense undirected edge id of slot ``p`` — so a merge
+  scan over two adjacency runs yields *edge ids* directly, with no hash
+  lookups (this is what makes the (2,3) peel fast);
+* ``esrc[e] / etgt[e]`` are the endpoints of edge ``e`` (``esrc < etgt``).
+
+Edge ids are assigned in lexicographic endpoint order, exactly matching
+:class:`~repro.graph.adjacency.EdgeIndex`, so λ arrays computed on either
+backend are comparable element-for-element.
+
+Storage is ``array('i')`` (32-bit, C-contiguous).  Construction has an
+optional numpy fast path (dedup + CSR fill fully vectorised); the purely
+sequential peel loops instead use :meth:`CSRGraph.hot_arrays`, which caches
+plain-``list`` copies — CPython indexes a list of cached references faster
+than it can re-box ints out of a typed array.
+
+Also here: the CSR merge-intersection enumerators (edge triangle supports,
+triangles, four-clique counts) that the (2,3)/(3,4) cell views build on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidGraphError
+from repro.graph.adjacency import Graph, normalize_edge
+
+try:  # optional fast path; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+__all__ = [
+    "CSRGraph",
+    "HAVE_NUMPY",
+    "csr_edge_support",
+    "csr_triangle_edge_ids",
+    "csr_triangles",
+    "csr_triangle_k4_counts",
+]
+
+#: whether the optional numpy fast paths are available in this environment
+HAVE_NUMPY = _np is not None
+
+#: below this many input pairs the numpy round-trip costs more than it saves
+_NUMPY_MIN_EDGES = 512
+
+
+def _zeros(count: int) -> array:
+    """A zero-filled ``array('i')`` of the given length."""
+    return array("i", bytes(4 * count))
+
+
+def _from_numpy(arr) -> array:
+    """Convert an int numpy array to ``array('i')`` without a Python loop."""
+    out = array("i")
+    out.frombytes(arr.astype(_np.int32, copy=False).tobytes())
+    return out
+
+
+class CSRGraph:
+    """An immutable, undirected, simple graph in CSR layout.
+
+    Mirrors the read API of :class:`~repro.graph.adjacency.Graph` (``n``,
+    ``m``, ``degree``, ``neighbors``, ``neighbor_set``, ``has_edge``,
+    ``edges``, ``common_neighbors``, ``edge_index``…) so the generic cell
+    views and clique enumerators accept either representation; the peeling
+    hot paths in :mod:`repro.core.csr_peel` bypass that API and walk the
+    arrays directly.
+    """
+
+    __slots__ = ("indptr", "indices", "eids", "esrc", "etgt", "name",
+                 "_n", "_hot", "_edge_index")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]], name: str = "",
+                 use_numpy: bool | None = None):
+        if n < 0:
+            raise InvalidGraphError(f"vertex count must be non-negative, got {n}")
+        edge_list = list(edges)
+        self._n = n
+        self.name = name
+        self._hot = None
+        self._edge_index = None
+        numpy_wanted = (_np is not None if use_numpy is None else use_numpy)
+        if use_numpy and _np is None:
+            raise InvalidGraphError("numpy fast path requested but numpy is missing")
+        if numpy_wanted and _np is not None and len(edge_list) >= (
+                0 if use_numpy else _NUMPY_MIN_EDGES):
+            self._build_numpy(n, edge_list)
+        else:
+            self._build_python(n, edge_list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_python(self, n: int, edge_list: list[tuple[int, int]]) -> None:
+        unique: set[tuple[int, int]] = set()
+        for u, v in edge_list:
+            if u == v:
+                raise InvalidGraphError(f"self loop on vertex {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidGraphError(f"edge ({u}, {v}) out of range for n={n}")
+            unique.add(normalize_edge(u, v))
+        ordered = sorted(unique)
+        m = len(ordered)
+        indptr = _zeros(n + 1)
+        for u, v in ordered:
+            indptr[u + 1] += 1
+            indptr[v + 1] += 1
+        for v in range(n):
+            indptr[v + 1] += indptr[v]
+        indices = _zeros(2 * m)
+        eids = _zeros(2 * m)
+        esrc = _zeros(m)
+        etgt = _zeros(m)
+        cursor = indptr.tolist()
+        for eid, (u, v) in enumerate(ordered):
+            # lexicographic edge order makes each adjacency run come out
+            # sorted: all smaller-id neighbours of x are written (in order)
+            # before any larger-id ones.
+            p = cursor[u]
+            indices[p] = v
+            eids[p] = eid
+            cursor[u] = p + 1
+            p = cursor[v]
+            indices[p] = u
+            eids[p] = eid
+            cursor[v] = p + 1
+            esrc[eid] = u
+            etgt[eid] = v
+        self.indptr, self.indices, self.eids = indptr, indices, eids
+        self.esrc, self.etgt = esrc, etgt
+
+    def _build_numpy(self, n: int, edge_list: list[tuple[int, int]]) -> None:
+        if not edge_list:
+            self._build_python(n, edge_list)
+            return
+        pairs = _np.asarray(edge_list, dtype=_np.int64).reshape(-1, 2)
+        if pairs.min() < 0 or pairs.max() >= n:
+            bad = pairs[(pairs.min(axis=1) < 0) | (pairs.max(axis=1) >= n)][0]
+            raise InvalidGraphError(
+                f"edge ({bad[0]}, {bad[1]}) out of range for n={n}")
+        if (pairs[:, 0] == pairs[:, 1]).any():
+            loop = pairs[pairs[:, 0] == pairs[:, 1]][0, 0]
+            raise InvalidGraphError(f"self loop on vertex {loop} is not allowed")
+        lo = _np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = _np.maximum(pairs[:, 0], pairs[:, 1])
+        keys = _np.unique(lo * n + hi)  # dedup + lexicographic sort in one shot
+        src = keys // n
+        tgt = keys % n
+        m = len(keys)
+        eid = _np.arange(m, dtype=_np.int64)
+        both_src = _np.concatenate([src, tgt])
+        both_tgt = _np.concatenate([tgt, src])
+        both_eid = _np.concatenate([eid, eid])
+        order = _np.lexsort((both_tgt, both_src))
+        indptr = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(_np.bincount(both_src, minlength=n), out=indptr[1:])
+        self.indptr = _from_numpy(indptr)
+        self.indices = _from_numpy(both_tgt[order])
+        self.eids = _from_numpy(both_eid[order])
+        self.esrc = _from_numpy(src)
+        self.etgt = _from_numpy(tgt)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]], n: int | None = None,
+                   name: str = "", use_numpy: bool | None = None) -> "CSRGraph":
+        """Build from an edge iterable, inferring ``n`` when omitted."""
+        edge_list = list(edges)
+        if n is None:
+            n = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+        return cls(n, edge_list, name=name, use_numpy=use_numpy)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Convert an object-backend :class:`Graph` (already deduplicated and
+        sorted, so this skips normalisation entirely)."""
+        self = cls.__new__(cls)
+        n = graph.n
+        m = graph.m
+        self._n = n
+        self.name = graph.name
+        self._hot = None
+        self._edge_index = None
+        indptr = _zeros(n + 1)
+        indices = array("i")
+        for v in range(n):
+            neighbors = graph.neighbors(v)
+            indptr[v + 1] = indptr[v] + len(neighbors)
+            indices.extend(neighbors)
+        eids = _zeros(2 * m)
+        esrc = _zeros(m)
+        etgt = _zeros(m)
+        cursor = indptr.tolist()
+        counter = 0
+        for u in range(n):
+            for p in range(cursor[u], indptr[u + 1]):
+                v = indices[p]
+                if v > u:
+                    # the reverse slot for (v, u) is the next unclaimed
+                    # smaller-id slot of v: forward scans visit u ascending
+                    # and sorted adjacency keeps all of them in a prefix.
+                    eids[p] = counter
+                    q = cursor[v]
+                    eids[q] = counter
+                    cursor[v] = q + 1
+                    esrc[counter] = u
+                    etgt[counter] = v
+                    counter += 1
+        self.indptr, self.indices, self.eids = indptr, indices, eids
+        self.esrc, self.etgt = esrc, etgt
+        return self
+
+    @classmethod
+    def empty(cls, n: int = 0, name: str = "") -> "CSRGraph":
+        """A CSR graph with ``n`` vertices and no edges."""
+        return cls(n, [], name=name)
+
+    # ------------------------------------------------------------------
+    # basic accessors (Graph-compatible)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self.esrc)
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return self.indptr[v + 1] - self.indptr[v]
+
+    def degrees(self) -> list[int]:
+        """Degrees of all vertices, indexed by vertex id."""
+        indptr = self.indptr
+        return [indptr[v + 1] - indptr[v] for v in range(self._n)]
+
+    def neighbors(self, v: int):
+        """Sorted neighbours of ``v`` as a flat slice (do not mutate)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def neighbor_set(self, v: int) -> set[int]:
+        """Neighbour set of ``v`` (built on demand)."""
+        return set(self.neighbors(v))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` exists (binary search)."""
+        if not 0 <= u < self._n:
+            return False
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        p = bisect_left(self.indices, v, lo, hi)
+        return p < hi and self.indices[p] == v
+
+    def edge_id(self, u: int, v: int) -> int | None:
+        """Dense id of edge ``{u, v}``, or ``None`` if absent."""
+        if not 0 <= u < self._n:
+            return None
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        p = bisect_left(self.indices, v, lo, hi)
+        if p < hi and self.indices[p] == v:
+            return self.eids[p]
+        return None
+
+    def endpoints(self, eid: int) -> tuple[int, int]:
+        """The (sorted) endpoints of edge ``eid``."""
+        return self.esrc[eid], self.etgt[eid]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges once each, as sorted pairs, in lexicographic order."""
+        return zip(self.esrc, self.etgt)
+
+    def vertices(self) -> range:
+        """Iterable of all vertex ids."""
+        return range(self._n)
+
+    def common_neighbors(self, u: int, v: int) -> list[int]:
+        """Sorted common neighbours of ``u`` and ``v`` (merge scan)."""
+        indptr, indices, _ = self.hot_arrays()
+        out: list[int] = []
+        i, i_end = indptr[u], indptr[u + 1]
+        j, j_end = indptr[v], indptr[v + 1]
+        while i < i_end and j < j_end:
+            a = indices[i]
+            b = indices[j]
+            if a < b:
+                i += 1
+            elif b < a:
+                j += 1
+            else:
+                out.append(a)
+                i += 1
+                j += 1
+        return out
+
+    def common_neighbor_count(self, u: int, v: int) -> int:
+        """Number of common neighbours of ``u`` and ``v``."""
+        return len(self.common_neighbors(u, v))
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+    def hot_arrays(self) -> tuple[list[int], list[int], list[int]]:
+        """``(indptr, indices, eids)`` as plain lists, cached.
+
+        Sequential peels index these millions of times; lists hand back
+        cached ``int`` references where ``array('i')`` would re-box a fresh
+        object per access.  Costs one extra O(n + m) copy, paid once.
+        """
+        if self._hot is None:
+            self._hot = (self.indptr.tolist(), self.indices.tolist(),
+                         self.eids.tolist())
+        return self._hot
+
+    @property
+    def edge_index(self):
+        """Adapter matching :class:`~repro.graph.adjacency.EdgeIndex`."""
+        if self._edge_index is None:
+            self._edge_index = _CSREdgeIndex(self)
+        return self._edge_index
+
+    def to_object(self) -> Graph:
+        """Convert back to the object (set/list) representation."""
+        return Graph(self._n, list(self.edges()), name=self.name)
+
+    def subgraph(self, vertices: Iterable[int], relabel: bool = True) -> Graph:
+        """Induced subgraph, as an object :class:`Graph` (reporting path)."""
+        return self.to_object().subgraph(vertices, relabel=relabel)
+
+    def edge_subgraph(self, edge_ids: Iterable[int],
+                      relabel: bool = False) -> Graph:
+        """Subgraph made of the given edge ids, as an object :class:`Graph`
+        (edge ids are lexicographic on both representations)."""
+        return self.to_object().edge_subgraph(edge_ids, relabel=relabel)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<CSRGraph{label} n={self._n} m={self.m}>"
+
+
+class _CSREdgeIndex:
+    """Duck-typed :class:`EdgeIndex` over the CSR arrays (no dict)."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: CSRGraph):
+        self._graph = graph
+
+    @property
+    def source(self):
+        return self._graph.esrc
+
+    @property
+    def target(self):
+        return self._graph.etgt
+
+    def __len__(self) -> int:
+        return self._graph.m
+
+    def id_of(self, u: int, v: int) -> int:
+        eid = self._graph.edge_id(u, v)
+        if eid is None:
+            raise KeyError(normalize_edge(u, v))
+        return eid
+
+    def get(self, u: int, v: int) -> int | None:
+        return self._graph.edge_id(u, v)
+
+    def endpoints(self, eid: int) -> tuple[int, int]:
+        return self._graph.endpoints(eid)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return self._graph.edges()
+
+
+# ---------------------------------------------------------------------------
+# merge-intersection enumerators
+# ---------------------------------------------------------------------------
+def _suffix_start(indices: list[int], lo: int, hi: int, v: int) -> int:
+    """First slot in ``indices[lo:hi]`` holding a neighbour id > ``v``."""
+    return bisect_right(indices, v, lo, hi)
+
+
+#: below this many edges the numpy set-up cost beats its vectorisation gain
+_NUMPY_MIN_TRIANGLE_EDGES = 256
+
+
+def csr_triangle_edge_ids(csr: CSRGraph):
+    """All triangles as three aligned numpy edge-id arrays ``(e1, e2, e3)``.
+
+    Fully vectorised: orient every edge toward the (degree, id)-larger
+    endpoint, generate all wedge pairs inside each forward run with
+    ``repeat``/``cumsum`` index algebra, and close them with one
+    ``searchsorted`` against the lexicographic edge-key array.  Requires
+    numpy (callers check :data:`HAVE_NUMPY`).
+    """
+    n, m = csr.n, csr.m
+    empty = _np.empty(0, dtype=_np.int64)
+    if m == 0:
+        return empty, empty, empty
+    esrc = _np.frombuffer(csr.esrc, dtype=_np.int32).astype(_np.int64)
+    etgt = _np.frombuffer(csr.etgt, dtype=_np.int32).astype(_np.int64)
+    indptr = _np.frombuffer(csr.indptr, dtype=_np.int32).astype(_np.int64)
+    deg = _np.diff(indptr)
+    rank = _np.empty(n, dtype=_np.int64)
+    rank[_np.lexsort((_np.arange(n), deg))] = _np.arange(n)
+    ru, rv = rank[esrc], rank[etgt]
+    fsrc = _np.minimum(ru, rv)
+    fdst = _np.maximum(ru, rv)
+    order = _np.lexsort((fdst, fsrc))
+    fsrc_s, fdst_s = fsrc[order], fdst[order]
+    feid = _np.arange(m, dtype=_np.int64)[order]
+    fptr = _np.zeros(n + 1, dtype=_np.int64)
+    _np.cumsum(_np.bincount(fsrc_s, minlength=n), out=fptr[1:])
+    counts = _np.diff(fptr)
+    # all slot pairs (i < j) within each forward run — the wedges
+    slots = _np.arange(m, dtype=_np.int64)
+    reps = _np.repeat(fptr[1:], counts) - slots - 1
+    total = int(reps.sum())
+    if total == 0:
+        return empty, empty, empty
+    idx_i = _np.repeat(slots, reps)
+    group_start = _np.concatenate(([0], _np.cumsum(reps)[:-1]))
+    idx_j = _np.arange(total, dtype=_np.int64) - _np.repeat(group_start, reps) \
+        + idx_i + 1
+    probe = fdst_s[idx_i] * n + fdst_s[idx_j]
+    keys = fsrc_s * n + fdst_s  # ascending by construction
+    pos = _np.minimum(_np.searchsorted(keys, probe), m - 1)
+    closed = keys[pos] == probe
+    return feid[idx_i[closed]], feid[idx_j[closed]], feid[pos[closed]]
+
+
+def csr_edge_support(csr: CSRGraph, use_numpy: bool | None = None) -> list[int]:
+    """Triangles containing each edge, indexed by edge id (initial ω₃).
+
+    With numpy present (and the graph non-trivial) the count is one
+    ``bincount`` over :func:`csr_triangle_edge_ids`.  The fallback finds
+    each triangle ``u < v < w`` once from its lowest edge ``(u, v)`` by
+    intersecting the two suffix runs ``> v``: the shorter run is scanned,
+    the longer bisected (runs are sorted, so the search window only ever
+    shrinks), and the aligned ``eids`` array turns every match into the
+    three edge ids with zero hash lookups.
+    """
+    if use_numpy is None:
+        use_numpy = _np is not None and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
+    if use_numpy:
+        if _np is None:
+            raise InvalidGraphError("numpy fast path requested but numpy is missing")
+        e1, e2, e3 = csr_triangle_edge_ids(csr)
+        return _np.bincount(_np.concatenate([e1, e2, e3]),
+                            minlength=csr.m).tolist()
+    indptr, indices, eids = csr.hot_arrays()
+    bisect = bisect_left
+    support = [0] * csr.m
+    for u in range(csr.n):
+        u_end = indptr[u + 1]
+        pu = _suffix_start(indices, indptr[u], u_end, u)
+        while pu < u_end:
+            v = indices[pu]
+            e_uv = eids[pu]
+            i = pu + 1  # neighbours of u beyond v
+            j = _suffix_start(indices, indptr[v], indptr[v + 1], v)
+            j_end = indptr[v + 1]
+            if u_end - i <= j_end - j:
+                scan_lo, scan_hi = i, u_end
+                look_lo, look_hi = j, j_end
+            else:
+                scan_lo, scan_hi = j, j_end
+                look_lo, look_hi = i, u_end
+            for p in range(scan_lo, scan_hi):
+                w = indices[p]
+                q = bisect(indices, w, look_lo, look_hi)
+                if q < look_hi and indices[q] == w:  # triangle (u, v, w)
+                    support[e_uv] += 1
+                    support[eids[p]] += 1
+                    support[eids[q]] += 1
+                    look_lo = q + 1
+                else:
+                    look_lo = q
+                if look_lo >= look_hi:
+                    break
+            pu += 1
+    return support
+
+
+def csr_triangles(csr: CSRGraph) -> Iterator[tuple[int, int, int]]:
+    """Enumerate each triangle once as ``(u, v, w)`` with ``u < v < w``."""
+    indptr, indices, _ = csr.hot_arrays()
+    for u in range(csr.n):
+        u_end = indptr[u + 1]
+        pu = _suffix_start(indices, indptr[u], u_end, u)
+        while pu < u_end:
+            v = indices[pu]
+            i = pu + 1
+            j = _suffix_start(indices, indptr[v], indptr[v + 1], v)
+            j_end = indptr[v + 1]
+            while i < u_end and j < j_end:
+                a = indices[i]
+                b = indices[j]
+                if a < b:
+                    i += 1
+                elif b < a:
+                    j += 1
+                else:
+                    yield (u, v, a)
+                    i += 1
+                    j += 1
+            pu += 1
+
+
+def csr_triangle_k4_counts(
+        csr: CSRGraph) -> tuple[dict[tuple[int, int, int], int], list[int]]:
+    """Triangle ids plus four-cliques containing each triangle (initial ω₄).
+
+    Four-cliques ``u < v < w < x`` are found once from their smallest edge
+    ``(u, v)``: every pair of common neighbours beyond ``v`` that is itself
+    an edge completes one.
+    """
+    triangle_id: dict[tuple[int, int, int], int] = {}
+    for tri in csr_triangles(csr):
+        triangle_id[tri] = len(triangle_id)
+    counts = [0] * len(triangle_id)
+    indptr, indices, _ = csr.hot_arrays()
+    has_edge = csr.has_edge
+    for u in range(csr.n):
+        u_end = indptr[u + 1]
+        pu = _suffix_start(indices, indptr[u], u_end, u)
+        while pu < u_end:
+            v = indices[pu]
+            common: list[int] = []
+            i = pu + 1
+            j = _suffix_start(indices, indptr[v], indptr[v + 1], v)
+            j_end = indptr[v + 1]
+            while i < u_end and j < j_end:
+                a = indices[i]
+                b = indices[j]
+                if a < b:
+                    i += 1
+                elif b < a:
+                    j += 1
+                else:
+                    common.append(a)
+                    i += 1
+                    j += 1
+            for ci, w in enumerate(common):
+                for x in common[ci + 1:]:
+                    if has_edge(w, x):
+                        counts[triangle_id[(u, v, w)]] += 1
+                        counts[triangle_id[(u, v, x)]] += 1
+                        counts[triangle_id[(u, w, x)]] += 1
+                        counts[triangle_id[(v, w, x)]] += 1
+            pu += 1
+    return triangle_id, counts

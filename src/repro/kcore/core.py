@@ -16,11 +16,11 @@ This module exposes both:
 
 from __future__ import annotations
 
+from repro.backends import core_peel, resolve_backend
 from repro.core.decomposition import Decomposition, nucleus_decomposition
-from repro.core.peeling import peel
-from repro.core.views import VertexView
 from repro.graph.adjacency import Graph
 from repro.graph.components import connected_components
+from repro.graph.csr import CSRGraph
 
 __all__ = [
     "core_numbers",
@@ -33,19 +33,29 @@ __all__ = [
 ]
 
 
-def core_numbers(graph: Graph) -> list[int]:
-    """λ₂ (max k-core number) of every vertex."""
-    return peel(VertexView(graph)).lam
+def _peel(graph: Graph | CSRGraph, backend: str | None):
+    return core_peel(graph, backend=resolve_backend(graph, backend))
 
 
-def degeneracy(graph: Graph) -> int:
+def core_numbers(graph: Graph | CSRGraph,
+                 backend: str | None = None) -> list[int]:
+    """λ₂ (max k-core number) of every vertex.
+
+    ``backend=None`` picks the engine matching the representation passed
+    in; name one explicitly to force a conversion.
+    """
+    return _peel(graph, backend).lam
+
+
+def degeneracy(graph: Graph | CSRGraph, backend: str | None = None) -> int:
     """The graph's degeneracy: the largest core number."""
-    return peel(VertexView(graph)).max_lambda
+    return _peel(graph, backend).max_lambda
 
 
-def degeneracy_ordering(graph: Graph) -> list[int]:
+def degeneracy_ordering(graph: Graph | CSRGraph,
+                        backend: str | None = None) -> list[int]:
     """Vertices in peeling order (a degeneracy / smallest-last ordering)."""
-    return peel(VertexView(graph)).order
+    return _peel(graph, backend).order
 
 
 def k_core(graph: Graph, k: int, lam: list[int] | None = None) -> list[list[int]]:

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.backends import resolve_backend, truss_peel
 from repro.core.decomposition import Decomposition, nucleus_decomposition
-from repro.core.peeling import peel
-from repro.core.views import EdgeView
 from repro.errors import InvalidParameterError
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 
 __all__ = [
     "truss_numbers",
@@ -38,14 +38,17 @@ __all__ = [
 ]
 
 
-def truss_numbers(graph: Graph, convention: str = "nucleus") -> list[int]:
+def truss_numbers(graph: Graph | CSRGraph, convention: str = "nucleus",
+                  backend: str | None = None) -> list[int]:
     """Per-edge truss values, indexed by edge id.
 
     ``convention="nucleus"`` returns λ₃ (max triangles-per-edge level, the
     paper's numbers); ``convention="truss"`` returns λ₃ + 2 (Cohen/Huang's
-    trussness, where a single triangle is a 3-truss).
+    trussness, where a single triangle is a 3-truss).  Edge ids are
+    lexicographic on both backends, so the array is backend-independent;
+    ``backend=None`` picks the engine matching the representation passed in.
     """
-    lam = peel(EdgeView(graph)).lam
+    lam = truss_peel(graph, backend=resolve_backend(graph, backend)).lam
     if convention == "nucleus":
         return lam
     if convention == "truss":
@@ -54,9 +57,11 @@ def truss_numbers(graph: Graph, convention: str = "nucleus") -> list[int]:
         f"convention must be 'nucleus' or 'truss', got {convention!r}")
 
 
-def max_trussness(graph: Graph) -> int:
+def max_trussness(graph: Graph | CSRGraph,
+                  backend: str | None = None) -> int:
     """Largest trussness in the graph (truss convention; 2 if triangle-free)."""
-    return max(truss_numbers(graph, convention="truss"), default=2)
+    return max(truss_numbers(graph, convention="truss", backend=backend),
+               default=2)
 
 
 def k_dense_edges(graph: Graph, k: int, lam: list[int] | None = None) -> list[int]:

@@ -1,0 +1,46 @@
+"""Graph strategies and converters shared by the test modules.
+
+Lives in a plain module (not ``conftest.py``) so test files can import it
+explicitly: importing strategies *from* a conftest relies on which conftest
+happens to own the ``conftest`` module name, which breaks as soon as another
+directory (``benchmarks/``) also carries one.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import Graph
+
+
+@st.composite
+def small_graphs(draw, min_n: int = 2, max_n: int = 12, max_m: int = 36):
+    """Random simple graphs small enough for brute-force oracles."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if possible:
+        edges = draw(st.lists(st.sampled_from(possible), max_size=max_m,
+                              unique=True))
+    else:
+        edges = []
+    return Graph(n, edges)
+
+
+@st.composite
+def dense_small_graphs(draw, min_n: int = 4, max_n: int = 10):
+    """Small graphs biased dense, so (2,3)/(3,4) structure actually appears."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    keep = draw(st.lists(st.booleans(), min_size=len(possible),
+                         max_size=len(possible)))
+    edges = [e for e, flag in zip(possible, keep) if flag]
+    return Graph(n, edges)
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert to networkx (all vertices preserved, including isolated)."""
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.n))
+    nxg.add_edges_from(graph.edges())
+    return nxg

@@ -6,7 +6,7 @@ from hypothesis import given
 from repro.errors import InvalidGraphError
 from repro.graph.adjacency import EdgeIndex, Graph, normalize_edge
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 class TestConstruction:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.graph.adjacency import Graph
 from repro.graph.io import save_edge_list
 from repro.examples_graphs import figure2_graph
 

@@ -23,7 +23,7 @@ from repro.graph.cliques import (
     triangles,
 )
 
-from conftest import small_graphs, to_networkx
+from _graphs import small_graphs, to_networkx
 
 
 def brute_force_cliques(g: Graph, r: int) -> set[tuple[int, ...]]:

@@ -10,7 +10,7 @@ from repro.core.decomposition import nucleus_decomposition
 from repro.examples_graphs import figure2_graph
 from repro.graph import generators
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 class TestJaccard:

@@ -13,7 +13,7 @@ from repro.graph.components import (
 )
 from repro.graph import generators
 
-from conftest import small_graphs, to_networkx
+from _graphs import small_graphs, to_networkx
 
 
 class TestConnectedComponents:

@@ -10,7 +10,7 @@ from repro.errors import InvalidParameterError
 from repro.graph import generators
 from repro.graph.adjacency import Graph
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 ALL_ALGORITHMS_12 = ("naive", "dft", "fnd", "lcps", "hypo")
 

@@ -19,7 +19,7 @@ from repro.examples_graphs import (
 )
 from repro.graph import generators
 
-from conftest import dense_small_graphs, small_graphs
+from _graphs import dense_small_graphs, small_graphs
 
 FIXED_GRAPHS = [
     figure1_graph(),
@@ -68,7 +68,7 @@ class TestFixedGraphs:
             view = build_view(g, 2, 3)
             lams = [nucleus_decomposition(g, 2, 3, algorithm=a, view=view).lam
                     for a in ("naive", "dft", "fnd", "hypo")]
-            assert all(l == lams[0] for l in lams), g.name
+            assert all(lam == lams[0] for lam in lams), g.name
 
 
 @given(small_graphs(max_n=11))

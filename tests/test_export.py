@@ -15,7 +15,7 @@ from repro.export import (
     tree_to_dot,
 )
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 class TestJsonRoundTrip:

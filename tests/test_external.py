@@ -14,7 +14,7 @@ from repro.graph import generators
 from repro.graph.adjacency import Graph
 from repro.kcore import core_numbers
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 class TestDiskAdjacency:

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given
 
 from repro.errors import InvalidGraphError
-from repro.graph import generators
 from repro.graph.adjacency import Graph
 from repro.graph.interop import (
     from_adjacency_matrix,
@@ -16,7 +15,7 @@ from repro.graph.interop import (
     to_scipy_sparse,
 )
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 class TestNetworkx:

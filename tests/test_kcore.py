@@ -3,7 +3,6 @@
 import networkx as nx
 from hypothesis import given, settings
 
-from repro.graph import generators
 from repro.graph.adjacency import Graph
 from repro.kcore import (
     core_hierarchy,
@@ -16,7 +15,7 @@ from repro.kcore import (
 )
 from repro.examples_graphs import figure2_graph
 
-from conftest import small_graphs, to_networkx
+from _graphs import small_graphs, to_networkx
 
 
 class TestCoreNumbers:

@@ -14,7 +14,7 @@ from repro.core.decomposition import nucleus_decomposition
 from repro.core.views import CellView, build_view
 from repro.graph.adjacency import Graph
 
-from conftest import dense_small_graphs, small_graphs
+from _graphs import dense_small_graphs, small_graphs
 
 
 def s_cliques_inside(view: CellView, cells: frozenset[int]) -> list[tuple[int, ...]]:

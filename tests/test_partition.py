@@ -9,7 +9,7 @@ from repro.errors import InvalidParameterError
 from repro.graph import generators
 from repro.graph.adjacency import Graph
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 def two_islands() -> Graph:

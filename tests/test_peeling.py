@@ -9,7 +9,7 @@ from repro.core.views import EdgeView, TriangleView, VertexView, build_view
 from repro.graph import generators
 from repro.graph.adjacency import Graph
 
-from conftest import dense_small_graphs, small_graphs, to_networkx
+from _graphs import dense_small_graphs, small_graphs, to_networkx
 
 
 class TestCoreNumbers:

@@ -10,7 +10,7 @@ from repro.graph import generators
 from repro.ktruss.tcp import build_tcp_index
 from repro.queries import HierarchyIndex
 
-from conftest import dense_small_graphs
+from _graphs import dense_small_graphs
 
 
 class TestBasics:

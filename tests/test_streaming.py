@@ -9,7 +9,7 @@ from repro.graph.adjacency import Graph
 from repro.kcore import core_numbers
 from repro.streaming import IncrementalCoreMaintainer
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 class TestBasics:

@@ -3,11 +3,10 @@
 from hypothesis import given, settings
 
 from repro.core.decomposition import nucleus_decomposition
-from repro.graph import generators
 from repro.ktruss.tcp import build_tcp_index
 from repro.ktruss.truss import truss_communities, truss_numbers
 
-from conftest import dense_small_graphs
+from _graphs import dense_small_graphs
 
 
 class TestConstruction:

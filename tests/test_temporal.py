@@ -13,7 +13,7 @@ from repro.kcore.temporal import (
     threshold_graph,
 )
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 def triangle_events():

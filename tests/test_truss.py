@@ -17,7 +17,7 @@ from repro.ktruss import (
     truss_numbers,
 )
 
-from conftest import dense_small_graphs
+from _graphs import dense_small_graphs
 
 
 def brute_force_k_dense(g: Graph, k: int) -> set[tuple[int, int]]:

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import InvalidParameterError
-from repro.graph import generators
 from repro.graph.adjacency import Graph
 from repro.kcore import core_numbers
 from repro.kcore.uncertain import (
@@ -16,7 +15,7 @@ from repro.kcore.uncertain import (
     uncertain_k_core,
 )
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 def brute_force_tail(probs, k):

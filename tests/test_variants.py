@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.errors import InvalidGraphError, InvalidParameterError
-from repro.graph import generators
 from repro.graph.adjacency import Graph
 from repro.kcore import core_numbers
 from repro.kcore.variants import (
@@ -13,7 +12,7 @@ from repro.kcore.variants import (
     weighted_k_core,
 )
 
-from conftest import small_graphs
+from _graphs import small_graphs
 
 
 class TestWeightedCores:

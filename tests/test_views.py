@@ -11,10 +11,8 @@ from repro.core.views import (
     build_view,
 )
 from repro.errors import InvalidParameterError
-from repro.graph import generators
-from repro.graph.adjacency import Graph
 
-from conftest import dense_small_graphs
+from _graphs import dense_small_graphs
 
 
 class TestVertexView:
