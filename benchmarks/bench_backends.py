@@ -1,4 +1,4 @@
-"""Object vs CSR engine on the peel hot paths.
+"""Object vs CSR engine on the peel and hierarchy hot paths.
 
 Two modes:
 
@@ -6,14 +6,19 @@ Two modes:
   benchmark per (workload, backend) pair on the paper's stand-in datasets.
 * **standalone smoke** (``python benchmarks/bench_backends.py [--quick]
   [--json OUT]``): times both backends on generator graphs, asserts the λ
-  arrays are identical, prints the speedups and optionally writes the JSON
-  consumed by ``check_regression.py``.
+  arrays are identical (and, for the FND workloads, that the condensed
+  hierarchies match node-for-node), prints the speedups and optionally
+  writes the JSON consumed by ``check_regression.py``.
+
+Workloads: the three direct peels (``kcore``, ``truss23``, ``nucleus34``)
+and full FND decompositions (``fnd12``, ``fnd23``) — peel *plus*
+BuildHierarchy, the paper's Figure 6 quantity.
 
 The smoke run also times a fixed pure-Python *calibration* loop so results
 recorded on one machine can be rescaled on another (see
-``check_regression.py``).  Workload timing covers the full peel phase —
-initial clique-degree counting plus the peel loop — exactly what
-``nucleus_decomposition`` charges to ``peel_seconds``.
+``check_regression.py``).  Workload timing covers the full phase — initial
+clique-degree counting plus the peel loop (plus hierarchy construction for
+the FND workloads) — exactly what ``nucleus_decomposition`` charges.
 """
 
 from __future__ import annotations
@@ -27,26 +32,48 @@ from pathlib import Path
 import pytest
 
 try:
-    from repro.backends import BACKENDS, as_backend, core_peel, truss_peel
+    from repro.backends import (
+        BACKENDS, as_backend, core_peel, decompose, nucleus34_peel, truss_peel)
 except ImportError:  # clean checkout, package not installed: use the src tree
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-    from repro.backends import BACKENDS, as_backend, core_peel, truss_peel
+    from repro.backends import (
+        BACKENDS, as_backend, core_peel, decompose, nucleus34_peel, truss_peel)
 from repro.graph import generators
 
 from conftest import run_once
 
-#: (name, peel function, generator args) — sizes tuned so the object
-#: backend takes O(100ms), enough to dwarf timer noise in one round
+#: workload specs: ``kind="peel"`` times a bare peel function, ``kind="fnd"``
+#: a full FND decomposition (peel + BuildHierarchy).  Sizes are tuned so the
+#: object backend takes O(100ms), enough to dwarf timer noise in one round.
 SMOKE_WORKLOADS = {
     "quick": {
-        "kcore": (core_peel, dict(n=20000, m=8, p=0.5, seed=7)),
-        "truss23": (truss_peel, dict(n=6000, m=10, p=0.6, seed=11)),
+        "kcore": dict(kind="peel", func="core",
+                      gen=dict(n=20000, m=8, p=0.5, seed=7)),
+        "truss23": dict(kind="peel", func="truss",
+                        gen=dict(n=6000, m=10, p=0.6, seed=11)),
+        "nucleus34": dict(kind="peel", func="nucleus34",
+                          gen=dict(n=1500, m=12, p=0.7, seed=13)),
+        "fnd12": dict(kind="fnd", rs=(1, 2),
+                      gen=dict(n=6000, m=40, p=0.2, seed=7)),
+        "fnd23": dict(kind="fnd", rs=(2, 3),
+                      gen=dict(n=5000, m=10, p=0.6, seed=17)),
     },
     "full": {
-        "kcore": (core_peel, dict(n=60000, m=8, p=0.5, seed=7)),
-        "truss23": (truss_peel, dict(n=16000, m=10, p=0.6, seed=11)),
+        "kcore": dict(kind="peel", func="core",
+                      gen=dict(n=60000, m=8, p=0.5, seed=7)),
+        "truss23": dict(kind="peel", func="truss",
+                        gen=dict(n=16000, m=10, p=0.6, seed=11)),
+        "nucleus34": dict(kind="peel", func="nucleus34",
+                          gen=dict(n=4000, m=12, p=0.7, seed=13)),
+        "fnd12": dict(kind="fnd", rs=(1, 2),
+                      gen=dict(n=18000, m=40, p=0.2, seed=7)),
+        "fnd23": dict(kind="fnd", rs=(2, 3),
+                      gen=dict(n=14000, m=10, p=0.6, seed=17)),
     },
 }
+
+_PEEL_FUNCS = {"core": core_peel, "truss": truss_peel,
+               "nucleus34": nucleus34_peel}
 
 
 # ---------------------------------------------------------------------------
@@ -67,6 +94,29 @@ def test_kcore_peel_backends(benchmark, dataset, backend):
 def test_truss23_peel_backends(benchmark, dataset, backend):
     graph = as_backend(dataset, backend)
     result = run_once(benchmark, truss_peel, graph, backend=backend)
+    benchmark.extra_info["dataset"] = dataset.name
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["max_lambda"] = result.max_lambda
+
+
+@pytest.mark.benchmark(group="backends-nucleus34-peel")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_nucleus34_peel_backends(benchmark, dataset, backend):
+    graph = as_backend(dataset, backend)
+    result = run_once(benchmark, nucleus34_peel, graph, backend=backend)
+    benchmark.extra_info["dataset"] = dataset.name
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["max_lambda"] = result.max_lambda
+
+
+@pytest.mark.benchmark(group="backends-fnd-hierarchy")
+@pytest.mark.parametrize("rs", [(1, 2), (2, 3)], ids=["12", "23"])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fnd_hierarchy_backends(benchmark, dataset, backend, rs):
+    graph = as_backend(dataset, backend)
+    r, s = rs
+    result = run_once(benchmark, decompose, graph, r, s,
+                      algorithm="fnd", backend=backend)
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -99,31 +149,59 @@ def _best_of(repeats: int, func, *args, **kwargs) -> tuple[float, object]:
     return best, result
 
 
+def condensed_signature(decomposition):
+    """The condensed hierarchy as comparable data: (k, member cells) per
+    nucleus node — what the acceptance criteria call the node λ multiset
+    plus cell→nucleus map."""
+    tree = decomposition.hierarchy.condense()
+    return sorted((node.k, tuple(sorted(tree.subtree_cells(node.id))))
+                  for node in tree.nodes)
+
+
 def run_smoke(mode: str = "quick", repeats: int = 3) -> dict:
-    """Time every smoke workload on both backends; λ must match exactly."""
+    """Time every smoke workload on both backends; λ must match exactly
+    (FND workloads additionally prove condensed-hierarchy parity)."""
     results: dict = {
         "mode": mode,
         "calibration_seconds": calibration_seconds(),
         "workloads": {},
     }
-    for name, (peel_func, spec) in SMOKE_WORKLOADS[mode].items():
+    for name, spec in SMOKE_WORKLOADS[mode].items():
+        gen = spec["gen"]
         graph = generators.powerlaw_cluster(
-            spec["n"], spec["m"], spec["p"], seed=spec["seed"],
+            gen["n"], gen["m"], gen["p"], seed=gen["seed"],
             name=f"{name}-smoke")
         csr = as_backend(graph, "csr")
         csr.hot_arrays()  # structure build is not part of the peel
         _ = graph.edge_index
-        obj_seconds, obj_result = _best_of(repeats, peel_func, graph,
-                                           backend="object")
-        csr_seconds, csr_result = _best_of(repeats, peel_func, csr,
-                                           backend="csr")
+        if spec["kind"] == "peel":
+            peel_func = _PEEL_FUNCS[spec["func"]]
+            obj_seconds, obj_result = _best_of(repeats, peel_func, graph,
+                                               backend="object")
+            csr_seconds, csr_result = _best_of(repeats, peel_func, csr,
+                                               backend="csr")
+            max_lambda = obj_result.max_lambda
+        else:
+            r, s = spec["rs"]
+            obj_seconds, obj_result = _best_of(
+                repeats, decompose, graph, r, s,
+                algorithm="fnd", backend="object")
+            csr_seconds, csr_result = _best_of(
+                repeats, decompose, csr, r, s,
+                algorithm="fnd", backend="csr")
+            max_lambda = obj_result.max_lambda
+            if condensed_signature(obj_result) != \
+                    condensed_signature(csr_result):
+                raise AssertionError(
+                    f"{name}: backends disagree on the condensed hierarchy "
+                    f"— CSR FND is broken")
         if obj_result.lam != csr_result.lam:
             raise AssertionError(
                 f"{name}: backends disagree on lambda — CSR engine is broken")
         results["workloads"][name] = {
             "n": graph.n,
             "m": graph.m,
-            "max_lambda": obj_result.max_lambda,
+            "max_lambda": max_lambda,
             "object_seconds": round(obj_seconds, 6),
             "csr_seconds": round(csr_seconds, 6),
             "speedup": round(obj_seconds / csr_seconds, 3),
@@ -133,7 +211,7 @@ def run_smoke(mode: str = "quick", repeats: int = 3) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="object vs CSR backend peel comparison")
+        description="object vs CSR backend peel/hierarchy comparison")
     parser.add_argument("--quick", action="store_true",
                         help="small graphs (the CI smoke configuration)")
     parser.add_argument("--json", metavar="PATH",
@@ -145,7 +223,7 @@ def main(argv: list[str] | None = None) -> int:
                         repeats=args.repeats)
     print(f"calibration: {results['calibration_seconds'] * 1000:.1f} ms")
     for name, row in results["workloads"].items():
-        print(f"{name:8s} n={row['n']:>6} m={row['m']:>7}  "
+        print(f"{name:10s} n={row['n']:>6} m={row['m']:>7}  "
               f"object {row['object_seconds']:.3f}s  "
               f"csr {row['csr_seconds']:.3f}s  "
               f"speedup {row['speedup']:.2f}x  (identical lambda)")

@@ -1,16 +1,19 @@
-"""Benchmark regression gate for the peel hot path.
+"""Benchmark regression gate for the CSR hot paths.
 
-Runs the quick backend smoke (``bench_backends.run_smoke``) and compares it
-against the committed ``BENCH_baseline.json``.  CI machines differ in raw
-speed, so times are first rescaled by the ratio of the two runs' pure-Python
+Runs the quick backend smoke (``bench_backends.run_smoke``) — the direct
+peels (``kcore``, ``truss23``, ``nucleus34``) *and* the full FND hierarchy
+constructions (``fnd12``, ``fnd23``) — and compares it against the
+committed ``BENCH_baseline.json``.  CI machines differ in raw speed, so
+times are first rescaled by the ratio of the two runs' pure-Python
 calibration loops; the gate then fails when
 
-* the CSR peel of any workload is more than ``--threshold`` (default 1.5x)
+* the CSR run of any workload is more than ``--threshold`` (default 1.5x)
   slower than the rescaled baseline, or
 * the CSR backend has lost its edge over the object backend (speedup below
-  ``--min-speedup``, default 1.5x — the committed baseline records ~2.5x).
+  ``--min-speedup``, default 1.5x — the committed baseline records ~2-4x).
 
-λ parity between the backends is asserted inside the smoke run itself.
+λ parity between the backends (and condensed-hierarchy parity for the FND
+workloads) is asserted inside the smoke run itself.
 
 Usage::
 
@@ -53,7 +56,7 @@ def check(fresh: dict, baseline: dict, threshold: float,
             budget = base_row["csr_seconds"] * scale * threshold
             if row["csr_seconds"] > budget:
                 failures.append(
-                    f"{name}: CSR peel took {row['csr_seconds']:.3f}s, over "
+                    f"{name}: CSR run took {row['csr_seconds']:.3f}s, over "
                     f"budget {budget:.3f}s ({threshold}x rescaled baseline "
                     f"{base_row['csr_seconds']:.3f}s, scale {scale:.2f})")
         if row["speedup"] < min_speedup:
@@ -76,11 +79,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="min required CSR-over-object speedup "
                              "(default 1.5)")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per workload (best-of); use "
+                             "more when recording a baseline")
     args = parser.parse_args(argv)
 
-    fresh = run_smoke("quick")
+    fresh = run_smoke("quick", repeats=args.repeats)
     for name, row in fresh["workloads"].items():
-        print(f"{name:8s} object {row['object_seconds']:.3f}s  "
+        print(f"{name:10s} object {row['object_seconds']:.3f}s  "
               f"csr {row['csr_seconds']:.3f}s  speedup {row['speedup']:.2f}x")
 
     if args.update:

@@ -6,21 +6,35 @@ Two backends implement the peeling engine:
   ``set``/``list`` adjacency.  Flexible, allocation-heavy.
 * ``"csr"`` — :class:`~repro.graph.csr.CSRGraph`, flat ``indptr`` /
   ``indices`` / edge-id arrays with direct peels
-  (:mod:`repro.core.csr_peel`) and merge-intersection cell views.
+  (:mod:`repro.core.csr_peel`), direct traversal-free hierarchy
+  construction (:mod:`repro.core.csr_fnd`) and merge-intersection cell
+  views.
 
 Callers pick per run: every function here takes ``backend=`` (or an
 already-converted graph) and guarantees **identical λ output** across
-backends — only speed differs.  Cell ids are representation-independent
-(vertices are shared, edge and triangle ids are lexicographic on both
-backends), so the λ arrays compare element-for-element.  The CLI exposes
-the switch as ``--backend`` and the benchmark suite as the
-``REPRO_BENCH_BACKEND`` environment variable.
+backends — only speed differs.  ``backend=None`` (the default everywhere)
+means *follow the representation passed in*: a :class:`CSRGraph` runs the
+CSR engine, a :class:`Graph` the object engine, with no silent conversion
+either way.  Cell ids are representation-independent (vertices are shared,
+edge and triangle ids are lexicographic on both backends), so the λ arrays
+compare element-for-element, and the condensed hierarchies are identical.
+The CLI exposes the switch as ``--backend`` (default: auto) and the
+benchmark suite as the ``REPRO_BENCH_BACKEND`` environment variable.
 """
 
 from __future__ import annotations
 
-from repro.core.csr_peel import csr_core_peel, csr_truss_peel
+import time
+
+from repro.core.csr_fnd import CSR_FND_RS, csr_fnd_decomposition
+from repro.core.csr_peel import (
+    csr_core_peel,
+    csr_nucleus34_peel,
+    csr_truss_peel,
+)
 from repro.core.decomposition import Decomposition, nucleus_decomposition
+from repro.core.fnd import FndInstrumentation
+from repro.core.lcps import lcps_hierarchy
 from repro.core.peeling import PeelingResult, peel
 from repro.core.views import build_view
 from repro.errors import InvalidParameterError
@@ -36,11 +50,14 @@ __all__ = [
     "backend_view",
     "core_peel",
     "decompose",
+    "nucleus34_peel",
     "resolve_backend",
     "truss_peel",
 ]
 
 BACKENDS = ("object", "csr")
+
+#: engine used when an object :class:`Graph` is passed with ``backend=None``
 DEFAULT_BACKEND = "object"
 
 
@@ -89,41 +106,85 @@ def backend_view(graph: Graph | CSRGraph, r: int, s: int, backend: str):
 
 
 def core_peel(graph: Graph | CSRGraph,
-              backend: str = DEFAULT_BACKEND) -> PeelingResult:
+              backend: str | None = None) -> PeelingResult:
     """(1,2) peel — λ₂ (core numbers) plus degeneracy order.
 
     The CSR backend runs the direct Batagelj–Zaversnik array peel; the
     object backend the generic Set-λ over :class:`VertexView`.
+    ``backend=None`` follows the representation passed in.
     """
-    _check(backend)
+    backend = resolve_backend(graph, backend)
     if backend == "csr":
         return csr_core_peel(as_csr(graph))
     return peel(build_view(as_object(graph), 1, 2))
 
 
 def truss_peel(graph: Graph | CSRGraph,
-               backend: str = DEFAULT_BACKEND) -> PeelingResult:
+               backend: str | None = None) -> PeelingResult:
     """(2,3) peel — λ₃ per edge id (ids are lexicographic on both backends,
-    so the arrays compare element-for-element)."""
-    _check(backend)
+    so the arrays compare element-for-element).  ``backend=None`` follows
+    the representation passed in."""
+    backend = resolve_backend(graph, backend)
     if backend == "csr":
         return csr_truss_peel(as_csr(graph))
     return peel(build_view(as_object(graph), 2, 3))
 
 
+def nucleus34_peel(graph: Graph | CSRGraph,
+                   backend: str | None = None) -> PeelingResult:
+    """(3,4) peel — λ₄ per lexicographic triangle id.
+
+    The CSR backend replays a materialised triangle→K₄ incidence; the
+    object backend runs the generic Set-λ over :class:`TriangleView`.
+    ``backend=None`` follows the representation passed in."""
+    backend = resolve_backend(graph, backend)
+    if backend == "csr":
+        return csr_nucleus34_peel(as_csr(graph))
+    return peel(build_view(as_object(graph), 3, 4))
+
+
 def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
               algorithm: str = "fnd",
-              backend: str = DEFAULT_BACKEND) -> Decomposition:
-    """Full nucleus decomposition with the chosen backend's cell views.
+              backend: str | None = None) -> Decomposition:
+    """Full nucleus decomposition on the chosen backend.
 
-    The returned :class:`Decomposition` always carries the object
-    :class:`Graph` (subgraph extraction and reporting live there); the
-    backend choice decides which views feed the peeling and hierarchy
-    phases.
+    ``backend=None`` follows the representation passed in; naming a
+    backend explicitly forces that *engine* (useful for A/B runs).  On the
+    CSR backend, FND for the paper's evaluated (r, s) pairs and LCPS run
+    *directly* on the flat arrays — peel, hierarchy construction and
+    traversal never build an object graph; the remaining algorithms peel
+    through the CSR cell views.  The returned :class:`Decomposition`
+    carries the graph exactly as it was passed in, with one exception:
+    running the object engine on a :class:`CSRGraph` input converts, since
+    that engine's views and traversals need the object representation.
     """
-    _check(backend)
-    obj = as_object(graph)
+    backend = resolve_backend(graph, backend)
     if backend == "object":
-        return nucleus_decomposition(obj, r, s, algorithm=algorithm)
-    view = build_view(as_csr(graph), r, s)
-    return nucleus_decomposition(obj, r, s, algorithm=algorithm, view=view)
+        return nucleus_decomposition(as_object(graph), r, s,
+                                     algorithm=algorithm)
+    csr = as_csr(graph)
+    if algorithm == "fnd" and (r, s) in CSR_FND_RS:
+        stats = FndInstrumentation()
+        start = time.perf_counter()
+        peeling, hierarchy, view = csr_fnd_decomposition(
+            csr, r, s, instrumentation=stats)
+        total = time.perf_counter() - start
+        post_s = min(stats.build_seconds, total)
+        return Decomposition(graph, r, s, algorithm, peeling.lam, hierarchy,
+                             view, total - post_s, post_s, fnd_stats=stats)
+    if algorithm == "lcps":
+        if (r, s) != (1, 2):
+            raise InvalidParameterError("LCPS applies to (1,2) (k-core) only")
+        start = time.perf_counter()
+        peeling = csr_core_peel(csr)
+        peel_s = time.perf_counter() - start
+        start = time.perf_counter()
+        hierarchy = lcps_hierarchy(csr, peeling)
+        post_s = time.perf_counter() - start
+        return Decomposition(graph, 1, 2, algorithm, peeling.lam, hierarchy,
+                             build_view(csr, 1, 2), peel_s, post_s)
+    # generic algorithms: peel through the CSR cell views; the carried
+    # graph stays whatever representation the caller handed in (naive/dft/
+    # hypo touch the graph only through the view)
+    return nucleus_decomposition(graph, r, s, algorithm=algorithm,
+                                 view=build_view(csr, r, s))

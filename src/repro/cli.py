@@ -15,7 +15,7 @@ import sys
 
 from repro.analysis.density import densest_nuclei
 from repro.analysis.stats import hierarchy_stats
-from repro.backends import BACKENDS, DEFAULT_BACKEND, decompose
+from repro.backends import BACKENDS, decompose, resolve_backend
 from repro.core.decomposition import ALGORITHMS
 from repro.errors import ReproError
 from repro.graph.adjacency import Graph
@@ -40,9 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--r", type=int, default=1)
         p.add_argument("--s", type=int, default=2)
         p.add_argument("--algorithm", choices=ALGORITHMS, default="fnd")
-        p.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        p.add_argument("--backend", choices=BACKENDS, default=None,
                        help="graph engine: 'object' (set/list adjacency) or "
-                            "'csr' (flat-array peeling)")
+                            "'csr' (flat-array peeling); default: follow the "
+                            "input representation (auto)")
         p.add_argument("--tree", action="store_true",
                        help="print the condensed nucleus tree")
         p.add_argument("--max-nodes", type=int, default=60)
@@ -63,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     densest.add_argument("--s", type=int, default=3)
     densest.add_argument("--top", type=int, default=10)
     densest.add_argument("--min-vertices", type=int, default=4)
-    densest.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND)
+    densest.add_argument("--backend", choices=BACKENDS, default=None)
 
     export = sub.add_parser(
         "export", help="decompose and export the hierarchy (json/dot)")
@@ -71,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("output")
     export.add_argument("--r", type=int, default=1)
     export.add_argument("--s", type=int, default=2)
-    export.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND)
+    export.add_argument("--backend", choices=BACKENDS, default=None)
     export.add_argument("--format", choices=["json", "dot", "skeleton-dot"],
                         default="json")
     return parser
@@ -79,11 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _print_decomposition(graph: Graph, r: int, s: int, algorithm: str,
                          show_tree: bool, max_nodes: int,
-                         backend: str = DEFAULT_BACKEND) -> None:
+                         backend: str | None = None) -> None:
     result = decompose(graph, r, s, algorithm=algorithm, backend=backend)
+    shown = resolve_backend(graph, backend)
+    if backend is None:
+        shown += " (auto)"
     print(f"graph      : {graph!r}")
     print(f"parameters : ({r},{s}) nucleus, algorithm={algorithm}, "
-          f"backend={backend}")
+          f"backend={shown}")
     print(f"max lambda : {result.max_lambda}")
     print(f"peel       : {result.peel_seconds:.4f}s")
     print(f"postprocess: {result.post_seconds:.4f}s")

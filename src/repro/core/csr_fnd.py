@@ -1,0 +1,339 @@
+"""Traversal-free hierarchy construction directly on the CSR arrays.
+
+:mod:`repro.core.fnd` runs FastNucleusDecomposition (paper Alg. 8/9)
+generically over a :class:`~repro.core.views.CellView` — per-cell generator
+calls and a tuple per coface.  This module fuses the *extended* peel and
+``BuildHierarchy`` with the flat layouts the direct peels already use, so
+the paper's headline algorithm runs end-to-end without touching the object
+graph:
+
+* :func:`csr_fnd_core` — (1,2): the Batagelj–Zaversnik array peel of
+  :func:`~repro.core.csr_peel.csr_core_peel`, extended with the processed-
+  neighbour inspection that feeds sub-nucleus assignment and the deferred
+  ``ADJ`` pairs;
+* :func:`csr_fnd_truss` / :func:`csr_fnd_nucleus34` — (2,3) and (3,4):
+  replay the materialised edge→triangle / triangle→K₄ incidences of
+  :mod:`repro.core.csr_peel` through one shared extended-peel loop.
+
+All hierarchy bookkeeping lives in an
+:class:`~repro.core.disjoint_set.ArrayRootedForest` (flat ``int``
+parent/root/rank arrays); ``BuildHierarchy`` itself is shared with the
+object engine.  Output contract: λ arrays are elementwise identical to the
+object engine's (cell ids are representation-independent) and the
+*condensed* hierarchy — node λ multiset plus cell→nucleus map — is the
+same; only the non-maximal T* skeleton may differ in tie order.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.csr_peel import (
+    bucket_order,
+    nucleus34_incidence,
+    truss_incidence,
+)
+from repro.core.disjoint_set import ArrayRootedForest
+from repro.core.fnd import FndInstrumentation, _build_hierarchy
+from repro.core.hierarchy import Hierarchy
+from repro.core.peeling import PeelingResult
+from repro.core.views import CellView, CSREdgeView, CSRTriangleView, VertexView
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "CSR_FND_RS",
+    "csr_fnd_core",
+    "csr_fnd_decomposition",
+    "csr_fnd_nucleus34",
+    "csr_fnd_truss",
+]
+
+#: the (r, s) pairs with a direct CSR FND path (the paper's evaluated cases)
+CSR_FND_RS = ((1, 2), (2, 3), (3, 4))
+
+
+def _finish(r: int, s: int, lam: list[int], max_lambda: int, order: list[int],
+            comp: list[int], forest: ArrayRootedForest, node_lambda: list[int],
+            adj: list[tuple[int, int]],
+            instrumentation: FndInstrumentation | None,
+            ) -> tuple[PeelingResult, Hierarchy]:
+    """BuildHierarchy + root assembly, shared by all three direct peels."""
+    build_start = time.perf_counter()
+    _build_hierarchy(adj, forest, node_lambda, max_lambda)
+    build_seconds = time.perf_counter() - build_start
+
+    if instrumentation is not None:
+        instrumentation.num_subnuclei = len(node_lambda)
+        instrumentation.num_downward_connections = len(adj)
+        instrumentation.build_seconds = build_seconds
+
+    root = forest.make_node()
+    node_lambda.append(0)
+    fparent = forest.parent
+    for node in range(root):
+        if fparent[node] < 0:
+            fparent[node] = root
+    for cell in range(len(comp)):
+        if comp[cell] < 0:
+            comp[cell] = root
+    hierarchy = Hierarchy(r, s, lam, node_lambda, forest.parents_or_none(),
+                          comp, root, algorithm="fnd")
+    peeling = PeelingResult(lam=lam, max_lambda=max_lambda, order=order)
+    return peeling, hierarchy
+
+
+def csr_fnd_core(csr: CSRGraph,
+                 instrumentation: FndInstrumentation | None = None,
+                 ) -> tuple[PeelingResult, Hierarchy]:
+    """(1,2) FND: extended Batagelj–Zaversnik peel + BuildHierarchy.
+
+    One pass over the adjacency arrays: unprocessed neighbours get the
+    standard O(1) block-swap decrement; processed neighbours (λ settled, by
+    monotonicity ≤ k) feed the sub-nucleus merge (λ = k) or the deferred
+    ADJ pair (λ < k).
+    """
+    n = csr.n
+    indptr, indices, _ = csr.hot_arrays()
+    deg = [indptr[v + 1] - indptr[v] for v in range(n)]
+    bins, vert, pos = bucket_order(deg)
+
+    comp = [-1] * n
+    forest = ArrayRootedForest()
+    fparent = forest.parent
+    froot = forest.root
+    frank = forest.rank
+    node_lambda: list[int] = []
+    adj: list[tuple[int, int]] = []  # (higher-lambda node, lower-lambda node)
+    adj_append = adj.append
+    max_lambda = 0
+    for i in range(n):
+        u = vert[i]
+        k = deg[u]
+        if k > max_lambda:
+            max_lambda = k
+        comp_u = -1
+        ru = -1  # cached root of comp_u (lazily found on the first merge)
+        last_cv = -1
+        pending: list[int] | None = None
+        for p in range(indptr[u], indptr[u + 1]):
+            v = indices[p]
+            dv = deg[v]
+            # deg > k can only be unprocessed, deg < k only processed
+            # (settled lambda); pop position breaks the deg == k tie —
+            # slots before i are exactly the already-peeled cells.
+            if dv > k:
+                first = bins[dv]
+                other = vert[first]
+                if other != v:
+                    slot = pos[v]
+                    vert[first] = v
+                    vert[slot] = other
+                    pos[v] = first
+                    pos[other] = slot
+                bins[dv] = first + 1
+                deg[v] = dv - 1
+            elif dv < k:
+                if pending is None:
+                    pending = [comp[v]]
+                else:
+                    pending.append(comp[v])
+            elif pos[v] < i:
+                cv = comp[v]
+                if cv == comp_u or cv == last_cv:
+                    continue
+                last_cv = cv
+                if comp_u == -1:
+                    comp_u = cv
+                    continue
+                # Union-r of comp_u and cv, inlined (Find-r + Link-r)
+                if ru < 0:
+                    ru = comp_u
+                    while froot[ru] >= 0:
+                        ru = froot[ru]
+                rv = cv
+                while froot[rv] >= 0:
+                    rv = froot[rv]
+                while cv != rv:  # compress the walked path
+                    nxt = froot[cv]
+                    froot[cv] = rv
+                    cv = nxt
+                if rv != ru:
+                    if frank[ru] > frank[rv]:
+                        ru, rv = rv, ru
+                    fparent[ru] = rv
+                    froot[ru] = rv
+                    if frank[ru] == frank[rv]:
+                        frank[rv] += 1
+                    ru = rv
+        if comp_u == -1 and k >= 1:
+            comp_u = len(fparent)  # make_node, inlined
+            fparent.append(-1)
+            froot.append(-1)
+            frank.append(0)
+            node_lambda.append(k)
+        comp[u] = comp_u
+        if pending is not None:
+            for lower in pending:
+                adj_append((comp_u, lower))
+    # vert is now the processing order and deg has settled into lambda
+    return _finish(1, 2, deg, max_lambda, vert, comp, forest, node_lambda,
+                   adj, instrumentation)
+
+
+def _incidence_fnd(r: int, s: int, sup: list[int], ptr: list[int],
+                   comps: tuple[list[int], ...],
+                   instrumentation: FndInstrumentation | None,
+                   ) -> tuple[PeelingResult, Hierarchy]:
+    """Extended peel + BuildHierarchy over a materialised incidence.
+
+    ``sup`` holds the initial s-clique degrees (mutated into λ in place);
+    incidence slots ``ptr[u] .. ptr[u+1]`` of the aligned companion arrays
+    hold the other cells of each s-clique through ``u``.  Per s-clique, only
+    the minimum-λ *processed* companion matters (relations among the others
+    were recorded when they were peeled); a fully unprocessed s-clique is
+    the standard peeling decrement.
+    """
+    t = len(sup)
+    bins, vert, pos = bucket_order(sup)
+
+    comp = [-1] * t
+    forest = ArrayRootedForest()
+    fparent = forest.parent
+    froot = forest.root
+    frank = forest.rank
+    node_lambda: list[int] = []
+    adj: list[tuple[int, int]] = []
+    adj_append = adj.append
+    max_lambda = 0
+    for i in range(t):
+        u = vert[i]
+        k = sup[u]
+        if k > max_lambda:
+            max_lambda = k
+        comp_u = -1
+        ru = -1  # cached root of comp_u (lazily found on the first merge)
+        last_cw = -1
+        pending: list[int] | None = None
+        for slot in range(ptr[u], ptr[u + 1]):
+            w = -1  # processed cell of minimum lambda in this s-clique
+            wl = k
+            for arr in comps:
+                v = arr[slot]
+                vl = sup[v]
+                # sup < k can only be a settled lambda (processed); sup > k
+                # only an unprocessed degree; pop position (slots before i
+                # hold exactly the peeled cells) breaks the == k tie.
+                if vl < wl:
+                    w = v
+                    wl = vl
+                elif w == -1 and vl == k and pos[v] < i:
+                    w = v
+            if w == -1:
+                for arr in comps:  # fresh s-clique: standard decrement
+                    v = arr[slot]
+                    d = sup[v]
+                    if d > k:
+                        first = bins[d]
+                        other = vert[first]
+                        if other != v:
+                            swap = pos[v]
+                            vert[first] = v
+                            vert[swap] = other
+                            pos[v] = first
+                            pos[other] = swap
+                        bins[d] = first + 1
+                        sup[v] = d - 1
+            elif wl == k:
+                cw = comp[w]
+                if cw == comp_u or cw == last_cw:
+                    continue
+                last_cw = cw
+                if comp_u == -1:
+                    comp_u = cw
+                    continue
+                # Union-r of comp_u and cw, inlined (Find-r + Link-r)
+                if ru < 0:
+                    ru = comp_u
+                    while froot[ru] >= 0:
+                        ru = froot[ru]
+                rw = cw
+                while froot[rw] >= 0:
+                    rw = froot[rw]
+                while cw != rw:  # compress the walked path
+                    nxt = froot[cw]
+                    froot[cw] = rw
+                    cw = nxt
+                if rw != ru:
+                    if frank[ru] > frank[rw]:
+                        ru, rw = rw, ru
+                    fparent[ru] = rw
+                    froot[ru] = rw
+                    if frank[ru] == frank[rw]:
+                        frank[rw] += 1
+                    ru = rw
+            elif pending is None:  # 1 <= wl < k: defer the containment
+                pending = [comp[w]]
+            else:
+                pending.append(comp[w])
+        if comp_u == -1 and k >= 1:
+            comp_u = len(fparent)  # make_node, inlined
+            fparent.append(-1)
+            froot.append(-1)
+            frank.append(0)
+            node_lambda.append(k)
+        comp[u] = comp_u
+        if pending is not None:
+            for lower in pending:
+                adj_append((comp_u, lower))
+    return _finish(r, s, sup, max_lambda, vert, comp, forest, node_lambda,
+                   adj, instrumentation)
+
+
+def csr_fnd_truss(csr: CSRGraph,
+                  instrumentation: FndInstrumentation | None = None,
+                  ) -> tuple[PeelingResult, Hierarchy]:
+    """(2,3) FND: extended peel over the materialised edge→triangle
+    incidence, λ₃ and hierarchy by lexicographic edge id."""
+    sup, ptr, comp1, comp2 = truss_incidence(csr)
+    return _incidence_fnd(2, 3, sup, ptr, (comp1, comp2), instrumentation)
+
+
+def csr_fnd_nucleus34(csr: CSRGraph,
+                      instrumentation: FndInstrumentation | None = None,
+                      ) -> tuple[PeelingResult, Hierarchy,
+                                 list[tuple[int, int, int]], list[int]]:
+    """(3,4) FND over the triangle→K₄ incidence, by lex triangle id.
+
+    Also returns the lex-ordered triangle list and the initial ω₄ degrees so
+    callers can build a reporting view without re-enumerating cliques.
+    """
+    triangles, sup, ptr, comps = nucleus34_incidence(csr)
+    degrees = list(sup)  # the peel settles sup into lambda in place
+    peeling, hierarchy = _incidence_fnd(3, 4, sup, ptr, comps,
+                                        instrumentation)
+    return peeling, hierarchy, triangles, degrees
+
+
+def csr_fnd_decomposition(csr: CSRGraph, r: int, s: int,
+                          instrumentation: FndInstrumentation | None = None,
+                          ) -> tuple[PeelingResult, Hierarchy, CellView]:
+    """Dispatch to the direct (r, s) FND; also builds the reporting view.
+
+    The view construction is free for (1,2)/(2,3) and reuses the triangle
+    enumeration the peel already materialised for (3,4) — no object graph,
+    and no second pass over the cliques.
+    """
+    if (r, s) == (1, 2):
+        peeling, hierarchy = csr_fnd_core(csr, instrumentation)
+        return peeling, hierarchy, VertexView(csr)
+    if (r, s) == (2, 3):
+        peeling, hierarchy = csr_fnd_truss(csr, instrumentation)
+        return peeling, hierarchy, CSREdgeView(csr)
+    if (r, s) == (3, 4):
+        peeling, hierarchy, triangles, degrees = csr_fnd_nucleus34(
+            csr, instrumentation)
+        view = CSRTriangleView(csr, _enumeration=(triangles, degrees))
+        return peeling, hierarchy, view
+    raise InvalidParameterError(
+        f"no direct CSR FND for (r, s) = ({r}, {s}); supported: {CSR_FND_RS}")

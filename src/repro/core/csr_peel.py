@@ -11,10 +11,15 @@ Set-λ algorithm straight over the flat arrays of a
   then one swap per degree decrement, zero allocations in the loop;
 * :func:`csr_truss_peel` peels edges with merge-scan triangle queries —
   the aligned ``eids`` array yields the two companion edge ids of every
-  triangle without a single hash lookup.
+  triangle without a single hash lookup;
+* :func:`csr_nucleus34_peel` peels triangles against a materialised
+  triangle→K₄ incidence (:func:`nucleus34_incidence`), replacing the
+  dict-of-triples object path for (3,4).
 
-Both return the same :class:`~repro.core.peeling.PeelingResult` as the
+All return the same :class:`~repro.core.peeling.PeelingResult` as the
 generic peel, with identical λ (λ is unique; only tie order differs).
+The incidence builders here are shared with the traversal-free hierarchy
+construction in :mod:`repro.core.csr_fnd`.
 """
 
 from __future__ import annotations
@@ -27,10 +32,40 @@ from repro.graph.csr import (
     CSRGraph,
     HAVE_NUMPY,
     csr_edge_support,
+    csr_k4_triangle_ids,
     csr_triangle_edge_ids,
 )
 
-__all__ = ["csr_core_peel", "csr_truss_peel"]
+__all__ = ["bucket_order", "csr_core_peel", "csr_nucleus34_peel",
+           "csr_truss_peel", "nucleus34_incidence", "truss_incidence"]
+
+
+def bucket_order(priorities: list[int]) -> tuple[list[int], list[int],
+                                                 list[int]]:
+    """Counting-sort state shared by every direct peel: ``(bins, vert,
+    pos)``.
+
+    ``vert`` holds the items ordered by priority, ``pos`` inverts it, and
+    ``bins[p]`` is the first slot of the priority-``p`` block (sized
+    ``top + 2`` so ``bins[p + 1]`` is always in range).  The peel loops
+    mutate all three in place with the O(1) block-swap decrement.
+    """
+    n = len(priorities)
+    top = max(priorities, default=0)
+    bins = [0] * (top + 2)
+    for p in priorities:
+        bins[p + 1] += 1
+    for p in range(top + 1):
+        bins[p + 1] += bins[p]
+    vert = [0] * n
+    pos = [0] * n
+    cursor = bins[:top + 1]
+    for item in range(n):
+        slot = cursor[priorities[item]]
+        vert[slot] = item
+        pos[item] = slot
+        cursor[priorities[item]] = slot + 1
+    return bins, vert, pos
 
 
 def csr_core_peel(csr: CSRGraph) -> PeelingResult:
@@ -38,22 +73,7 @@ def csr_core_peel(csr: CSRGraph) -> PeelingResult:
     n = csr.n
     indptr, indices, _ = csr.hot_arrays()
     deg = csr.degrees()
-    top = max(deg, default=0)
-    # counting sort: vert holds vertices by current degree, pos inverts it,
-    # bins[d] is the first slot of the degree-d block
-    bins = [0] * (top + 2)
-    for d in deg:
-        bins[d + 1] += 1
-    for d in range(top + 1):
-        bins[d + 1] += bins[d]
-    vert = [0] * n
-    pos = [0] * n
-    cursor = bins[:top + 1]
-    for v in range(n):
-        slot = cursor[deg[v]]
-        vert[slot] = v
-        pos[v] = slot
-        cursor[deg[v]] = slot + 1
+    bins, vert, pos = bucket_order(deg)
 
     max_lambda = 0
     for i in range(n):
@@ -102,36 +122,96 @@ def csr_truss_peel(csr: CSRGraph, use_numpy: bool | None = None) -> PeelingResul
     return _truss_peel_scan(csr)
 
 
-def _truss_peel_replay(csr: CSRGraph) -> PeelingResult:
-    """Materialised-incidence truss peel (numpy set-up, flat replay)."""
-    import numpy as np
+def truss_incidence(csr: CSRGraph,
+                    use_numpy: bool | None = None,
+                    ) -> tuple[list[int], list[int], list[int], list[int]]:
+    """Materialised edge→triangle incidence: ``(sup, ptr, comp1, comp2)``.
 
+    ``sup[e]`` is the triangle count of edge ``e`` (initial ω₃); incidence
+    slots ``ptr[e] .. ptr[e+1]`` hold, in the two aligned companion arrays,
+    the other two edge ids of each triangle through ``e``.  With numpy the
+    whole structure falls out of one vectorised triangle listing
+    (:func:`~repro.graph.csr.csr_triangle_edge_ids`) plus an argsort; the
+    fallback enumerates triangles with merge scans and counting-sorts them
+    into the same layout.  Shared by the replay truss peel and the direct
+    (2,3) hierarchy construction.
+    """
     m = csr.m
-    e1, e2, e3 = csr_triangle_edge_ids(csr)
-    sup = np.bincount(np.concatenate([e1, e2, e3]), minlength=m).tolist()
-    # incidence CSR: for each edge occurrence, the two companion edge ids
-    occ = np.concatenate([e1, e2, e3])
-    order = np.argsort(occ, kind="stable")
-    comp1 = np.concatenate([e2, e1, e1])[order].tolist()
-    comp2 = np.concatenate([e3, e3, e2])[order].tolist()
-    inc_ptr = np.zeros(m + 1, dtype=np.int64)
-    np.cumsum(np.bincount(occ, minlength=m), out=inc_ptr[1:])
-    ptr = inc_ptr.tolist()
+    if use_numpy is None:
+        use_numpy = HAVE_NUMPY and m >= _NUMPY_MIN_TRIANGLE_EDGES
+    if use_numpy:
+        import numpy as np
 
-    top = max(sup, default=0)
-    bins = [0] * (top + 2)
-    for s in sup:
-        bins[s + 1] += 1
-    for s in range(top + 1):
-        bins[s + 1] += bins[s]
-    vert = [0] * m
-    pos = [0] * m
-    cursor = bins[:top + 1]
+        e1, e2, e3 = csr_triangle_edge_ids(csr)
+        sup = np.bincount(np.concatenate([e1, e2, e3]), minlength=m).tolist()
+        # incidence CSR: for each edge occurrence, the two companion edge ids
+        occ = np.concatenate([e1, e2, e3])
+        order = np.argsort(occ, kind="stable")
+        comp1 = np.concatenate([e2, e1, e1])[order].tolist()
+        comp2 = np.concatenate([e3, e3, e2])[order].tolist()
+        inc_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(occ, minlength=m), out=inc_ptr[1:])
+        return sup, inc_ptr.tolist(), comp1, comp2
+
+    indptr, indices, eids = csr.hot_arrays()
+    bisect = bisect_left
+    triples: list[tuple[int, int, int]] = []
+    sup = [0] * m
+    for u in range(csr.n):
+        u_end = indptr[u + 1]
+        pu = bisect(indices, u, indptr[u], u_end)
+        while pu < u_end:
+            v = indices[pu]
+            e_uv = eids[pu]
+            i = pu + 1
+            j = bisect(indices, v, indptr[v], indptr[v + 1])
+            j_end = indptr[v + 1]
+            while i < u_end and j < j_end:
+                a = indices[i]
+                b = indices[j]
+                if a < b:
+                    i += 1
+                elif b < a:
+                    j += 1
+                else:
+                    ea = eids[i]
+                    eb = eids[j]
+                    triples.append((e_uv, ea, eb))
+                    sup[e_uv] += 1
+                    sup[ea] += 1
+                    sup[eb] += 1
+                    i += 1
+                    j += 1
+            pu += 1
+    ptr = [0] * (m + 1)
     for e in range(m):
-        slot = cursor[sup[e]]
-        vert[slot] = e
-        pos[e] = slot
-        cursor[sup[e]] = slot + 1
+        ptr[e + 1] = ptr[e] + sup[e]
+    total = ptr[m]
+    comp1 = [0] * total
+    comp2 = [0] * total
+    cursor = ptr[:m]
+    for ea, eb, ec in triples:
+        slot = cursor[ea]
+        comp1[slot] = eb
+        comp2[slot] = ec
+        cursor[ea] = slot + 1
+        slot = cursor[eb]
+        comp1[slot] = ea
+        comp2[slot] = ec
+        cursor[eb] = slot + 1
+        slot = cursor[ec]
+        comp1[slot] = ea
+        comp2[slot] = eb
+        cursor[ec] = slot + 1
+    return sup, ptr, comp1, comp2
+
+
+def _truss_peel_replay(csr: CSRGraph) -> PeelingResult:
+    """Materialised-incidence truss peel (vectorised set-up, flat replay)."""
+    m = csr.m
+    sup, ptr, comp1, comp2 = truss_incidence(csr, use_numpy=True)
+
+    bins, vert, pos = bucket_order(sup)
 
     processed = bytearray(m)
     max_lambda = 0
@@ -180,20 +260,7 @@ def _truss_peel_scan(csr: CSRGraph) -> PeelingResult:
     indptr, indices, eids = csr.hot_arrays()
     esrc, etgt = csr.esrc, csr.etgt
     sup = csr_edge_support(csr, use_numpy=False)
-    top = max(sup, default=0)
-    bins = [0] * (top + 2)
-    for s in sup:
-        bins[s + 1] += 1
-    for s in range(top + 1):
-        bins[s + 1] += bins[s]
-    vert = [0] * m
-    pos = [0] * m
-    cursor = bins[:top + 1]
-    for e in range(m):
-        slot = cursor[sup[e]]
-        vert[slot] = e
-        pos[e] = slot
-        cursor[sup[e]] = slot + 1
+    bins, vert, pos = bucket_order(sup)
 
     processed = bytearray(m)
     bisect = bisect_left
@@ -250,4 +317,105 @@ def _truss_peel_scan(csr: CSRGraph) -> PeelingResult:
                     bins[d] = first + 1
                     sup[e2] = d - 1
         processed[e] = 1
+    return PeelingResult(lam=sup, max_lambda=max_lambda, order=vert)
+
+
+def nucleus34_incidence(
+        csr: CSRGraph,
+) -> tuple[list[tuple[int, int, int]], list[int], list[int],
+           tuple[list[int], list[int], list[int]]]:
+    """Materialised triangle→K₄ incidence: ``(triangles, sup, ptr, comps)``.
+
+    ``triangles`` is the lex-ordered triple list (index = triangle id, the
+    ids both backends' (3,4) views use); ``sup[t]`` the K₄ count of triangle
+    ``t`` (initial ω₄); slots ``ptr[t] .. ptr[t+1]`` of the three aligned
+    companion arrays hold the other three triangle ids of each K₄ through
+    ``t``.  Shared by the direct (3,4) peel and hierarchy construction.
+    """
+    triangles, quads = csr_k4_triangle_ids(csr)
+    t = len(triangles)
+    sup = [0] * t
+    for quad in quads:
+        for tid in quad:
+            sup[tid] += 1
+    ptr = [0] * (t + 1)
+    for tid in range(t):
+        ptr[tid + 1] = ptr[tid] + sup[tid]
+    total = ptr[t]
+    c1 = [0] * total
+    c2 = [0] * total
+    c3 = [0] * total
+    cursor = ptr[:t]
+    q1, q2, q3, q4 = quads
+    for i in range(len(q1)):
+        a = q1[i]
+        b = q2[i]
+        c = q3[i]
+        d = q4[i]
+        slot = cursor[a]
+        c1[slot] = b
+        c2[slot] = c
+        c3[slot] = d
+        cursor[a] = slot + 1
+        slot = cursor[b]
+        c1[slot] = a
+        c2[slot] = c
+        c3[slot] = d
+        cursor[b] = slot + 1
+        slot = cursor[c]
+        c1[slot] = a
+        c2[slot] = b
+        c3[slot] = d
+        cursor[c] = slot + 1
+        slot = cursor[d]
+        c1[slot] = a
+        c2[slot] = b
+        c3[slot] = c
+        cursor[d] = slot + 1
+    return triangles, sup, ptr, (c1, c2, c3)
+
+
+def csr_nucleus34_peel(csr: CSRGraph) -> PeelingResult:
+    """(3,4) peel: K₄ level λ₄ of every triangle, by lex triangle id.
+
+    Replays the materialised incidence of :func:`nucleus34_incidence`
+    exactly like the replay truss peel, with three companion arrays instead
+    of two — no dict lookups or set intersections in the loop.
+    """
+    _, sup, ptr, (c1, c2, c3) = nucleus34_incidence(csr)
+    t = len(sup)
+    bins, vert, pos = bucket_order(sup)
+
+    processed = bytearray(t)
+    max_lambda = 0
+    for i in range(t):
+        u = vert[i]
+        k = sup[u]
+        if k > max_lambda:
+            max_lambda = k
+        for slot in range(ptr[u], ptr[u + 1]):
+            # a K4 is spent once any of its triangles is peeled
+            ta = c1[slot]
+            if processed[ta]:
+                continue
+            tb = c2[slot]
+            if processed[tb]:
+                continue
+            tc = c3[slot]
+            if processed[tc]:
+                continue
+            for v in (ta, tb, tc):
+                d = sup[v]
+                if d > k:
+                    first = bins[d]
+                    other = vert[first]
+                    if other != v:
+                        swap = pos[v]
+                        vert[first] = v
+                        vert[swap] = other
+                        pos[v] = first
+                        pos[other] = swap
+                    bins[d] = first + 1
+                    sup[v] = d - 1
+        processed[u] = 1
     return PeelingResult(lam=sup, max_lambda=max_lambda, order=vert)

@@ -31,6 +31,7 @@ from repro.core.traversal import naive_hierarchy
 from repro.core.views import CellView, build_view
 from repro.errors import InvalidParameterError, UnknownAlgorithmError
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 
 __all__ = ["Decomposition", "nucleus_decomposition", "ALGORITHMS"]
 
@@ -42,7 +43,9 @@ class Decomposition:
     """Result of a nucleus decomposition run.
 
     Attributes:
-        graph: the input graph.
+        graph: the input graph, in whichever representation it was passed
+            (:class:`Graph`, or :class:`CSRGraph` for the direct CSR paths —
+            both support the subgraph-extraction API used here).
         r, s: the nucleus parameters.
         algorithm: which algorithm produced this result.
         lam: λ_s per cell (cell = vertex / edge id / triangle id for
@@ -55,7 +58,7 @@ class Decomposition:
             BuildHierarchy — matching how Figure 6 splits the bars.
     """
 
-    graph: Graph
+    graph: Graph | CSRGraph
     r: int
     s: int
     algorithm: str
@@ -96,7 +99,7 @@ class Decomposition:
         return picked
 
 
-def nucleus_decomposition(graph: Graph, r: int = 1, s: int = 2,
+def nucleus_decomposition(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
                           algorithm: str = "fnd",
                           view: CellView | None = None) -> Decomposition:
     """Decompose ``graph`` into its k-(r, s) nuclei with full hierarchy.

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.core.disjoint_set import RootedForest
+from repro.core.disjoint_set import ArrayRootedForest
 from repro.core.hierarchy import Hierarchy
 from repro.core.peeling import PeelingResult
 from repro.core.views import CellView
@@ -36,7 +36,7 @@ def dft_hierarchy(view: CellView, peeling: PeelingResult,
     """
     lam = peeling.lam
     n_cells = view.num_cells
-    forest = RootedForest()
+    forest = ArrayRootedForest()
     node_lambda: list[int] = []
     comp = [-1] * n_cells
     visited = [False] * n_cells
@@ -55,16 +55,17 @@ def dft_hierarchy(view: CellView, peeling: PeelingResult,
     root = forest.make_node()
     node_lambda.append(0)
     for node in range(root):
-        if forest.parent[node] is None:
+        if forest.parent[node] < 0:
             forest.parent[node] = root
     for cell in range(n_cells):
         if comp[cell] == -1:
             comp[cell] = root
-    return Hierarchy(view.r, view.s, lam, node_lambda, forest.parent, comp,
-                     root, algorithm="dft")
+    return Hierarchy(view.r, view.s, lam, node_lambda,
+                     forest.parents_or_none(), comp, root, algorithm="dft")
 
 
-def _grow_subnucleus(view: CellView, lam: list[int], forest: RootedForest,
+def _grow_subnucleus(view: CellView, lam: list[int],
+                     forest: ArrayRootedForest,
                      node_lambda: list[int], comp: list[int],
                      visited: list[bool], seed: int, k: int,
                      path_compression: bool = True) -> None:

@@ -16,7 +16,7 @@ Both structures use union by rank.
 
 from __future__ import annotations
 
-__all__ = ["DisjointSetForest", "RootedForest"]
+__all__ = ["ArrayRootedForest", "DisjointSetForest", "RootedForest"]
 
 
 class DisjointSetForest:
@@ -154,3 +154,74 @@ class RootedForest:
         """
         self.parent[child_root] = new_parent
         self.root[child_root] = new_parent
+
+
+class ArrayRootedForest:
+    """:class:`RootedForest` on homogeneous flat ``int`` arrays.
+
+    Same Find-r / Union-r / attach discipline, but ``parent`` and ``root``
+    are plain ``int`` lists with ``-1`` as the "no link" sentinel instead of
+    ``None``-holed lists.  This is the layout the CSR hierarchy construction
+    (:mod:`repro.core.csr_fnd`) and the traversal algorithms share: every
+    pointer is an int, so the whole skeleton state is three flat arrays that
+    can be pre-sized, copied cheaply, and (later) handed to shared-memory
+    workers.  :meth:`parents_or_none` converts to the ``None``-sentinel
+    convention :class:`~repro.core.hierarchy.Hierarchy` stores.
+    """
+
+    __slots__ = ("parent", "root", "rank")
+
+    def __init__(self, size: int = 0):
+        self.parent: list[int] = [-1] * size
+        self.root: list[int] = [-1] * size
+        self.rank: list[int] = [0] * size
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def make_node(self) -> int:
+        """Create a new isolated node and return its id."""
+        idx = len(self.parent)
+        self.parent.append(-1)
+        self.root.append(-1)
+        self.rank.append(0)
+        return idx
+
+    def find(self, x: int, compress: bool = True) -> int:
+        """Greatest ancestor of ``x`` via ``root`` pointers (Find-r)."""
+        root = self.root
+        top = x
+        while root[top] >= 0:
+            top = root[top]
+        if compress:
+            while x != top:
+                nxt = root[x]
+                root[x] = top
+                x = nxt
+        return top
+
+    def link(self, x: int, y: int) -> int:
+        """Link-r on two roots; returns the surviving root."""
+        if x == y:
+            return x
+        if self.rank[x] > self.rank[y]:
+            x, y = y, x
+        # x goes under y
+        self.parent[x] = y
+        self.root[x] = y
+        if self.rank[x] == self.rank[y]:
+            self.rank[y] += 1
+        return y
+
+    def union(self, x: int, y: int) -> int:
+        """Union-r: merge the trees containing ``x`` and ``y``."""
+        return self.link(self.find(x), self.find(y))
+
+    def attach(self, child_root: int, new_parent: int) -> None:
+        """Make ``child_root`` (a current root) a child of ``new_parent``."""
+        self.parent[child_root] = new_parent
+        self.root[child_root] = new_parent
+
+    def parents_or_none(self) -> list[int | None]:
+        """The parent array with ``-1`` mapped back to ``None``."""
+        return [p if p >= 0 else None for p in self.parent]

@@ -27,12 +27,16 @@ import time
 from dataclasses import dataclass
 
 from repro.core.bucket import FlatBucketQueue, MinBucketQueue
-from repro.core.disjoint_set import RootedForest
+from repro.core.disjoint_set import ArrayRootedForest
 from repro.core.hierarchy import Hierarchy
 from repro.core.peeling import PeelingResult
 from repro.core.views import CellView
+from repro.errors import InvalidParameterError
 
 __all__ = ["fnd_decomposition", "FndInstrumentation"]
+
+#: the queue structures the extended peel accepts
+QUEUE_KINDS = ("flat", "bucket")
 
 
 @dataclass
@@ -59,13 +63,16 @@ def fnd_decomposition(
     pass without any traversal phase.  ``queue_kind`` is ``"flat"`` (the
     allocation-free array queue) or ``"bucket"`` (lazy bucket lists).
     """
+    if queue_kind not in QUEUE_KINDS:
+        raise InvalidParameterError(
+            f"queue_kind must be one of {QUEUE_KINDS}, got {queue_kind!r}")
     n_cells = view.num_cells
     degrees = view.initial_degrees()
     lam = [0] * n_cells
     processed = [False] * n_cells
     order: list[int] = []
     comp = [-1] * n_cells
-    forest = RootedForest()
+    forest = ArrayRootedForest()
     node_lambda: list[int] = []
     adj: list[tuple[int, int]] = []  # (higher-lambda node, lower-lambda node)
     queue = (FlatBucketQueue(degrees) if queue_kind == "flat"
@@ -118,18 +125,19 @@ def fnd_decomposition(
     root = forest.make_node()
     node_lambda.append(0)
     for node in range(root):
-        if forest.parent[node] is None:
+        if forest.parent[node] < 0:
             forest.parent[node] = root
     for cell in range(n_cells):
         if comp[cell] == -1:
             comp[cell] = root
-    hierarchy = Hierarchy(view.r, view.s, lam, node_lambda, forest.parent,
-                          comp, root, algorithm="fnd")
+    hierarchy = Hierarchy(view.r, view.s, lam, node_lambda,
+                          forest.parents_or_none(), comp, root,
+                          algorithm="fnd")
     peeling = PeelingResult(lam=lam, max_lambda=max_lambda, order=order)
     return peeling, hierarchy
 
 
-def _build_hierarchy(adj: list[tuple[int, int]], forest: RootedForest,
+def _build_hierarchy(adj: list[tuple[int, int]], forest: ArrayRootedForest,
                      node_lambda: list[int], max_lambda: int) -> None:
     """BuildHierarchy (Alg. 9): replay ADJ pairs bottom-up, binned by λ."""
     bins: list[list[tuple[int, int]]] = [[] for _ in range(max_lambda + 1)]

@@ -14,9 +14,18 @@ resolves this with a bucket structure; this module follows that adaptation:
 
 Priority order guarantees that once a k-core component is entered it is
 exhausted before any vertex of λ < k is popped, so closed brackets are
-final — each tree node is exactly one connected k-core.  This is (1,2) only:
-for r >= 2 there is no analogous cheap frontier (the paper uses DFT/FND
-there).
+final — each tree node is exactly one connected k-core.  Bracket nodes that
+close without ever receiving a vertex (the chain below a component whose
+minimum λ exceeds 1, or a level skipped between two denser cores) describe
+the same vertex set as their single child and are spliced out before the
+skeleton is returned, so the condensed tree matches what DFT/FND build
+node-for-node.  This is (1,2) only: for r >= 2 there is no analogous cheap
+frontier (the paper uses DFT/FND there).
+
+The traversal runs natively on both graph engines: an object
+:class:`~repro.graph.adjacency.Graph` is walked through its adjacency
+lists, a :class:`~repro.graph.csr.CSRGraph` directly over its flat
+``indptr`` / ``indices`` arrays.
 """
 
 from __future__ import annotations
@@ -26,11 +35,13 @@ from repro.core.hierarchy import Hierarchy
 from repro.core.peeling import PeelingResult
 from repro.errors import InvalidParameterError
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 
 __all__ = ["lcps_hierarchy"]
 
 
-def lcps_hierarchy(graph: Graph, peeling: PeelingResult) -> Hierarchy:
+def lcps_hierarchy(graph: Graph | CSRGraph,
+                   peeling: PeelingResult) -> Hierarchy:
     """Build the k-core hierarchy with one priority-guided traversal."""
     lam = peeling.lam
     n = graph.n
@@ -38,26 +49,25 @@ def lcps_hierarchy(graph: Graph, peeling: PeelingResult) -> Hierarchy:
         raise InvalidParameterError(
             "LCPS needs a (1,2) peeling of the same graph")
 
+    if isinstance(graph, CSRGraph):
+        indptr, indices, _ = graph.hot_arrays()
+        neighbors = None
+    else:
+        indptr = indices = None
+        neighbors = graph.neighbors
+
     node_lambda: list[int] = []
-    parent: list[int | None] = []
+    parent: list[int] = []  # -1 = top of its component (root, eventually)
     comp = [-1] * n
-    discovered = [False] * n
-
-    def open_node(level: int, parent_id: int | None) -> int:
-        node_id = len(node_lambda)
-        node_lambda.append(level)
-        parent.append(parent_id)
-        return node_id
-
-    root_placeholder: list[int] = []  # ids of nodes that must hang off the root
+    discovered = bytearray(n)
     queue = MaxBucketQueue(peeling.max_lambda)  # drained fully per component
 
     for start in range(n):
         if discovered[start] or lam[start] == 0:
             continue
-        discovered[start] = True
+        discovered[start] = 1
         queue.push(start, lam[start])
-        # stack of (level, node_id); level 0 marks the component's top
+        # stack of (level, node_id)
         stack: list[tuple[int, int]] = []
         while True:
             popped = queue.pop()
@@ -65,28 +75,69 @@ def lcps_hierarchy(graph: Graph, peeling: PeelingResult) -> Hierarchy:
                 break
             v, level = popped
             if not stack:
-                first = open_node(1, None)
-                root_placeholder.append(first)
-                stack.append((1, first))
-                for step in range(2, level + 1):
-                    stack.append((step, open_node(step, stack[-1][1])))
+                node_lambda.append(1)
+                parent.append(-1)
+                stack.append((1, len(parent) - 1))
             else:
                 while stack[-1][0] > level:
                     stack.pop()  # close brackets: this k-core is complete
-                while stack[-1][0] < level:
-                    stack.append((stack[-1][0] + 1,
-                                  open_node(stack[-1][0] + 1, stack[-1][1])))
+            while stack[-1][0] < level:
+                node_lambda.append(stack[-1][0] + 1)
+                parent.append(stack[-1][1])
+                stack.append((stack[-1][0] + 1, len(parent) - 1))
             comp[v] = stack[-1][1]
-            for w in graph.neighbors(v):
-                if not discovered[w]:
-                    discovered[w] = True
-                    queue.push(w, lam[w])
+            if indptr is not None:
+                for p in range(indptr[v], indptr[v + 1]):
+                    w = indices[p]
+                    if not discovered[w]:
+                        discovered[w] = 1
+                        queue.push(w, lam[w])
+            else:
+                for w in neighbors(v):
+                    if not discovered[w]:
+                        discovered[w] = 1
+                        queue.push(w, lam[w])
 
-    root = open_node(0, None)
-    for node_id in root_placeholder:
-        parent[node_id] = root
-    for v in range(n):
-        if comp[v] == -1:
-            comp[v] = root
-    return Hierarchy(1, 2, lam, node_lambda, parent, comp, root,
+    return _splice_empty_chains(lam, node_lambda, parent, comp)
+
+
+def _splice_empty_chains(lam: list[int], node_lambda: list[int],
+                         parent: list[int], comp: list[int]) -> Hierarchy:
+    """Drop bracket nodes no vertex landed in, then attach the root.
+
+    A member-less node with a single child encloses exactly its child's
+    vertex set at a smaller k — an artifact of opening brackets level by
+    level that DFT/FND never materialise.  Splicing redirects each kept
+    node to its nearest kept ancestor; ids are compacted.
+    """
+    count = len(node_lambda)
+    has_member = bytearray(count)
+    for node in comp:
+        if node >= 0:
+            has_member[node] = 1
+    child_count = [0] * count
+    for par in parent:
+        if par >= 0:
+            child_count[par] += 1
+    keep = [bool(has_member[i]) or child_count[i] >= 2 for i in range(count)]
+
+    remap = [-1] * count
+    kept: list[int] = []
+    for i in range(count):
+        if keep[i]:
+            remap[i] = len(kept)
+            kept.append(i)
+
+    new_lambda = [node_lambda[i] for i in kept]
+    root = len(kept)
+    new_parent: list[int | None] = []
+    for i in kept:
+        par = parent[i]
+        while par >= 0 and not keep[par]:
+            par = parent[par]
+        new_parent.append(remap[par] if par >= 0 else root)
+    new_lambda.append(0)
+    new_parent.append(None)
+    new_comp = [remap[c] if c >= 0 else root for c in comp]
+    return Hierarchy(1, 2, lam, new_lambda, new_parent, new_comp, root,
                      algorithm="lcps")

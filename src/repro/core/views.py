@@ -235,16 +235,32 @@ class CSRTriangleView(CellView):
     Triangle ids are the lexicographic rank of the sorted vertex triple
     (the enumeration yields them in that order already), matching
     :class:`TriangleView` element-for-element.
+
+    ``_enumeration`` lets a caller that already materialised the triangle
+    list and ω₄ degrees (the direct CSR peels) hand them in instead of
+    re-enumerating every clique; the triple→id map is then only built if a
+    coface query actually needs it.
     """
 
     r, s = 3, 4
 
-    def __init__(self, graph: CSRGraph):
+    def __init__(self, graph: CSRGraph,
+                 _enumeration: tuple[list[tuple[int, int, int]],
+                                     list[int]] | None = None):
         self.graph = graph
-        self._id_of, self._degrees = csr_triangle_k4_counts(graph)
-        self._vertices: list[tuple[int, int, int]] = [()] * len(self._id_of)  # type: ignore
-        for tri, tid in self._id_of.items():
-            self._vertices[tid] = tri
+        if _enumeration is None:
+            self._id_of, self._degrees = csr_triangle_k4_counts(graph)
+            self._vertices: list[tuple[int, int, int]] = [()] * len(self._id_of)  # type: ignore
+            for tri, tid in self._id_of.items():
+                self._vertices[tid] = tri
+        else:
+            self._vertices, self._degrees = _enumeration
+            self._id_of = None
+
+    def _ids(self) -> dict[tuple[int, int, int], int]:
+        if self._id_of is None:
+            self._id_of = {tri: tid for tid, tri in enumerate(self._vertices)}
+        return self._id_of
 
     @property
     def num_cells(self) -> int:
@@ -256,7 +272,7 @@ class CSRTriangleView(CellView):
     def cofaces(self, cell: int) -> Iterator[tuple[int, ...]]:
         a, b, c = self._vertices[cell]
         graph = self.graph
-        id_of = self._id_of
+        id_of = self._ids()
         indptr, indices, _ = graph.hot_arrays()
         # scan the smallest adjacency run, bisect the other two
         runs = sorted(((indptr[v], indptr[v + 1]) for v in (a, b, c)),

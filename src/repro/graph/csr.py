@@ -44,6 +44,7 @@ __all__ = [
     "CSRGraph",
     "HAVE_NUMPY",
     "csr_edge_support",
+    "csr_k4_triangle_ids",
     "csr_triangle_edge_ids",
     "csr_triangles",
     "csr_triangle_k4_counts",
@@ -520,46 +521,73 @@ def csr_triangles(csr: CSRGraph) -> Iterator[tuple[int, int, int]]:
             pu += 1
 
 
+def csr_k4_triangle_ids(
+        csr: CSRGraph,
+) -> tuple[list[tuple[int, int, int]],
+           tuple[list[int], list[int], list[int], list[int]]]:
+    """All four-cliques as four aligned triangle-id lists, plus the triangles.
+
+    Returns ``(triangles, (q1, q2, q3, q4))`` where ``triangles`` is the
+    lexicographically ordered vertex-triple list (index = triangle id, the
+    same ids both backends' (3,4) views use) and slot ``i`` of the four
+    aligned lists holds the ids of the triangles ``(u,v,w)``, ``(u,v,x)``,
+    ``(u,w,x)``, ``(v,w,x)`` of the ``i``-th four-clique ``u < v < w < x``.
+    This is the materialised triangle→K₄ incidence the direct (3,4) peel
+    and hierarchy construction replay.
+
+    Four-cliques are found once from their smallest edge ``(u, v)``: a pair
+    ``w < x`` of common neighbours beyond ``v`` completes one iff ``(w, x)``
+    is an edge.  Both the common-neighbour lists and the edge tests come
+    from the triangle list itself: triangles sharing their lowest edge sit
+    in one consecutive lex run (so their ids need no lookup at all), and
+    since ``w`` and ``x`` are both adjacent to ``u``, the edge ``(w, x)``
+    exists iff ``(u, w, x)`` is a triangle — one probe of the id map, whose
+    value the K₄ record needs anyway.
+    """
+    n = csr.n
+    triangles = list(csr_triangles(csr))
+    # encoded int keys hash faster than tuple keys in the pair probes below
+    tri_id: dict[int, int] = {
+        (a * n + b) * n + c: tid for tid, (a, b, c) in enumerate(triangles)}
+    q1: list[int] = []
+    q2: list[int] = []
+    q3: list[int] = []
+    q4: list[int] = []
+    get = tri_id.get
+    num_tris = len(triangles)
+    base = 0
+    while base < num_tris:
+        u, v, _w = triangles[base]
+        end = base + 1
+        while end < num_tris:
+            tu, tv, _x = triangles[end]
+            if tu != u or tv != v:
+                break
+            end += 1
+        # triangles[base:end] share the lowest edge (u, v); their third
+        # vertices are exactly the common neighbours of u and v beyond v
+        for i in range(base, end - 1):
+            w = triangles[i][2]
+            uw = (u * n + w) * n
+            vw = (v * n + w) * n
+            for j in range(i + 1, end):
+                x = triangles[j][2]
+                t_uwx = get(uw + x)
+                if t_uwx is not None:
+                    q1.append(i)
+                    q2.append(j)
+                    q3.append(t_uwx)
+                    q4.append(tri_id[vw + x])
+        base = end
+    return triangles, (q1, q2, q3, q4)
+
+
 def csr_triangle_k4_counts(
         csr: CSRGraph) -> tuple[dict[tuple[int, int, int], int], list[int]]:
-    """Triangle ids plus four-cliques containing each triangle (initial ω₄).
-
-    Four-cliques ``u < v < w < x`` are found once from their smallest edge
-    ``(u, v)``: every pair of common neighbours beyond ``v`` that is itself
-    an edge completes one.
-    """
-    triangle_id: dict[tuple[int, int, int], int] = {}
-    for tri in csr_triangles(csr):
-        triangle_id[tri] = len(triangle_id)
-    counts = [0] * len(triangle_id)
-    indptr, indices, _ = csr.hot_arrays()
-    has_edge = csr.has_edge
-    for u in range(csr.n):
-        u_end = indptr[u + 1]
-        pu = _suffix_start(indices, indptr[u], u_end, u)
-        while pu < u_end:
-            v = indices[pu]
-            common: list[int] = []
-            i = pu + 1
-            j = _suffix_start(indices, indptr[v], indptr[v + 1], v)
-            j_end = indptr[v + 1]
-            while i < u_end and j < j_end:
-                a = indices[i]
-                b = indices[j]
-                if a < b:
-                    i += 1
-                elif b < a:
-                    j += 1
-                else:
-                    common.append(a)
-                    i += 1
-                    j += 1
-            for ci, w in enumerate(common):
-                for x in common[ci + 1:]:
-                    if has_edge(w, x):
-                        counts[triangle_id[(u, v, w)]] += 1
-                        counts[triangle_id[(u, v, x)]] += 1
-                        counts[triangle_id[(u, w, x)]] += 1
-                        counts[triangle_id[(v, w, x)]] += 1
-            pu += 1
-    return triangle_id, counts
+    """Triangle ids plus four-cliques containing each triangle (initial ω₄)."""
+    triangles, quads = csr_k4_triangle_ids(csr)
+    counts = [0] * len(triangles)
+    for quad in quads:
+        for tid in quad:
+            counts[tid] += 1
+    return {tri: tid for tid, tri in enumerate(triangles)}, counts

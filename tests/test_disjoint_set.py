@@ -2,7 +2,11 @@
 
 from hypothesis import given, strategies as st
 
-from repro.core.disjoint_set import DisjointSetForest, RootedForest
+from repro.core.disjoint_set import (
+    ArrayRootedForest,
+    DisjointSetForest,
+    RootedForest,
+)
 
 
 class TestDisjointSetForest:
@@ -154,3 +158,67 @@ def test_rooted_forest_parent_edges_form_forest(pairs):
             assert cur not in seen
             seen.add(cur)
             cur = f.parent[cur]
+
+
+class TestArrayRootedForest:
+    """The flat-int twin of RootedForest: -1 sentinel, same discipline."""
+
+    def test_preallocated_and_incremental_nodes(self):
+        f = ArrayRootedForest(3)
+        assert len(f) == 3
+        assert f.make_node() == 3
+        assert f.parent == [-1, -1, -1, -1]
+        assert all(f.find(x) == x for x in range(4))
+
+    def test_union_sets_parent_and_root(self):
+        f = ArrayRootedForest(2)
+        survivor = f.union(0, 1)
+        loser = 1 - survivor
+        assert f.parent[loser] == survivor
+        assert f.root[loser] == survivor
+        assert f.find(0) == f.find(1) == survivor
+
+    def test_attach_and_find_compress_root_not_parent(self):
+        f = ArrayRootedForest(3)
+        f.attach(0, 1)
+        f.attach(1, 2)
+        assert f.find(0) == 2
+        assert f.root[0] == 2        # compressed
+        assert f.parent[0] == 1      # hierarchy edge untouched
+        assert f.parent[1] == 2
+
+    def test_find_without_compression(self):
+        f = ArrayRootedForest(3)
+        f.attach(0, 1)
+        f.attach(1, 2)
+        assert f.find(0, compress=False) == 2
+        assert f.root[0] == 1        # untouched
+
+    def test_parents_or_none(self):
+        f = ArrayRootedForest(2)
+        f.attach(0, 1)
+        assert f.parents_or_none() == [1, None]
+
+
+@given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)),
+                max_size=50),
+       st.lists(st.integers(0, 14), max_size=20))
+def test_array_forest_matches_rooted_forest(pairs, finds):
+    """Property: ArrayRootedForest mirrors RootedForest operation-for-
+    operation — identical parent/root/rank state (modulo sentinel) and
+    identical find results, interleaving unions with compressing finds."""
+    n = 15
+    ref = RootedForest()
+    for _ in range(n):
+        ref.make_node()
+    arr = ArrayRootedForest(n)
+    # deterministic interleave: a compressing find after every union
+    for i, (x, y) in enumerate(pairs):
+        assert ref.union(x, y) == arr.union(x, y)
+        if i < len(finds):
+            assert ref.find(finds[i]) == arr.find(finds[i])
+    for x in finds[len(pairs):]:
+        assert ref.find(x) == arr.find(x)
+    assert arr.parents_or_none() == ref.parent
+    assert [r if r >= 0 else None for r in arr.root] == ref.root
+    assert arr.rank == ref.rank

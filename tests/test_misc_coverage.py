@@ -12,7 +12,8 @@ from repro.queries import HierarchyIndex
 
 class TestLcpsSkeletonExport:
     def test_chain_nodes_render(self):
-        # K5: LCPS builds chain nodes at levels 1..4; export must not choke
+        # K5: LCPS opens bracket chains at levels 1..4 and splices the empty
+        # ones back out; the exported skeleton must stay consistent
         g = generators.complete_graph(5)
         h = nucleus_decomposition(g, 1, 2, algorithm="lcps").hierarchy
         dot = skeleton_to_dot(h)
