@@ -1,14 +1,22 @@
-"""Object vs CSR engine on the peel and hierarchy hot paths.
+"""Object vs CSR vs parallel engines on the peel and hierarchy hot paths.
 
-Two modes:
+Three modes:
 
 * **pytest-benchmark** (``pytest benchmarks/bench_backends.py``): one
   benchmark per (workload, backend) pair on the paper's stand-in datasets.
 * **standalone smoke** (``python benchmarks/bench_backends.py [--quick]
-  [--json OUT]``): times both backends on generator graphs, asserts the λ
-  arrays are identical (and, for the FND workloads, that the condensed
-  hierarchies match node-for-node), prints the speedups and optionally
-  writes the JSON consumed by ``check_regression.py``.
+  [--json OUT]``): times the object and CSR backends on generator graphs,
+  asserts the λ arrays are identical (and, for the FND workloads, that the
+  condensed hierarchies match node-for-node), prints the speedups and
+  optionally writes the JSON consumed by ``check_regression.py``.
+* **worker scaling** (``--parallel``, combinable with the above): times
+  the ``csr-parallel`` backend at several worker counts (``--workers``,
+  default 1 2 4) against the sequential CSR engine on the peel+incidence
+  workloads, asserting λ parity at every count and condensed-hierarchy
+  parity for the parallel FND path.  ``--gate RATIO`` turns the run into
+  a pass/fail check: it exits non-zero when a gated workload's lowest
+  multi-worker time exceeds ``RATIO ×`` the sequential time (the CI
+  ``parallel-smoke`` job runs this with 2 workers and 1.15).
 
 Workloads: the three direct peels (``kcore``, ``truss23``, ``nucleus34``)
 and full FND decompositions (``fnd12``, ``fnd23``) — peel *plus*
@@ -75,15 +83,46 @@ SMOKE_WORKLOADS = {
 _PEEL_FUNCS = {"core": core_peel, "truss": truss_peel,
                "nucleus34": nucleus34_peel}
 
+#: worker-scaling workloads: the three peel+incidence phases.  ``gated``
+#: marks the ones the CI parallel-smoke ratio gate applies to; the (3,4)
+#: smoke size is too small for its fixed pool cost to amortise, so it is
+#: parity-checked and reported but not time-gated.
+PARALLEL_WORKLOADS = {
+    "quick": {
+        "kcore": dict(func="core", gated=True,
+                      gen=dict(n=20000, m=8, p=0.5, seed=7)),
+        "truss23": dict(func="truss", gated=True,
+                        gen=dict(n=6000, m=10, p=0.6, seed=11)),
+        "nucleus34": dict(func="nucleus34", gated=False,
+                          gen=dict(n=1500, m=12, p=0.7, seed=13)),
+    },
+    "full": {
+        "kcore": dict(func="core", gated=True,
+                      gen=dict(n=60000, m=8, p=0.5, seed=7)),
+        "truss23": dict(func="truss", gated=True,
+                        gen=dict(n=16000, m=10, p=0.6, seed=11)),
+        "nucleus34": dict(func="nucleus34", gated=False,
+                          gen=dict(n=4000, m=12, p=0.7, seed=13)),
+    },
+}
+
 
 # ---------------------------------------------------------------------------
 # pytest-benchmark mode
 # ---------------------------------------------------------------------------
+def _backend_kwargs(backend: str) -> dict:
+    """The csr-parallel legs must actually run multi-worker — with the
+    default ``workers=None`` (→ 1) they would silently re-measure the
+    sequential CSR engine under the parallel label."""
+    return {"workers": 2} if backend == "csr-parallel" else {}
+
+
 @pytest.mark.benchmark(group="backends-kcore-peel")
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_kcore_peel_backends(benchmark, dataset, backend):
     graph = as_backend(dataset, backend)  # conversion not charged to the peel
-    result = run_once(benchmark, core_peel, graph, backend=backend)
+    result = run_once(benchmark, core_peel, graph, backend=backend,
+                      **_backend_kwargs(backend))
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -93,7 +132,8 @@ def test_kcore_peel_backends(benchmark, dataset, backend):
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_truss23_peel_backends(benchmark, dataset, backend):
     graph = as_backend(dataset, backend)
-    result = run_once(benchmark, truss_peel, graph, backend=backend)
+    result = run_once(benchmark, truss_peel, graph, backend=backend,
+                      **_backend_kwargs(backend))
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -103,7 +143,8 @@ def test_truss23_peel_backends(benchmark, dataset, backend):
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_nucleus34_peel_backends(benchmark, dataset, backend):
     graph = as_backend(dataset, backend)
-    result = run_once(benchmark, nucleus34_peel, graph, backend=backend)
+    result = run_once(benchmark, nucleus34_peel, graph, backend=backend,
+                      **_backend_kwargs(backend))
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -116,7 +157,8 @@ def test_fnd_hierarchy_backends(benchmark, dataset, backend, rs):
     graph = as_backend(dataset, backend)
     r, s = rs
     result = run_once(benchmark, decompose, graph, r, s,
-                      algorithm="fnd", backend=backend)
+                      algorithm="fnd", backend=backend,
+                      **_backend_kwargs(backend))
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -209,24 +251,170 @@ def run_smoke(mode: str = "quick", repeats: int = 3) -> dict:
     return results
 
 
+def run_parallel_smoke(mode: str = "quick",
+                       workers: tuple[int, ...] = (1, 2, 4),
+                       repeats: int = 3) -> dict:
+    """Time the ``csr-parallel`` backend at each worker count vs the
+    sequential CSR engine on the peel+incidence workloads.
+
+    λ must match the sequential CSR result elementwise at every worker
+    count, and the parallel (2,3) FND decomposition must reproduce the
+    sequential condensed hierarchy node-for-node (the hierarchy-parity
+    half of the CI gate).
+
+    Multi-worker legs run with sharding **forced on** for the duration of
+    the call: otherwise a single-core host would degrade them to the
+    identical in-process bulk path and the recorded "scaling" rows would
+    all measure the same code.  The host's default decision is still
+    recorded (``sharding_effective``) so readers can tell real overlap
+    from serialised shards.
+    """
+    import os
+
+    from repro.parallel.bulk import FORCE_SHARDING_ENV, sharding_effective
+
+    results: dict = {
+        "mode": mode,
+        "cpu_count": os.cpu_count(),
+        "sharding_effective": sharding_effective(),
+        "forced_sharding": True,
+        "workers": list(workers),
+        "workloads": {},
+    }
+    previous_forced = os.environ.get(FORCE_SHARDING_ENV)
+    os.environ[FORCE_SHARDING_ENV] = "1"
+    try:
+        _run_parallel_workloads(results, mode, workers, repeats)
+    finally:
+        if previous_forced is None:
+            os.environ.pop(FORCE_SHARDING_ENV, None)
+        else:
+            os.environ[FORCE_SHARDING_ENV] = previous_forced
+    return results
+
+
+def _run_parallel_workloads(results: dict, mode: str,
+                            workers: tuple[int, ...], repeats: int) -> None:
+    for name, spec in PARALLEL_WORKLOADS[mode].items():
+        gen = spec["gen"]
+        graph = generators.powerlaw_cluster(
+            gen["n"], gen["m"], gen["p"], seed=gen["seed"],
+            name=f"{name}-parallel-smoke")
+        csr = as_backend(graph, "csr")
+        csr.hot_arrays()
+        peel_func = _PEEL_FUNCS[spec["func"]]
+        seq_seconds, seq_result = _best_of(repeats, peel_func, csr,
+                                           backend="csr")
+        row: dict = {
+            "n": graph.n,
+            "m": graph.m,
+            "gated": spec["gated"],
+            "sequential_seconds": round(seq_seconds, 6),
+            "workers": {},
+        }
+        for count in workers:
+            par_seconds, par_result = _best_of(
+                repeats, peel_func, csr, backend="csr-parallel",
+                workers=count)
+            if par_result.lam != seq_result.lam:
+                raise AssertionError(
+                    f"{name}: {count}-worker lambda differs from the "
+                    f"sequential CSR engine — the parallel peel is broken")
+            row["workers"][str(count)] = {
+                "seconds": round(par_seconds, 6),
+                "vs_sequential": round(par_seconds / seq_seconds, 3),
+            }
+        results["workloads"][name] = row
+    # hierarchy parity: the parallel FND path must condense identically
+    graph = generators.powerlaw_cluster(2500, 8, 0.6, seed=23,
+                                        name="fnd23-parallel-parity")
+    csr = as_backend(graph, "csr")
+    csr.hot_arrays()
+    seq = decompose(csr, 2, 3, algorithm="fnd", backend="csr")
+    par = decompose(csr, 2, 3, algorithm="fnd", backend="csr-parallel",
+                    workers=max(workers))
+    if seq.lam != par.lam or \
+            condensed_signature(seq) != condensed_signature(par):
+        raise AssertionError(
+            "parallel FND condensed hierarchy differs from the sequential "
+            "CSR engine — the parallel incidence set-up is broken")
+    results["hierarchy_parity"] = "ok"
+
+
+def gate_parallel(results: dict, ratio: float) -> list[str]:
+    """Failure messages for the CI parallel-smoke gate (empty = pass).
+
+    A gated workload fails when its best multi-worker time exceeds
+    ``ratio ×`` the sequential CSR time.  Single-worker legs are the
+    sequential path by definition and never gate.
+    """
+    failures = []
+    for name, row in results["workloads"].items():
+        if not row["gated"]:
+            continue
+        multi = [entry for count, entry in row["workers"].items()
+                 if count != "1"]
+        if not multi:
+            continue
+        best = min(w["vs_sequential"] for w in multi)
+        if best > ratio:
+            failures.append(
+                f"{name}: best multi-worker peel is {best:.2f}x the "
+                f"sequential CSR time (gate: {ratio}x)")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="object vs CSR backend peel/hierarchy comparison")
+        description="object vs CSR vs parallel backend peel/hierarchy "
+                    "comparison")
     parser.add_argument("--quick", action="store_true",
                         help="small graphs (the CI smoke configuration)")
     parser.add_argument("--json", metavar="PATH",
                         help="write the results as JSON")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--parallel", action="store_true",
+                        help="also run the worker-scaling comparison")
+    parser.add_argument("--parallel-only", action="store_true",
+                        help="run only the worker-scaling comparison")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker counts for --parallel (default 1 2 4)")
+    parser.add_argument("--gate", type=float, metavar="RATIO", default=None,
+                        help="fail when a gated workload's best multi-worker "
+                             "time exceeds RATIO x sequential")
     args = parser.parse_args(argv)
 
-    results = run_smoke("quick" if args.quick else "full",
-                        repeats=args.repeats)
-    print(f"calibration: {results['calibration_seconds'] * 1000:.1f} ms")
-    for name, row in results["workloads"].items():
-        print(f"{name:10s} n={row['n']:>6} m={row['m']:>7}  "
-              f"object {row['object_seconds']:.3f}s  "
-              f"csr {row['csr_seconds']:.3f}s  "
-              f"speedup {row['speedup']:.2f}x  (identical lambda)")
+    mode = "quick" if args.quick else "full"
+    results: dict = {}
+    if not args.parallel_only:
+        results = run_smoke(mode, repeats=args.repeats)
+        print(f"calibration: {results['calibration_seconds'] * 1000:.1f} ms")
+        for name, row in results["workloads"].items():
+            print(f"{name:10s} n={row['n']:>6} m={row['m']:>7}  "
+                  f"object {row['object_seconds']:.3f}s  "
+                  f"csr {row['csr_seconds']:.3f}s  "
+                  f"speedup {row['speedup']:.2f}x  (identical lambda)")
+    if args.parallel or args.parallel_only:
+        parallel = run_parallel_smoke(mode, workers=tuple(args.workers),
+                                      repeats=args.repeats)
+        results["parallel"] = parallel
+        print(f"parallel scaling (cpu_count={parallel['cpu_count']}, "
+              f"sharding={'on' if parallel['sharding_effective'] else 'off'})")
+        for name, row in parallel["workloads"].items():
+            scaling = "  ".join(
+                f"w{count}={entry['seconds']:.3f}s"
+                f" ({entry['vs_sequential']:.2f}x)"
+                for count, entry in row["workers"].items())
+            print(f"{name:10s} seq={row['sequential_seconds']:.3f}s  "
+                  f"{scaling}  (identical lambda)")
+        print("hierarchy parity: ok")
+        if args.gate is not None:
+            failures = gate_parallel(parallel, args.gate)
+            for message in failures:
+                print(f"GATE FAILURE: {message}", file=sys.stderr)
+            if failures:
+                return 1
+            print(f"parallel gate: OK (<= {args.gate}x sequential)")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(results, handle, indent=2, sort_keys=True)

@@ -7,13 +7,20 @@ committed ``BENCH_baseline.json``.  CI machines differ in raw speed, so
 times are first rescaled by the ratio of the two runs' pure-Python
 calibration loops; the gate then fails when
 
+* any key recorded in the baseline (a workload, or a field inside one) is
+  missing from the fresh run — a silent skip would let a renamed or
+  dropped workload evade the gate forever,
 * the CSR run of any workload is more than ``--threshold`` (default 1.5x)
   slower than the rescaled baseline, or
 * the CSR backend has lost its edge over the object backend (speedup below
   ``--min-speedup``, default 1.5x — the committed baseline records ~2-4x).
 
 λ parity between the backends (and condensed-hierarchy parity for the FND
-workloads) is asserted inside the smoke run itself.
+workloads) is asserted inside the smoke run itself.  ``--update`` also
+records the worker-scaling section (``bench_backends.run_parallel_smoke``)
+in the baseline; the scaling numbers are informational here — the CI
+``parallel-smoke`` job gates them directly against the sequential time,
+which is machine-independent.
 
 Usage::
 
@@ -28,7 +35,7 @@ import json
 import sys
 from pathlib import Path
 
-from bench_backends import run_smoke
+from bench_backends import run_parallel_smoke, run_smoke
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -37,11 +44,21 @@ BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 #: the object-vs-CSR speedup, which is machine-independent.
 _SCALE_BAND = (0.2, 5.0)
 
+#: per-workload fields the gate reads; all must exist in a fresh run
+_ROW_KEYS = ("csr_seconds", "object_seconds", "speedup")
+
 
 def check(fresh: dict, baseline: dict, threshold: float,
           min_speedup: float) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
     failures: list[str] = []
+    for key in ("calibration_seconds", "workloads"):
+        if key not in fresh:
+            failures.append(
+                f"{key}: baseline key missing from fresh run — the smoke "
+                f"run no longer produces it")
+    if failures:
+        return failures
     scale = fresh["calibration_seconds"] / baseline["calibration_seconds"]
     comparable = _SCALE_BAND[0] <= scale <= _SCALE_BAND[1]
     if not comparable:
@@ -50,7 +67,17 @@ def check(fresh: dict, baseline: dict, threshold: float,
     for name, base_row in baseline["workloads"].items():
         row = fresh["workloads"].get(name)
         if row is None:
-            failures.append(f"{name}: workload missing from fresh run")
+            failures.append(
+                f"{name}: baseline workload missing from fresh run — "
+                f"renamed or dropped workloads must update the baseline "
+                f"explicitly (--update)")
+            continue
+        missing = [key for key in _ROW_KEYS
+                   if key in base_row and key not in row]
+        if missing:
+            failures.append(
+                f"{name}: baseline field(s) {', '.join(missing)} missing "
+                f"from fresh run")
             continue
         if comparable:
             budget = base_row["csr_seconds"] * scale * threshold
@@ -63,6 +90,10 @@ def check(fresh: dict, baseline: dict, threshold: float,
             failures.append(
                 f"{name}: CSR speedup {row['speedup']:.2f}x fell below "
                 f"{min_speedup}x (baseline recorded {base_row['speedup']:.2f}x)")
+    if "parallel" in baseline and "parallel" not in fresh:
+        failures.append(
+            "parallel: baseline records a worker-scaling section but the "
+            "fresh run has none (run with the parallel smoke, or --update)")
     return failures
 
 
@@ -84,10 +115,27 @@ def main(argv: list[str] | None = None) -> int:
                              "more when recording a baseline")
     args = parser.parse_args(argv)
 
+    baseline = None
+    if not args.update:
+        if not args.baseline.exists():
+            print(f"error: no baseline at {args.baseline}; run with --update",
+                  file=sys.stderr)
+            return 2
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+
     fresh = run_smoke("quick", repeats=args.repeats)
     for name, row in fresh["workloads"].items():
         print(f"{name:10s} object {row['object_seconds']:.3f}s  "
               f"csr {row['csr_seconds']:.3f}s  speedup {row['speedup']:.2f}x")
+    if args.update or (baseline is not None and "parallel" in baseline):
+        # keep the worker-scaling section in lockstep with the baseline
+        # (its λ/hierarchy parity asserts run as a side effect).  The
+        # recorded baseline uses the full-size workloads — pool start-up
+        # amortises there, so the numbers reflect the scaling story —
+        # while gate runs only need the cheap quick-mode consistency pass.
+        fresh["parallel"] = run_parallel_smoke(
+            "full" if args.update else "quick", repeats=args.repeats)
 
     if args.update:
         with open(args.baseline, "w") as handle:
@@ -95,13 +143,6 @@ def main(argv: list[str] | None = None) -> int:
             handle.write("\n")
         print(f"baseline updated: {args.baseline}")
         return 0
-
-    if not args.baseline.exists():
-        print(f"error: no baseline at {args.baseline}; run with --update",
-              file=sys.stderr)
-        return 2
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
 
     failures = check(fresh, baseline, args.threshold, args.min_speedup)
     if failures:

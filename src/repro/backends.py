@@ -1,6 +1,6 @@
-"""Backend dispatch: run any decomposition on either graph representation.
+"""Backend dispatch: run any decomposition on any graph engine.
 
-Two backends implement the peeling engine:
+Three backends implement the peeling engine:
 
 * ``"object"`` — :class:`~repro.graph.adjacency.Graph`, per-vertex
   ``set``/``list`` adjacency.  Flexible, allocation-heavy.
@@ -9,17 +9,24 @@ Two backends implement the peeling engine:
   (:mod:`repro.core.csr_peel`), direct traversal-free hierarchy
   construction (:mod:`repro.core.csr_fnd`) and merge-intersection cell
   views.
+* ``"csr-parallel"`` — the CSR arrays plus the shared-memory execution
+  layer of :mod:`repro.parallel`: round-synchronous bulk peels and
+  worker-sharded incidence set-up.  Takes ``workers=N`` (default: the
+  ``REPRO_WORKERS`` environment variable, else 1); ``workers=1`` runs the
+  sequential CSR engine with no process pool.  Requires numpy.
 
 Callers pick per run: every function here takes ``backend=`` (or an
 already-converted graph) and guarantees **identical λ output** across
 backends — only speed differs.  ``backend=None`` (the default everywhere)
 means *follow the representation passed in*: a :class:`CSRGraph` runs the
 CSR engine, a :class:`Graph` the object engine, with no silent conversion
-either way.  Cell ids are representation-independent (vertices are shared,
-edge and triangle ids are lexicographic on both backends), so the λ arrays
-compare element-for-element, and the condensed hierarchies are identical.
-The CLI exposes the switch as ``--backend`` (default: auto) and the
-benchmark suite as the ``REPRO_BENCH_BACKEND`` environment variable.
+either way (the parallel engine is never auto-selected).  Cell ids are
+representation-independent (vertices are shared, edge and triangle ids
+are lexicographic on both backends), so the λ arrays compare
+element-for-element, and the condensed hierarchies are identical.
+The CLI exposes the switch as ``--backend`` (default: auto) plus
+``--workers``, and the benchmark suite as the ``REPRO_BENCH_BACKEND``
+environment variable.
 """
 
 from __future__ import annotations
@@ -55,7 +62,7 @@ __all__ = [
     "truss_peel",
 ]
 
-BACKENDS = ("object", "csr")
+BACKENDS = ("object", "csr", "csr-parallel")
 
 #: engine used when an object :class:`Graph` is passed with ``backend=None``
 DEFAULT_BACKEND = "object"
@@ -65,6 +72,14 @@ def _check(backend: str) -> None:
     if backend not in BACKENDS:
         raise InvalidParameterError(
             f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+
+def _resolve_parallel_workers(workers: int | None) -> int:
+    """Validated worker count for the ``csr-parallel`` engine (lazy import
+    keeps the object/CSR engines importable without numpy)."""
+    from repro.parallel import resolve_workers
+
+    return resolve_workers(workers)
 
 
 def resolve_backend(graph: Graph | CSRGraph, backend: str | None) -> str:
@@ -97,7 +112,7 @@ def as_object(graph: Graph | CSRGraph) -> Graph:
 def as_backend(graph: Graph | CSRGraph, backend: str) -> Graph | CSRGraph:
     """Convert ``graph`` to the representation the backend peels."""
     _check(backend)
-    return as_csr(graph) if backend == "csr" else as_object(graph)
+    return as_object(graph) if backend == "object" else as_csr(graph)
 
 
 def backend_view(graph: Graph | CSRGraph, r: int, s: int, backend: str):
@@ -105,39 +120,64 @@ def backend_view(graph: Graph | CSRGraph, r: int, s: int, backend: str):
     return build_view(as_backend(graph, backend), r, s)
 
 
-def core_peel(graph: Graph | CSRGraph,
-              backend: str | None = None) -> PeelingResult:
+def core_peel(graph: Graph | CSRGraph, backend: str | None = None,
+              workers: int | None = None) -> PeelingResult:
     """(1,2) peel — λ₂ (core numbers) plus degeneracy order.
 
     The CSR backend runs the direct Batagelj–Zaversnik array peel; the
-    object backend the generic Set-λ over :class:`VertexView`.
+    object backend the generic Set-λ over :class:`VertexView`; the
+    parallel backend the round-synchronous bulk peel over ``workers``
+    processes (``workers=1``: the sequential CSR peel, no pool).
     ``backend=None`` follows the representation passed in.
     """
     backend = resolve_backend(graph, backend)
+    if backend == "csr-parallel":
+        count = _resolve_parallel_workers(workers)
+        if count > 1:
+            from repro.parallel import parallel_core_peel
+
+            return parallel_core_peel(as_csr(graph), count)
+        backend = "csr"
     if backend == "csr":
         return csr_core_peel(as_csr(graph))
     return peel(build_view(as_object(graph), 1, 2))
 
 
-def truss_peel(graph: Graph | CSRGraph,
-               backend: str | None = None) -> PeelingResult:
+def truss_peel(graph: Graph | CSRGraph, backend: str | None = None,
+               workers: int | None = None) -> PeelingResult:
     """(2,3) peel — λ₃ per edge id (ids are lexicographic on both backends,
     so the arrays compare element-for-element).  ``backend=None`` follows
-    the representation passed in."""
+    the representation passed in; the parallel backend shards the triangle
+    listing and peels in bulk rounds over ``workers`` processes."""
     backend = resolve_backend(graph, backend)
+    if backend == "csr-parallel":
+        count = _resolve_parallel_workers(workers)
+        if count > 1:
+            from repro.parallel import parallel_truss_peel
+
+            return parallel_truss_peel(as_csr(graph), count)
+        backend = "csr"
     if backend == "csr":
         return csr_truss_peel(as_csr(graph))
     return peel(build_view(as_object(graph), 2, 3))
 
 
-def nucleus34_peel(graph: Graph | CSRGraph,
-                   backend: str | None = None) -> PeelingResult:
+def nucleus34_peel(graph: Graph | CSRGraph, backend: str | None = None,
+                   workers: int | None = None) -> PeelingResult:
     """(3,4) peel — λ₄ per lexicographic triangle id.
 
     The CSR backend replays a materialised triangle→K₄ incidence; the
-    object backend runs the generic Set-λ over :class:`TriangleView`.
+    object backend runs the generic Set-λ over :class:`TriangleView`; the
+    parallel backend shards the K₄ listing and peels in bulk rounds.
     ``backend=None`` follows the representation passed in."""
     backend = resolve_backend(graph, backend)
+    if backend == "csr-parallel":
+        count = _resolve_parallel_workers(workers)
+        if count > 1:
+            from repro.parallel import parallel_nucleus34_peel
+
+            return parallel_nucleus34_peel(as_csr(graph), count)
+        backend = "csr"
     if backend == "csr":
         return csr_nucleus34_peel(as_csr(graph))
     return peel(build_view(as_object(graph), 3, 4))
@@ -145,7 +185,8 @@ def nucleus34_peel(graph: Graph | CSRGraph,
 
 def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
               algorithm: str = "fnd",
-              backend: str | None = None) -> Decomposition:
+              backend: str | None = None,
+              workers: int | None = None) -> Decomposition:
     """Full nucleus decomposition on the chosen backend.
 
     ``backend=None`` follows the representation passed in; naming a
@@ -153,21 +194,36 @@ def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
     CSR backend, FND for the paper's evaluated (r, s) pairs and LCPS run
     *directly* on the flat arrays — peel, hierarchy construction and
     traversal never build an object graph; the remaining algorithms peel
-    through the CSR cell views.  The returned :class:`Decomposition`
-    carries the graph exactly as it was passed in, with one exception:
-    running the object engine on a :class:`CSRGraph` input converts, since
-    that engine's views and traversals need the object representation.
+    through the CSR cell views.  The parallel backend additionally shards
+    the FND incidence set-up over ``workers`` processes (hierarchy
+    construction itself stays sequential, so the condensed tree is
+    node-for-node identical); ``workers`` is ignored by the other
+    backends.  The returned :class:`Decomposition` carries the graph
+    exactly as it was passed in, with one exception: running the object
+    engine on a :class:`CSRGraph` input converts, since that engine's
+    views and traversals need the object representation.
     """
     backend = resolve_backend(graph, backend)
     if backend == "object":
         return nucleus_decomposition(as_object(graph), r, s,
                                      algorithm=algorithm)
+    parallel_workers = 0
+    if backend == "csr-parallel":
+        count = _resolve_parallel_workers(workers)
+        if count > 1 and algorithm == "fnd" and (r, s) in CSR_FND_RS:
+            parallel_workers = count
     csr = as_csr(graph)
     if algorithm == "fnd" and (r, s) in CSR_FND_RS:
         stats = FndInstrumentation()
         start = time.perf_counter()
-        peeling, hierarchy, view = csr_fnd_decomposition(
-            csr, r, s, instrumentation=stats)
+        if parallel_workers:
+            from repro.parallel import parallel_fnd_decomposition
+
+            peeling, hierarchy, view = parallel_fnd_decomposition(
+                csr, r, s, parallel_workers, instrumentation=stats)
+        else:
+            peeling, hierarchy, view = csr_fnd_decomposition(
+                csr, r, s, instrumentation=stats)
         total = time.perf_counter() - start
         post_s = min(stats.build_seconds, total)
         return Decomposition(graph, r, s, algorithm, peeling.lam, hierarchy,

@@ -41,9 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--s", type=int, default=2)
         p.add_argument("--algorithm", choices=ALGORITHMS, default="fnd")
         p.add_argument("--backend", choices=BACKENDS, default=None,
-                       help="graph engine: 'object' (set/list adjacency) or "
-                            "'csr' (flat-array peeling); default: follow the "
+                       help="graph engine: 'object' (set/list adjacency), "
+                            "'csr' (flat-array peeling) or 'csr-parallel' "
+                            "(shared-memory workers); default: follow the "
                             "input representation (auto)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the csr-parallel backend "
+                            "(default: $REPRO_WORKERS, else 1 = sequential)")
         p.add_argument("--tree", action="store_true",
                        help="print the condensed nucleus tree")
         p.add_argument("--max-nodes", type=int, default=60)
@@ -65,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     densest.add_argument("--top", type=int, default=10)
     densest.add_argument("--min-vertices", type=int, default=4)
     densest.add_argument("--backend", choices=BACKENDS, default=None)
+    densest.add_argument("--workers", type=int, default=None)
 
     export = sub.add_parser(
         "export", help="decompose and export the hierarchy (json/dot)")
@@ -73,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--r", type=int, default=1)
     export.add_argument("--s", type=int, default=2)
     export.add_argument("--backend", choices=BACKENDS, default=None)
+    export.add_argument("--workers", type=int, default=None)
     export.add_argument("--format", choices=["json", "dot", "skeleton-dot"],
                         default="json")
     return parser
@@ -80,11 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _print_decomposition(graph: Graph, r: int, s: int, algorithm: str,
                          show_tree: bool, max_nodes: int,
-                         backend: str | None = None) -> None:
-    result = decompose(graph, r, s, algorithm=algorithm, backend=backend)
+                         backend: str | None = None,
+                         workers: int | None = None) -> None:
+    result = decompose(graph, r, s, algorithm=algorithm, backend=backend,
+                       workers=workers)
     shown = resolve_backend(graph, backend)
     if backend is None:
         shown += " (auto)"
+    elif backend == "csr-parallel" and workers is not None:
+        shown += f" ({workers} workers)"
     print(f"graph      : {graph!r}")
     print(f"parameters : ({r},{s}) nucleus, algorithm={algorithm}, "
           f"backend={shown}")
@@ -121,17 +131,18 @@ def _run(args: argparse.Namespace) -> int:
     if args.command == "decompose":
         _print_decomposition(load_graph(args.path), args.r, args.s,
                              args.algorithm, args.tree, args.max_nodes,
-                             backend=args.backend)
+                             backend=args.backend, workers=args.workers)
         return 0
     if args.command == "dataset":
         graph = load_dataset(args.name, args.size)
         _print_decomposition(graph, args.r, args.s, args.algorithm,
-                             args.tree, args.max_nodes, backend=args.backend)
+                             args.tree, args.max_nodes, backend=args.backend,
+                             workers=args.workers)
         return 0
     if args.command == "densest":
         graph = load_graph(args.path)
         result = decompose(graph, args.r, args.s, algorithm="fnd",
-                           backend=args.backend)
+                           backend=args.backend, workers=args.workers)
         for report in densest_nuclei(result, min_vertices=args.min_vertices,
                                      limit=args.top):
             print(report)
@@ -141,7 +152,7 @@ def _run(args: argparse.Namespace) -> int:
 
         graph = load_graph(args.path)
         result = decompose(graph, args.r, args.s, algorithm="fnd",
-                           backend=args.backend)
+                           backend=args.backend, workers=args.workers)
         hierarchy = result.hierarchy
         assert hierarchy is not None
         if args.format == "json":

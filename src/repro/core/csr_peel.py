@@ -28,6 +28,7 @@ from bisect import bisect_left
 
 from repro.core.peeling import PeelingResult
 from repro.graph.csr import (
+    _MAX_KEYED_N,
     _NUMPY_MIN_TRIANGLE_EDGES,
     CSRGraph,
     HAVE_NUMPY,
@@ -37,7 +38,9 @@ from repro.graph.csr import (
 )
 
 __all__ = ["bucket_order", "csr_core_peel", "csr_nucleus34_peel",
-           "csr_truss_peel", "nucleus34_incidence", "truss_incidence"]
+           "csr_truss_peel", "nucleus34_incidence",
+           "nucleus34_incidence_arrays", "truss_incidence",
+           "truss_incidence_arrays"]
 
 
 def bucket_order(priorities: list[int]) -> tuple[list[int], list[int],
@@ -140,18 +143,8 @@ def truss_incidence(csr: CSRGraph,
     if use_numpy is None:
         use_numpy = HAVE_NUMPY and m >= _NUMPY_MIN_TRIANGLE_EDGES
     if use_numpy:
-        import numpy as np
-
-        e1, e2, e3 = csr_triangle_edge_ids(csr)
-        sup = np.bincount(np.concatenate([e1, e2, e3]), minlength=m).tolist()
-        # incidence CSR: for each edge occurrence, the two companion edge ids
-        occ = np.concatenate([e1, e2, e3])
-        order = np.argsort(occ, kind="stable")
-        comp1 = np.concatenate([e2, e1, e1])[order].tolist()
-        comp2 = np.concatenate([e3, e3, e2])[order].tolist()
-        inc_ptr = np.zeros(m + 1, dtype=np.int64)
-        np.cumsum(np.bincount(occ, minlength=m), out=inc_ptr[1:])
-        return sup, inc_ptr.tolist(), comp1, comp2
+        sup, ptr, (comp1, comp2) = _truss_incidence_numpy(csr)
+        return sup.tolist(), ptr.tolist(), comp1.tolist(), comp2.tolist()
 
     indptr, indices, eids = csr.hot_arrays()
     bisect = bisect_left
@@ -320,8 +313,62 @@ def _truss_peel_scan(csr: CSRGraph) -> PeelingResult:
     return PeelingResult(lam=sup, max_lambda=max_lambda, order=vert)
 
 
+def _truss_incidence_numpy(csr: CSRGraph):
+    """Vectorised edge→triangle incidence as numpy arrays:
+    ``(sup, ptr, (comp1, comp2))``."""
+    from repro.graph.csr import fill_incidence
+
+    e1, e2, e3 = csr_triangle_edge_ids(csr)
+    return fill_incidence([e1, e2, e3], [(e2, e3), (e1, e3), (e1, e2)],
+                          csr.m)
+
+
+def truss_incidence_arrays(csr: CSRGraph):
+    """:func:`truss_incidence` as int64 numpy arrays: ``(sup, ptr,
+    (comp1, comp2))`` — what the bulk peel consumes, without the list
+    round-trip (requires numpy)."""
+    import numpy as np
+
+    if csr.m >= _NUMPY_MIN_TRIANGLE_EDGES:
+        return _truss_incidence_numpy(csr)
+    sup, ptr, comp1, comp2 = truss_incidence(csr, use_numpy=False)
+    return (np.asarray(sup, dtype=np.int64),
+            np.asarray(ptr, dtype=np.int64),
+            (np.asarray(comp1, dtype=np.int64),
+             np.asarray(comp2, dtype=np.int64)))
+
+
+def _nucleus34_incidence_numpy(csr: CSRGraph):
+    """Vectorised triangle→K₄ incidence: ``(triangles, sup, ptr, comps)``
+    with numpy arrays (callers guard ``n < _MAX_KEYED_N``)."""
+    from repro.graph.csr import _k4_numpy, fill_incidence
+
+    tu, tv, tw, q1, q2, q3, q4 = _k4_numpy(csr)
+    triangles = list(zip(tu.tolist(), tv.tolist(), tw.tolist()))
+    # quad-major occurrence order + stable argsort lays each triangle's
+    # slots out exactly as the python cursor fill does
+    sup, ptr, comps = fill_incidence(
+        [q1, q2, q3, q4],
+        [(q2, q3, q4), (q1, q3, q4), (q1, q2, q4), (q1, q2, q3)],
+        len(triangles))
+    return triangles, sup, ptr, comps
+
+
+def nucleus34_incidence_arrays(csr: CSRGraph):
+    """:func:`nucleus34_incidence` as int64 numpy arrays (requires
+    numpy): ``(triangles, sup, ptr, (c1, c2, c3))``."""
+    import numpy as np
+
+    if csr.m >= _NUMPY_MIN_TRIANGLE_EDGES and csr.n < _MAX_KEYED_N:
+        return _nucleus34_incidence_numpy(csr)
+    triangles, sup, ptr, comps = nucleus34_incidence(csr, use_numpy=False)
+    return (triangles, np.asarray(sup, dtype=np.int64),
+            np.asarray(ptr, dtype=np.int64),
+            tuple(np.asarray(c, dtype=np.int64) for c in comps))
+
+
 def nucleus34_incidence(
-        csr: CSRGraph,
+        csr: CSRGraph, use_numpy: bool | None = None,
 ) -> tuple[list[tuple[int, int, int]], list[int], list[int],
            tuple[list[int], list[int], list[int]]]:
     """Materialised triangle→K₄ incidence: ``(triangles, sup, ptr, comps)``.
@@ -331,8 +378,19 @@ def nucleus34_incidence(
     ``t`` (initial ω₄); slots ``ptr[t] .. ptr[t+1]`` of the three aligned
     companion arrays hold the other three triangle ids of each K₄ through
     ``t``.  Shared by the direct (3,4) peel and hierarchy construction.
+
+    With numpy available both the K₄ listing and the incidence fill run
+    vectorised (quad-major stable sort reproduces the cursor fill slot for
+    slot); the python fallback below is the reference layout.
     """
-    triangles, quads = csr_k4_triangle_ids(csr)
+    if use_numpy is None:
+        use_numpy = (HAVE_NUMPY and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
+                     and csr.n < _MAX_KEYED_N)
+    if use_numpy:
+        triangles, sup, ptr, comps = _nucleus34_incidence_numpy(csr)
+        return (triangles, sup.tolist(), ptr.tolist(),
+                tuple(c.tolist() for c in comps))
+    triangles, quads = csr_k4_triangle_ids(csr, use_numpy=False)
     t = len(triangles)
     sup = [0] * t
     for quad in quads:

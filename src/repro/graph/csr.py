@@ -43,11 +43,18 @@ except ImportError:  # pragma: no cover - the CI image ships numpy
 __all__ = [
     "CSRGraph",
     "HAVE_NUMPY",
+    "csr_arrays_int64",
     "csr_edge_support",
     "csr_k4_triangle_ids",
     "csr_triangle_edge_ids",
+    "csr_forward_structure",
     "csr_triangles",
     "csr_triangle_k4_counts",
+    "fill_incidence",
+    "k4_pair_kernel",
+    "triangle_pair_kernel",
+    "triangle_run_pointers",
+    "triangle_triples",
 ]
 
 #: whether the optional numpy fast paths are available in this environment
@@ -55,6 +62,10 @@ HAVE_NUMPY = _np is not None
 
 #: below this many input pairs the numpy round-trip costs more than it saves
 _NUMPY_MIN_EDGES = 512
+
+#: the int-key index algebra encodes a vertex triple as (u·n + v)·n + w,
+#: which must stay below 2^63; graphs past this bound take the python path
+_MAX_KEYED_N = 1 << 21
 
 
 def _zeros(count: int) -> array:
@@ -408,39 +419,20 @@ def csr_triangle_edge_ids(csr: CSRGraph):
     numpy (callers check :data:`HAVE_NUMPY`).
     """
     n, m = csr.n, csr.m
-    empty = _np.empty(0, dtype=_np.int64)
     if m == 0:
+        empty = _np.empty(0, dtype=_np.int64)
         return empty, empty, empty
-    esrc = _np.frombuffer(csr.esrc, dtype=_np.int32).astype(_np.int64)
-    etgt = _np.frombuffer(csr.etgt, dtype=_np.int32).astype(_np.int64)
-    indptr = _np.frombuffer(csr.indptr, dtype=_np.int32).astype(_np.int64)
-    deg = _np.diff(indptr)
-    rank = _np.empty(n, dtype=_np.int64)
-    rank[_np.lexsort((_np.arange(n), deg))] = _np.arange(n)
-    ru, rv = rank[esrc], rank[etgt]
-    fsrc = _np.minimum(ru, rv)
-    fdst = _np.maximum(ru, rv)
-    order = _np.lexsort((fdst, fsrc))
-    fsrc_s, fdst_s = fsrc[order], fdst[order]
-    feid = _np.arange(m, dtype=_np.int64)[order]
-    fptr = _np.zeros(n + 1, dtype=_np.int64)
-    _np.cumsum(_np.bincount(fsrc_s, minlength=n), out=fptr[1:])
+    fwd = csr_forward_structure(csr)
+    fptr, fdst, feid, fkeys = (fwd["fptr"], fwd["fdst"], fwd["feid"],
+                               fwd["fkeys"])
+    # chunk the kernel over rank ranges so the transient pair arrays stay
+    # bounded on dense graphs
     counts = _np.diff(fptr)
-    # all slot pairs (i < j) within each forward run — the wedges
-    slots = _np.arange(m, dtype=_np.int64)
-    reps = _np.repeat(fptr[1:], counts) - slots - 1
-    total = int(reps.sum())
-    if total == 0:
-        return empty, empty, empty
-    idx_i = _np.repeat(slots, reps)
-    group_start = _np.concatenate(([0], _np.cumsum(reps)[:-1]))
-    idx_j = _np.arange(total, dtype=_np.int64) - _np.repeat(group_start, reps) \
-        + idx_i + 1
-    probe = fdst_s[idx_i] * n + fdst_s[idx_j]
-    keys = fsrc_s * n + fdst_s  # ascending by construction
-    pos = _np.minimum(_np.searchsorted(keys, probe), m - 1)
-    closed = keys[pos] == probe
-    return feid[idx_i[closed]], feid[idx_j[closed]], feid[pos[closed]]
+    pair_weights = counts * (counts - 1) // 2
+    cuts = _chunk_starts(pair_weights)
+    return _concat_columns(
+        [triangle_pair_kernel(fptr, fdst, feid, fkeys, n, lo, hi)
+         for lo, hi in zip(cuts[:-1], cuts[1:])], 3)
 
 
 def csr_edge_support(csr: CSRGraph, use_numpy: bool | None = None) -> list[int]:
@@ -521,8 +513,262 @@ def csr_triangles(csr: CSRGraph) -> Iterator[tuple[int, int, int]]:
             pu += 1
 
 
+def csr_arrays_int64(csr: CSRGraph) -> dict:
+    """The five CSR arrays as int64 numpy arrays (keyed by attribute name).
+
+    This is the layout the index-algebra kernels below and the
+    shared-memory workers (:mod:`repro.parallel`) operate on; int64 keeps
+    every derived key (``u·n + v`` and ``(u·n + v)·n + w``) overflow-free
+    for any graph the 32-bit CSR can hold.
+    """
+    return {
+        "indptr": _np.frombuffer(csr.indptr, dtype=_np.int32).astype(_np.int64),
+        "indices": _np.frombuffer(csr.indices, dtype=_np.int32).astype(_np.int64),
+        "eids": _np.frombuffer(csr.eids, dtype=_np.int32).astype(_np.int64),
+        "esrc": _np.frombuffer(csr.esrc, dtype=_np.int32).astype(_np.int64),
+        "etgt": _np.frombuffer(csr.etgt, dtype=_np.int32).astype(_np.int64),
+    }
+
+
+def csr_forward_structure(csr: CSRGraph) -> dict:
+    """The degree-ranked forward orientation as int64 numpy arrays.
+
+    Every edge is oriented toward its (degree, id)-larger endpoint and the
+    oriented edges are laid out CSR-style in *rank space*: slots
+    ``fptr[a] .. fptr[a+1]`` hold, ascending, the forward targets ``fdst``
+    (ranks) of the rank-``a`` vertex, ``feid`` the underlying lex edge ids,
+    and ``keys = fsrc·n + fdst`` is ascending over all slots.  This is the
+    structure :func:`triangle_pair_kernel` enumerates wedges over; hub
+    vertices rank last, so forward runs — and the wedge-pair blow-up —
+    stay small on skewed graphs.  Shared-memory workers attach these five
+    arrays and shard the kernel by rank ranges.
+    """
+    n, m = csr.n, csr.m
+    arrays = csr_arrays_int64(csr)
+    esrc, etgt, indptr = arrays["esrc"], arrays["etgt"], arrays["indptr"]
+    deg = _np.diff(indptr)
+    rank = _np.empty(n, dtype=_np.int64)
+    rank[_np.lexsort((_np.arange(n), deg))] = _np.arange(n)
+    ru, rv = rank[esrc], rank[etgt]
+    fsrc = _np.minimum(ru, rv)
+    fdst = _np.maximum(ru, rv)
+    order = _np.lexsort((fdst, fsrc))
+    fsrc_s, fdst_s = fsrc[order], fdst[order]
+    feid = _np.arange(m, dtype=_np.int64)[order]
+    fptr = _np.zeros(n + 1, dtype=_np.int64)
+    _np.cumsum(_np.bincount(fsrc_s, minlength=n), out=fptr[1:])
+    return {"fptr": fptr, "fdst": fdst_s, "feid": feid,
+            "fkeys": fsrc_s * n + fdst_s}
+
+
+def run_slots(starts, ends):
+    """Flat positions of all array slots in the given ``[start, end)``
+    runs, plus the per-run counts (pure ``repeat``/``cumsum`` algebra)."""
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _np.empty(0, dtype=_np.int64), counts
+    offsets = _np.concatenate(([0], _np.cumsum(counts)[:-1]))
+    slots = _np.repeat(starts - offsets, counts) + _np.arange(
+        total, dtype=_np.int64)
+    return slots, counts
+
+
+def _run_slot_pairs(starts, ends):
+    """All slot pairs ``(i < j)`` within each ``[start, end)`` run.
+
+    The shared core of the wedge and K₄-candidate enumerations: slot ``s``
+    pairs with exactly the later slots of its own run.  Returns the two
+    aligned position arrays ``(idx_i, idx_j)`` (empty when no run holds
+    two slots).
+    """
+    slots, counts = run_slots(starts, ends)
+    empty = _np.empty(0, dtype=_np.int64)
+    if len(slots) == 0:
+        return empty, empty
+    reps = _np.repeat(ends, counts) - slots - 1
+    pairs = int(reps.sum())
+    if pairs == 0:
+        return empty, empty
+    idx_i = _np.repeat(slots, reps)
+    group_start = _np.concatenate(([0], _np.cumsum(reps)[:-1]))
+    idx_j = idx_i + 1 + (_np.arange(pairs, dtype=_np.int64)
+                         - _np.repeat(group_start, reps))
+    return idx_i, idx_j
+
+
+def _concat_columns(parts: list[tuple], columns: int) -> tuple:
+    """Column-wise concatenation of aligned array tuples (drops empties)."""
+    parts = [p for p in parts if len(p[0])]
+    if not parts:
+        empty = _np.empty(0, dtype=_np.int64)
+        return (empty,) * columns
+    if len(parts) == 1:
+        return parts[0]
+    return tuple(_np.concatenate([p[col] for p in parts])
+                 for col in range(columns))
+
+
+def fill_incidence(occ_columns, comp_rows, size: int):
+    """CSR incidence from aligned occurrence columns: ``(sup, ptr, comps)``.
+
+    ``occ_columns[j][i]`` is the cell owning occurrence ``j`` of s-clique
+    ``i``; ``comp_rows[j]`` the tuple of its companion columns.  Stacking
+    clique-major and stable-sorting by cell reproduces the sequential
+    cursor fill slot for slot — the one incidence-layout algorithm shared
+    by the (2,3)/(3,4) builders and the parallel sharded set-up (keep it
+    single-sourced: the cross-backend parity contract depends on every
+    builder producing this same layout discipline).
+    """
+    occ = _np.stack(occ_columns, axis=1).ravel()
+    sup = _np.bincount(occ, minlength=size).astype(_np.int64)
+    ptr = _np.zeros(size + 1, dtype=_np.int64)
+    _np.cumsum(sup, out=ptr[1:])
+    order = _np.argsort(occ, kind="stable")
+    comps = tuple(
+        _np.stack(columns, axis=1).ravel()[order]
+        for columns in zip(*comp_rows))
+    return sup, ptr, comps
+
+
+def triangle_pair_kernel(fptr, fdst, feid, fkeys, n: int, lo: int, hi: int):
+    """Triangles whose lowest-ranked vertex has rank in ``[lo, hi)``.
+
+    Pure index algebra over the :func:`csr_forward_structure` arrays (no
+    :class:`CSRGraph` needed, so shared-memory workers can run it on
+    attached arrays): all wedge pairs inside each forward run in the range
+    are generated with :func:`_run_slot_pairs` and closed with one
+    ``searchsorted`` against ``fkeys``.  Returns the three aligned edge-id
+    arrays ``(e1, e2, e3)`` of every triangle found; consecutive ranges
+    concatenate to exactly the full-range output.
+    """
+    idx_i, idx_j = _run_slot_pairs(fptr[lo:hi], fptr[lo + 1:hi + 1])
+    if len(idx_i) == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty, empty
+    probe = fdst[idx_i] * n + fdst[idx_j]
+    pos = _np.minimum(_np.searchsorted(fkeys, probe), len(fkeys) - 1)
+    closed = fkeys[pos] == probe
+    return feid[idx_i[closed]], feid[idx_j[closed]], feid[pos[closed]]
+
+
+#: per-chunk pair budget for the chunked in-process kernel drivers —
+#: bounds the transient index arrays without giving up vectorisation
+_KERNEL_CHUNK_PAIRS = 1 << 21
+
+
+def _chunk_starts(weights) -> list[int]:
+    """Boundaries splitting ``weights`` into ~equal chunks of bounded sum."""
+    total = _np.concatenate(([0], _np.cumsum(weights)))
+    cuts = [0]
+    count = len(weights)
+    while cuts[-1] < count:
+        lo = cuts[-1]
+        hi = int(_np.searchsorted(total, total[lo] + _KERNEL_CHUNK_PAIRS,
+                                  side="left"))
+        cuts.append(min(max(hi, lo + 1), count))
+    return cuts
+
+
+def triangle_triples(arrays: dict, e1, e2, e3):
+    """Vertex triples ``(tu, tv, tw)`` of triangles given as edge-id rows.
+
+    Each vertex of a triangle appears in exactly two of its edges, so the
+    endpoint sum is ``2(u + v + w)``; with the min and max that pins the
+    middle vertex without any adjacency probe.
+    """
+    esrc, etgt = arrays["esrc"], arrays["etgt"]
+    s1, t1 = esrc[e1], etgt[e1]
+    s2, t2 = esrc[e2], etgt[e2]
+    s3, t3 = esrc[e3], etgt[e3]
+    tu = _np.minimum(_np.minimum(s1, s2), s3)
+    tw = _np.maximum(_np.maximum(t1, t2), t3)
+    tv = (s1 + t1 + s2 + t2 + s3 + t3) // 2 - tu - tw
+    return tu, tv, tw
+
+
+def _lex_triangles_numpy(csr: CSRGraph):
+    """The lex-ordered triangle listing ``(tu, tv, tw)``, vectorised.
+
+    Degree-oriented wedge enumeration (hub runs stay short) followed by
+    one lexsort back into lexicographic triple order — the order that
+    defines triangle ids on both backends.
+    """
+    e1, e2, e3 = csr_triangle_edge_ids(csr)
+    tu, tv, tw = triangle_triples(csr_arrays_int64(csr), e1, e2, e3)
+    order = _np.lexsort((tw, tv, tu))
+    return tu[order], tv[order], tw[order]
+
+
+def triangle_run_pointers(tu, tv, n: int):
+    """Boundaries of the runs of triangles sharing their lowest edge.
+
+    ``run_ptr[g] .. run_ptr[g+1]`` delimits the ``g``-th maximal run of
+    lex-consecutive triangles with equal ``(u, v)`` — exactly the groups
+    the K₄ pair kernel enumerates within.
+    """
+    count = len(tu)
+    if count == 0:
+        return _np.zeros(1, dtype=_np.int64)
+    key_uv = tu * n + tv
+    change = _np.flatnonzero(key_uv[1:] != key_uv[:-1]) + 1
+    return _np.concatenate(([0], change, [count]))
+
+
+def k4_pair_kernel(tri_keys, tu, tv, tw, run_ptr, n: int, glo: int, ghi: int):
+    """All four-cliques whose lowest-edge run index falls in ``[glo, ghi)``.
+
+    The (3,4) analogue of :func:`triangle_pair_kernel`, one level up the
+    same index algebra: triangles sharing their lowest edge ``(u, v)`` sit
+    in one lex run, every pair ``(w, x)`` of their third vertices is a K₄
+    candidate, and the closing test *and* the id of the witness triangle
+    ``(u, w, x)`` come from a single ``searchsorted`` against ``tri_keys``
+    (the ascending ``(u·n + v)·n + w`` triple keys, whose positions are
+    the lex triangle ids).  ``(v, w, x)`` is then complete by implication
+    and a second ``searchsorted`` fetches its id.
+
+    Returns the four aligned triangle-id arrays ``(q1, q2, q3, q4)`` for
+    the cliques ``u < v < w < x``: ids of ``(u,v,w)``, ``(u,v,x)``,
+    ``(u,w,x)``, ``(v,w,x)`` — in the same order as the pure-python
+    :func:`csr_k4_triangle_ids` enumeration.
+    """
+    idx_i, idx_j = _run_slot_pairs(run_ptr[glo:ghi], run_ptr[glo + 1:ghi + 1])
+    if len(idx_i) == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        return (empty,) * 4
+    u = tu[idx_i]
+    w = tw[idx_i]
+    x = tw[idx_j]
+    probe = (u * n + w) * n + x
+    pos = _np.minimum(_np.searchsorted(tri_keys, probe), len(tri_keys) - 1)
+    found = tri_keys[pos] == probe
+    idx_i = idx_i[found]
+    idx_j = idx_j[found]
+    q3 = pos[found]
+    # (u,v,w), (u,v,x), (u,w,x) all present means every K4 edge exists, so
+    # (v,w,x) is a triangle too and the search is guaranteed to hit
+    q4 = _np.searchsorted(
+        tri_keys, (tv[idx_i] * n + w[found]) * n + x[found])
+    return idx_i, idx_j, q3, q4
+
+
+def _k4_numpy(csr: CSRGraph):
+    """Vectorised K₄ listing: ``(tu, tv, tw, q1, q2, q3, q4)`` arrays."""
+    n = csr.n
+    tu, tv, tw = _lex_triangles_numpy(csr)
+    tri_keys = (tu * n + tv) * n + tw
+    run_ptr = triangle_run_pointers(tu, tv, n)
+    # chunk runs by their pair counts so the transient arrays stay bounded
+    run_sizes = run_ptr[1:] - run_ptr[:-1]
+    cuts = _chunk_starts(run_sizes * (run_sizes - 1) // 2)
+    q1, q2, q3, q4 = _concat_columns(
+        [k4_pair_kernel(tri_keys, tu, tv, tw, run_ptr, n, glo, ghi)
+         for glo, ghi in zip(cuts[:-1], cuts[1:])], 4)
+    return tu, tv, tw, q1, q2, q3, q4
+
+
 def csr_k4_triangle_ids(
-        csr: CSRGraph,
+        csr: CSRGraph, use_numpy: bool | None = None,
 ) -> tuple[list[tuple[int, int, int]],
            tuple[list[int], list[int], list[int], list[int]]]:
     """All four-cliques as four aligned triangle-id lists, plus the triangles.
@@ -543,8 +789,21 @@ def csr_k4_triangle_ids(
     since ``w`` and ``x`` are both adjacent to ``u``, the edge ``(w, x)``
     exists iff ``(u, w, x)`` is a triangle — one probe of the id map, whose
     value the K₄ record needs anyway.
+
+    With numpy present (``use_numpy=None`` auto-selects) the same
+    enumeration runs fully vectorised through :func:`triangle_pair_kernel`
+    and :func:`k4_pair_kernel`; output is identical, clique for clique.
     """
     n = csr.n
+    if use_numpy is None:
+        use_numpy = (_np is not None and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
+                     and n < _MAX_KEYED_N)
+    if use_numpy:
+        if _np is None:
+            raise InvalidGraphError("numpy fast path requested but numpy is missing")
+        tu, tv, tw, q1, q2, q3, q4 = _k4_numpy(csr)
+        triangles = list(zip(tu.tolist(), tv.tolist(), tw.tolist()))
+        return triangles, (q1.tolist(), q2.tolist(), q3.tolist(), q4.tolist())
     triangles = list(csr_triangles(csr))
     # encoded int keys hash faster than tuple keys in the pair probes below
     tri_id: dict[int, int] = {

@@ -1,0 +1,65 @@
+"""Shared-memory parallel execution layer over the flat CSR arrays.
+
+The ``csr-parallel`` backend (:mod:`repro.backends`) is assembled from
+four pieces, each usable on its own:
+
+* :mod:`repro.parallel.shm` — zero-copy export/attach of the CSR arrays
+  and the rooted-forest ints via ``multiprocessing.shared_memory``;
+* :mod:`repro.parallel.pool` — persistent worker processes executing
+  range tasks over attached arrays (plus ``REPRO_WORKERS`` resolution);
+* :mod:`repro.parallel.incidence` — triangle / K₄ listing and incidence
+  materialisation sharded across workers;
+* :mod:`repro.parallel.bulk` — round-synchronous bulk peels for (1,2),
+  (2,3) and (3,4), sequential-identical λ at any worker count.
+
+Requires numpy (the CSR engine's optional fast-path dependency becomes a
+hard one here); importing this package without it raises ImportError.
+"""
+
+from repro.parallel.bulk import (
+    bulk_core_peel,
+    bulk_nucleus34_peel,
+    bulk_truss_peel,
+    parallel_core_peel,
+    parallel_nucleus34_peel,
+    parallel_truss_peel,
+)
+from repro.parallel.fnd import parallel_fnd_decomposition
+from repro.parallel.incidence import (
+    parallel_nucleus34_incidence,
+    parallel_triangle_edge_ids,
+    parallel_truss_incidence,
+)
+from repro.parallel.kernels import (
+    core_decrement,
+    incidence_decrement,
+    weighted_cuts,
+)
+from repro.parallel.pool import WORKERS_ENV, WorkerPool, resolve_workers
+from repro.parallel.shm import (
+    SharedArrayBundle,
+    SharedRootedForest,
+    share_forest,
+)
+
+__all__ = [
+    "SharedArrayBundle",
+    "SharedRootedForest",
+    "WORKERS_ENV",
+    "WorkerPool",
+    "bulk_core_peel",
+    "bulk_nucleus34_peel",
+    "bulk_truss_peel",
+    "core_decrement",
+    "incidence_decrement",
+    "parallel_core_peel",
+    "parallel_fnd_decomposition",
+    "parallel_nucleus34_incidence",
+    "parallel_nucleus34_peel",
+    "parallel_triangle_edge_ids",
+    "parallel_truss_incidence",
+    "parallel_truss_peel",
+    "resolve_workers",
+    "share_forest",
+    "weighted_cuts",
+]

@@ -1,0 +1,343 @@
+"""Round-synchronous bulk peeling: peel whole frontiers, not single cells.
+
+The sequential peels of :mod:`repro.core.csr_peel` pop one minimum cell
+at a time — correct, cache-friendly, and intrinsically serial.  The bulk
+peels here run the De Zoysa et al. 2021 bucket-synchronous formulation
+instead: every round peels the *entire* current-minimum frontier at once
+and applies the merged support decrements afterwards.  λ is a structural
+quantity (the largest k whose (k, s)-subgraph contains the cell), so the
+frontier formulation settles every cell at exactly the sequential value —
+the parity suite asserts elementwise equality — while turning the inner
+loop into a handful of numpy gathers per round.
+
+With a :class:`~repro.parallel.pool.WorkerPool`, each round's decrement
+is sharded: the parent stamps the frontier into the shared ``peel_round``
+array, workers compute partial decrement vectors over their frontier
+shard into their own shared buffers, and the parent sums them — addition
+commutes, so λ is byte-identical for every worker count (and to the
+in-process run).  Without a pool the same kernels run on the whole
+frontier in one call.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.csr_peel import truss_incidence_arrays
+from repro.core.peeling import PeelingResult
+from repro.graph.csr import CSRGraph, csr_arrays_int64
+from repro.parallel.incidence import (
+    parallel_nucleus34_incidence,
+    parallel_truss_incidence,
+)
+from repro.parallel.kernels import (
+    core_decrement,
+    incidence_decrement,
+    weighted_cuts,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedArrayBundle
+
+__all__ = [
+    "bulk_core_peel",
+    "bulk_nucleus34_peel",
+    "bulk_truss_peel",
+    "parallel_core_peel",
+    "parallel_nucleus34_peel",
+    "parallel_truss_peel",
+]
+
+
+def _round_loop(sup, peel_round, decrement_for) -> PeelingResult:
+    """The shared frontier loop: extract, stamp, decrement, clamp.
+
+    ``sup`` holds the current s-clique degrees (mutated toward λ in
+    place); ``peel_round[x]`` is the round ``x`` was peeled in (−1 =
+    alive) — the only state the decrement kernels read.  Each round peels
+    the whole minimum-support frontier: every frontier cell's λ is the
+    round's k, and surviving cells clamp at k exactly like the
+    sequential ``if sup > k`` guard.
+
+    Frontier discovery is bucket-driven, not scan-driven: a cell is
+    dropped into ``pending[v]`` whenever its support reaches ``v`` (once
+    at build time, then on every effective decrement), and the loop only
+    ever touches the cells of the current bucket plus the cells a round
+    actually decremented — entries left behind at higher levels are
+    filtered by the liveness check.  A round therefore costs
+    O(frontier + touched), so long-cascade graphs (paths, trees: O(n)
+    rounds) peel in linear total time instead of the quadratic a
+    full-array rescan per round would give.
+    """
+    size = len(sup)
+    if size == 0:
+        return PeelingResult(lam=[], max_lambda=0, order=[])
+    lam = np.zeros(size, dtype=np.int64)
+    max_sup = int(sup.max())
+    # pending[v]: arrays of cells whose support last settled at v
+    pending: list[list] = [[] for _ in range(max_sup + 1)]
+    by_sup = np.argsort(sup, kind="stable")
+    bounds = np.searchsorted(sup[by_sup], np.arange(max_sup + 2))
+    for level in range(max_sup + 1):
+        chunk = by_sup[bounds[level]:bounds[level + 1]]
+        if len(chunk):
+            pending[level].append(chunk)
+    order_parts = []
+    remaining = size
+    rnd = 0
+    k = 0
+    max_lambda = 0
+    while remaining:
+        while not pending[k]:
+            k += 1
+        groups = pending[k]
+        candidates = groups[0] if len(groups) == 1 else np.concatenate(groups)
+        pending[k] = []
+        # a candidate is stale when the cell was peeled at a lower level
+        # (its entry here was superseded); live ones all sit exactly at k
+        frontier = candidates[peel_round[candidates] < 0]
+        if len(frontier) == 0:
+            continue
+        frontier = np.sort(frontier)
+        lam[frontier] = k
+        if k > max_lambda:
+            max_lambda = k
+        peel_round[frontier] = rnd
+        targets, counts = decrement_for(frontier, rnd)
+        if len(targets):
+            old = sup[targets]
+            new_vals = np.maximum(k, old - counts)
+            changed = new_vals < old
+            cells = targets[changed]
+            if len(cells):
+                vals = new_vals[changed]
+                sup[cells] = vals
+                for level in np.unique(vals):
+                    pending[int(level)].append(cells[vals == level])
+        order_parts.append(frontier)
+        remaining -= len(frontier)
+        rnd += 1
+    order = (np.concatenate(order_parts) if order_parts
+             else np.empty(0, dtype=np.int64))
+    return PeelingResult(lam=lam.tolist(), max_lambda=max_lambda,
+                         order=order.tolist())
+
+
+#: frontiers touching fewer incidence slots than this are decremented by
+#: the parent itself — the round-trip to the workers costs more than the
+#: gather.  Most rounds of a peel are tiny; only the heavy early frontiers
+#: are worth farming out.  Tuned so the 2-worker peel beats the sequential
+#: engine even with shards fully serialised (the CI gate's worst case).
+MIN_SHARD_SLOTS = 32768
+
+
+class _ShardedDecrement:
+    """Pool-side decrement: shard the frontier, sum the partial vectors.
+
+    Owns the shared round state (``peel_round`` + frontier buffer + one
+    decrement buffer per worker) for the duration of one peel; the static
+    arrays (adjacency or incidence) are bound by the caller.  Rounds whose
+    total slot weight falls under :data:`MIN_SHARD_SLOTS` run the same
+    kernel in the parent instead (``local_fn``) — byte-identical result,
+    no round trip.  Use as a context manager so the segments are always
+    unlinked.
+    """
+
+    def __init__(self, pool: WorkerPool, size: int, weights, task, local_fn):
+        self.pool = pool
+        self.weights = weights
+        self.task = task
+        self.local_fn = local_fn
+        self.state = None
+        self.dec_bundles = []
+        try:
+            self.state = SharedArrayBundle.create({
+                "peel_round": np.full(size, -1, dtype=np.int64),
+                "frontier": np.zeros(size, dtype=np.int64),
+            })
+            for _ in range(pool.workers):
+                self.dec_bundles.append(SharedArrayBundle.create(
+                    {"dec": np.zeros(size, dtype=np.int64)}))
+            pool.bind([self.state.spec])
+            pool.bind_each([bundle.spec for bundle in self.dec_bundles])
+        except Exception:
+            # __exit__ never runs when __init__ raises — free the
+            # segments here or they leak for the process lifetime
+            self._release()
+            raise
+        self.peel_round = self.state["peel_round"]
+        self._frontier_buf = self.state["frontier"]
+        self._total = np.zeros(size, dtype=np.int64)
+
+    def _release(self) -> None:
+        if self.state is not None:
+            self.state.unlink()
+            self.state = None
+        while self.dec_bundles:
+            self.dec_bundles.pop().unlink()
+
+    def __call__(self, frontier, rnd):
+        shard_weights = self.weights[frontier]
+        if int(shard_weights.sum()) < MIN_SHARD_SLOTS:
+            return self.local_fn(self.peel_round, frontier, rnd)
+        count = len(frontier)
+        self._frontier_buf[:count] = frontier
+        cuts = weighted_cuts(shard_weights, self.pool.workers)
+        self.pool.scatter([self.task + (rnd, lo, hi)
+                           for lo, hi in zip(cuts[:-1], cuts[1:])])
+        total = self._total
+        total[:] = 0
+        for bundle in self.dec_bundles:
+            total += bundle["dec"]
+        targets = np.flatnonzero(total)
+        return targets, total[targets]
+
+    def __enter__(self) -> "_ShardedDecrement":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self.pool.unbind()
+        finally:
+            self._release()
+
+
+def bulk_core_peel(csr: CSRGraph, pool: WorkerPool | None = None,
+                   ) -> PeelingResult:
+    """(1,2) bulk peel: core numbers λ₂, frontier rounds over the CSR."""
+    arrays = csr_arrays_int64(csr)
+    indptr, indices = arrays["indptr"], arrays["indices"]
+    sup = np.diff(indptr)
+    if pool is None:
+        peel_round = np.full(csr.n, -1, dtype=np.int64)
+
+        def decrement_for(frontier, rnd):
+            return core_decrement(indptr, indices, peel_round, frontier)
+
+        return _round_loop(sup, peel_round, decrement_for)
+    static = SharedArrayBundle.create(
+        {"indptr": indptr, "indices": indices})
+    try:
+        pool.bind([static.spec])
+        with _ShardedDecrement(
+                pool, csr.n, sup.copy(), ("core-dec",),
+                lambda peel_round, frontier, rnd: core_decrement(
+                    indptr, indices, peel_round, frontier),
+        ) as sharded:
+            return _round_loop(sup, sharded.peel_round, sharded)
+    finally:
+        static.unlink()
+
+
+def _bulk_incidence_peel(sup, ptr, comps, pool: WorkerPool | None,
+                         ) -> PeelingResult:
+    """Shared driver for the (2,3)/(3,4) bulk peels over an incidence."""
+    size = len(sup)
+    if pool is None:
+        peel_round = np.full(size, -1, dtype=np.int64)
+
+        def decrement_for(frontier, rnd):
+            return incidence_decrement(ptr, comps, peel_round, frontier, rnd)
+
+        return _round_loop(sup, peel_round, decrement_for)
+    named = {"ptr": ptr}
+    for i, comp in enumerate(comps):
+        named[f"c{i + 1}"] = comp
+    static = SharedArrayBundle.create(named)
+    try:
+        pool.bind([static.spec])
+        with _ShardedDecrement(
+                pool, size, np.diff(ptr), ("inc-dec", len(comps)),
+                lambda peel_round, frontier, rnd: incidence_decrement(
+                    ptr, comps, peel_round, frontier, rnd),
+        ) as sharded:
+            return _round_loop(sup, sharded.peel_round, sharded)
+    finally:
+        static.unlink()
+
+
+def bulk_truss_peel(csr: CSRGraph, pool: WorkerPool | None = None,
+                    ) -> PeelingResult:
+    """(2,3) bulk peel: λ₃ per lex edge id, frontier rounds over the
+    materialised edge→triangle incidence (built sharded when a pool is
+    given)."""
+    if pool is None:
+        sup, ptr, comps = truss_incidence_arrays(csr)
+    else:
+        sup, ptr, comp1, comp2 = parallel_truss_incidence(csr, pool)
+        comps = (comp1, comp2)
+    return _bulk_incidence_peel(sup, ptr, comps, pool)
+
+
+def bulk_nucleus34_peel(csr: CSRGraph, pool: WorkerPool | None = None,
+                        ) -> PeelingResult:
+    """(3,4) bulk peel: λ₄ per lex triangle id, frontier rounds over the
+    materialised triangle→K₄ incidence (built sharded when a pool is
+    given)."""
+    if pool is None:
+        from repro.core.csr_peel import nucleus34_incidence_arrays
+
+        _, sup, ptr, comps = nucleus34_incidence_arrays(csr)
+    else:
+        _, sup, ptr, comps = parallel_nucleus34_incidence(csr, pool)
+    return _bulk_incidence_peel(sup, ptr, comps, pool)
+
+
+#: set to ``1``/``0`` to force worker sharding on/off regardless of the
+#: host's core count (CI and tests; unset = decide from ``os.cpu_count``)
+FORCE_SHARDING_ENV = "REPRO_FORCE_SHARDING"
+
+
+def sharding_effective() -> bool:
+    """Whether farming work to a pool can actually run concurrently.
+
+    On a single-core host the shards serialise, so every pipe round-trip
+    and shared-memory copy is pure loss; the right degradation is the
+    in-process bulk path — identical λ, no pool.  The
+    ``REPRO_FORCE_SHARDING`` environment variable overrides the detection
+    both ways.
+    """
+    forced = os.environ.get(FORCE_SHARDING_ENV, "").strip().lower()
+    if forced in ("1", "true", "yes", "on"):
+        return True
+    if forced in ("0", "false", "no", "off"):
+        return False
+    return _available_cpus() >= 2
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores; in a cgroup/affinity-
+    limited container that overcounts and would engage the pool on what
+    is effectively a single-core box.  The scheduler affinity mask is the
+    truthful number where the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def _with_pool(csr: CSRGraph, workers: int, bulk_fn) -> PeelingResult:
+    if workers == 1 or not sharding_effective():
+        return bulk_fn(csr)
+    with WorkerPool(workers) as pool:
+        return bulk_fn(csr, pool=pool)
+
+
+def parallel_core_peel(csr: CSRGraph, workers: int) -> PeelingResult:
+    """(1,2) bulk peel with its own ``workers``-process pool (degrades to
+    the in-process bulk path when sharding cannot pay)."""
+    return _with_pool(csr, workers, bulk_core_peel)
+
+
+def parallel_truss_peel(csr: CSRGraph, workers: int) -> PeelingResult:
+    """(2,3) sharded incidence + bulk peel with its own pool."""
+    return _with_pool(csr, workers, bulk_truss_peel)
+
+
+def parallel_nucleus34_peel(csr: CSRGraph, workers: int) -> PeelingResult:
+    """(3,4) sharded incidence + bulk peel with its own pool."""
+    return _with_pool(csr, workers, bulk_nucleus34_peel)

@@ -1,0 +1,77 @@
+"""FND decomposition with sharded incidence set-up.
+
+Hierarchy construction itself (the extended peel fused with
+BuildHierarchy) is a sequential dependence chain — every sub-nucleus
+merge depends on the λ values settled before it — so parallelising it
+would change the tie-breaking that the node-for-node parity contract
+forbids.  What *is* parallel-friendly is the dominant set-up phase: the
+triangle / K₄ listing and incidence materialisation.  This module farms
+that out to the worker pool and then runs the unchanged sequential
+:func:`~repro.core.csr_fnd._incidence_fnd` over the result, so λ and the
+condensed hierarchy are identical to the ``csr`` backend by construction.
+
+(1,2) has no incidence phase — its set-up is one ``np.diff`` — so the
+parallel backend simply delegates to the sequential direct path there.
+"""
+
+from __future__ import annotations
+
+from repro.core.csr_fnd import (
+    _incidence_fnd,
+    csr_fnd_core,
+    csr_fnd_decomposition,
+)
+from repro.core.fnd import FndInstrumentation
+from repro.core.hierarchy import Hierarchy
+from repro.core.peeling import PeelingResult
+from repro.core.views import CellView, CSREdgeView, CSRTriangleView, VertexView
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.parallel.bulk import sharding_effective
+from repro.parallel.incidence import (
+    parallel_nucleus34_incidence,
+    parallel_truss_incidence,
+)
+from repro.parallel.pool import WorkerPool
+
+__all__ = ["parallel_fnd_decomposition"]
+
+
+def parallel_fnd_decomposition(
+        csr: CSRGraph, r: int, s: int, workers: int,
+        instrumentation: FndInstrumentation | None = None,
+) -> tuple[PeelingResult, Hierarchy, CellView]:
+    """Direct FND with the incidence set-up sharded over ``workers``.
+
+    Same contract as :func:`~repro.core.csr_fnd.csr_fnd_decomposition`:
+    ``(peeling, hierarchy, view)`` with λ elementwise and the condensed
+    hierarchy node-for-node equal to the sequential CSR engine.  When
+    sharding cannot pay (one worker, or a host without spare cores — see
+    :func:`~repro.parallel.bulk.sharding_effective`) this degrades to the
+    sequential direct path.
+    """
+    if workers == 1 or not sharding_effective():
+        return csr_fnd_decomposition(csr, r, s, instrumentation)
+    if (r, s) == (1, 2):
+        peeling, hierarchy = csr_fnd_core(csr, instrumentation)
+        return peeling, hierarchy, VertexView(csr)
+    if (r, s) == (2, 3):
+        with WorkerPool(workers) as pool:
+            sup, ptr, comp1, comp2 = parallel_truss_incidence(csr, pool)
+        peeling, hierarchy = _incidence_fnd(
+            2, 3, sup.tolist(), ptr.tolist(),
+            (comp1.tolist(), comp2.tolist()), instrumentation)
+        return peeling, hierarchy, CSREdgeView(csr)
+    if (r, s) == (3, 4):
+        with WorkerPool(workers) as pool:
+            triangles, sup, ptr, comps = parallel_nucleus34_incidence(
+                csr, pool)
+        degrees = sup.tolist()
+        peeling, hierarchy = _incidence_fnd(
+            3, 4, list(degrees), ptr.tolist(),
+            tuple(c.tolist() for c in comps), instrumentation)
+        view = CSRTriangleView(csr, _enumeration=(triangles, degrees))
+        return peeling, hierarchy, view
+    raise InvalidParameterError(
+        f"no parallel FND for (r, s) = ({r}, {s}); "
+        f"supported: ((1, 2), (2, 3), (3, 4))")

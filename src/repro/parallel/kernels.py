@@ -1,0 +1,98 @@
+"""Per-round decrement kernels and shard planning for the bulk peels.
+
+These are the functions the worker processes actually execute: pure
+numpy over flat int64 arrays (attached shared memory or local, they
+cannot tell), no graph objects, no mutation of anything but the caller's
+output buffer.  The round-synchronous drivers in
+:mod:`repro.parallel.bulk` call them on the whole frontier in-process, or
+shard the frontier across workers and sum the partial counts — addition
+commutes, so the merged decrement vector is identical for every worker
+count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import run_slots as _gather_slots
+
+__all__ = ["core_decrement", "incidence_decrement", "weighted_cuts"]
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def core_decrement(indptr, indices, peel_round, frontier):
+    """Degree losses caused by peeling ``frontier``: ``(targets, counts)``.
+
+    A still-alive vertex (``peel_round < 0``) loses one degree for every
+    frontier neighbour; frontier members themselves and vertices peeled in
+    earlier rounds are already out of the graph.  One gather + one
+    ``unique`` — the parallel analogue of the inner loop of the sequential
+    Batagelj–Zaversnik peel.  Sparse output keeps a round's cost
+    proportional to the cells it actually touches, not the graph size.
+    """
+    slots, _ = _gather_slots(indptr[frontier], indptr[frontier + 1])
+    if len(slots) == 0:
+        return _EMPTY, _EMPTY
+    neighbors = indices[slots]
+    alive = peel_round[neighbors] < 0
+    return np.unique(neighbors[alive], return_counts=True)
+
+
+def incidence_decrement(ptr, comps, peel_round, frontier, rnd):
+    """Support losses caused by peeling ``frontier``: ``(targets, counts)``.
+
+    Walks the materialised incidence of every frontier cell.  An s-clique
+    is *spent* the first time one of its cells is peeled, so each one must
+    decrement its surviving cells exactly once across the whole round:
+
+    * any companion peeled in an **earlier** round (``0 <= peel_round <
+      rnd``) means the clique was already spent — skip it entirely;
+    * among the frontier cells of a clique, only the minimum-id one owns
+      it (the others skip), mirroring the sequential rule that whichever
+      same-λ cell pops first spends the clique;
+    * the owner decrements exactly the companions that are still alive
+      (``peel_round < 0``).
+    """
+    slots, counts = _gather_slots(ptr[frontier], ptr[frontier + 1])
+    if len(slots) == 0:
+        return _EMPTY, _EMPTY
+    cell_of_slot = np.repeat(frontier, counts)
+    companions = [c[slots] for c in comps]
+    rounds = [peel_round[c] for c in companions]
+    spent = np.zeros(len(slots), dtype=bool)
+    owner = np.ones(len(slots), dtype=bool)
+    for comp, comp_round in zip(companions, rounds):
+        spent |= (comp_round >= 0) & (comp_round < rnd)
+        in_frontier = comp_round == rnd
+        owner &= ~in_frontier | (cell_of_slot < comp)
+    live = ~spent & owner
+    hit = [comp[live & (comp_round < 0)]
+           for comp, comp_round in zip(companions, rounds)]
+    hit = [h for h in hit if len(h)]
+    if not hit:
+        return _EMPTY, _EMPTY
+    return np.unique(np.concatenate(hit) if len(hit) > 1 else hit[0],
+                     return_counts=True)
+
+
+def weighted_cuts(weights, parts: int) -> list[int]:
+    """Boundaries splitting ``weights`` into ``parts`` ~equal-sum ranges.
+
+    Returns ``parts + 1`` ascending indices (first 0, last ``len``); empty
+    ranges are fine — a worker handed one just zeroes its buffer.
+    """
+    count = len(weights)
+    if count == 0 or parts <= 1:
+        return [0] + [count] * max(parts, 1)
+    cum = np.concatenate(([0], np.cumsum(weights)))
+    if cum[-1] == 0:  # no weight signal: split by count
+        bounds = np.linspace(0, count, parts + 1).astype(np.int64).tolist()
+    else:
+        targets = np.linspace(0, int(cum[-1]), parts + 1)[1:-1]
+        bounds = [0, *np.searchsorted(cum, targets).tolist(), count]
+    for i in range(1, len(bounds)):
+        if bounds[i] < bounds[i - 1]:
+            bounds[i] = bounds[i - 1]
+    return bounds

@@ -283,15 +283,22 @@ class TestBackends:
 
     @pytest.mark.parametrize("rs", [(1, 2), (2, 3)])
     @pytest.mark.parametrize("algorithm", ["fnd", "dft", "naive"])
-    def test_decompose_hierarchies_match(self, rs, algorithm):
+    def test_decompose_hierarchies_match(self, rs, algorithm, monkeypatch):
+        # force sharding so the csr-parallel leg really runs the worker
+        # path even on single-core hosts (with the default workers=1 it
+        # would silently duplicate the csr leg)
+        monkeypatch.setenv("REPRO_FORCE_SHARDING", "1")
         graph = generators.powerlaw_cluster(120, 5, 0.6, seed=4)
         r, s = rs
-        results = [decompose(graph, r, s, algorithm=algorithm, backend=b)
-                   for b in BACKENDS]
-        obj, csr = results
-        assert obj.lam == csr.lam
-        assert obj.hierarchy.canonical_nuclei() == \
-            csr.hierarchy.canonical_nuclei()
+        results = {b: decompose(graph, r, s, algorithm=algorithm, backend=b,
+                                workers=2 if b == "csr-parallel" else None)
+                   for b in BACKENDS}
+        obj = results["object"]
+        for backend in BACKENDS[1:]:
+            other = results[backend]
+            assert obj.lam == other.lam, backend
+            assert obj.hierarchy.canonical_nuclei() == \
+                other.hierarchy.canonical_nuclei(), backend
 
     def test_decompose_34_matches_elementwise(self):
         graph = generators.planted_cliques(3, 6, bridge_edges=2, seed=1)
