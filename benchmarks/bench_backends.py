@@ -11,12 +11,17 @@ Three modes:
   optionally writes the JSON consumed by ``check_regression.py``.
 * **worker scaling** (``--parallel``, combinable with the above): times
   the ``csr-parallel`` backend at several worker counts (``--workers``,
-  default 1 2 4) against the sequential CSR engine on the peel+incidence
-  workloads, asserting λ parity at every count and condensed-hierarchy
-  parity for the parallel FND path.  ``--gate RATIO`` turns the run into
-  a pass/fail check: it exits non-zero when a gated workload's lowest
-  multi-worker time exceeds ``RATIO ×`` the sequential time (the CI
-  ``parallel-smoke`` job runs this with 2 workers and 1.15).
+  default 1 2 4) against the sequential CSR engine on the
+  peel+incidence workloads *and* the end-to-end parallel FND
+  constructions (``fnd12``/``fnd23``/``fnd34``: sharded set-up, bulk
+  peel, level-wise parallel hierarchy build), asserting λ parity at
+  every count and condensed-hierarchy parity for every FND workload and
+  count.  ``--gate RATIO`` turns the run into a pass/fail check: it
+  exits non-zero when a gated workload's lowest multi-worker time
+  exceeds ``RATIO ×`` the sequential time (the CI ``parallel-smoke``
+  job runs this with 2 workers and 1.15); the ``scaling-bench`` job
+  instead gates the recorded ratios against the committed baseline via
+  ``check_regression.py --scaling``.
 
 Workloads: the three direct peels (``kcore``, ``truss23``, ``nucleus34``)
 and full FND decompositions (``fnd12``, ``fnd23``) — peel *plus*
@@ -83,26 +88,44 @@ SMOKE_WORKLOADS = {
 _PEEL_FUNCS = {"core": core_peel, "truss": truss_peel,
                "nucleus34": nucleus34_peel}
 
-#: worker-scaling workloads: the three peel+incidence phases.  ``gated``
-#: marks the ones the CI parallel-smoke ratio gate applies to; the (3,4)
-#: smoke size is too small for its fixed pool cost to amortise, so it is
-#: parity-checked and reported but not time-gated.
+#: worker-scaling workloads: the three peel+incidence phases
+#: (``kind="peel"``) plus the three full parallel FND constructions —
+#: set-up, bulk peel *and* the level-wise parallel hierarchy build
+#: (``kind="fnd"``, condensed-hierarchy parity asserted at every worker
+#: count).  ``gated`` marks the ones the CI parallel-smoke ratio gate
+#: applies to; the (3,4) smoke size is too small for its fixed pool cost
+#: to amortise, and the FND rows carry the construction pipe overhead,
+#: so those are parity-checked and reported but not time-gated (the
+#: scaling-bench job gates their ratios against the committed baseline
+#: instead).
 PARALLEL_WORKLOADS = {
     "quick": {
-        "kcore": dict(func="core", gated=True,
+        "kcore": dict(kind="peel", func="core", gated=True,
                       gen=dict(n=20000, m=8, p=0.5, seed=7)),
-        "truss23": dict(func="truss", gated=True,
+        "truss23": dict(kind="peel", func="truss", gated=True,
                         gen=dict(n=6000, m=10, p=0.6, seed=11)),
-        "nucleus34": dict(func="nucleus34", gated=False,
+        "nucleus34": dict(kind="peel", func="nucleus34", gated=False,
                           gen=dict(n=1500, m=12, p=0.7, seed=13)),
+        "fnd12": dict(kind="fnd", rs=(1, 2), gated=False,
+                      gen=dict(n=6000, m=40, p=0.2, seed=7)),
+        "fnd23": dict(kind="fnd", rs=(2, 3), gated=False,
+                      gen=dict(n=5000, m=10, p=0.6, seed=17)),
+        "fnd34": dict(kind="fnd", rs=(3, 4), gated=False,
+                      gen=dict(n=1500, m=12, p=0.7, seed=13)),
     },
     "full": {
-        "kcore": dict(func="core", gated=True,
+        "kcore": dict(kind="peel", func="core", gated=True,
                       gen=dict(n=60000, m=8, p=0.5, seed=7)),
-        "truss23": dict(func="truss", gated=True,
+        "truss23": dict(kind="peel", func="truss", gated=True,
                         gen=dict(n=16000, m=10, p=0.6, seed=11)),
-        "nucleus34": dict(func="nucleus34", gated=False,
+        "nucleus34": dict(kind="peel", func="nucleus34", gated=False,
                           gen=dict(n=4000, m=12, p=0.7, seed=13)),
+        "fnd12": dict(kind="fnd", rs=(1, 2), gated=False,
+                      gen=dict(n=18000, m=40, p=0.2, seed=7)),
+        "fnd23": dict(kind="fnd", rs=(2, 3), gated=False,
+                      gen=dict(n=14000, m=10, p=0.6, seed=17)),
+        "fnd34": dict(kind="fnd", rs=(3, 4), gated=False,
+                      gen=dict(n=4000, m=12, p=0.7, seed=13)),
     },
 }
 
@@ -255,12 +278,13 @@ def run_parallel_smoke(mode: str = "quick",
                        workers: tuple[int, ...] = (1, 2, 4),
                        repeats: int = 3) -> dict:
     """Time the ``csr-parallel`` backend at each worker count vs the
-    sequential CSR engine on the peel+incidence workloads.
+    sequential CSR engine on the peel+incidence and FND-construction
+    workloads.
 
     λ must match the sequential CSR result elementwise at every worker
-    count, and the parallel (2,3) FND decomposition must reproduce the
-    sequential condensed hierarchy node-for-node (the hierarchy-parity
-    half of the CI gate).
+    count, and every parallel FND decomposition must reproduce the
+    sequential condensed hierarchy node-for-node at every count (the
+    hierarchy-parity half of the CI gate).
 
     Multi-worker legs run with sharding **forced on** for the duration of
     the call: otherwise a single-core host would degrade them to the
@@ -302,9 +326,16 @@ def _run_parallel_workloads(results: dict, mode: str,
             name=f"{name}-parallel-smoke")
         csr = as_backend(graph, "csr")
         csr.hot_arrays()
-        peel_func = _PEEL_FUNCS[spec["func"]]
-        seq_seconds, seq_result = _best_of(repeats, peel_func, csr,
+        if spec["kind"] == "peel":
+            func = _PEEL_FUNCS[spec["func"]]
+            args = (csr,)
+        else:  # full FND decomposition: set-up + bulk peel + construction
+            func = decompose
+            args = (csr, *spec["rs"])
+        seq_seconds, seq_result = _best_of(repeats, func, *args,
                                            backend="csr")
+        seq_signature = (condensed_signature(seq_result)
+                         if spec["kind"] == "fnd" else None)
         row: dict = {
             "n": graph.n,
             "m": graph.m,
@@ -314,30 +345,23 @@ def _run_parallel_workloads(results: dict, mode: str,
         }
         for count in workers:
             par_seconds, par_result = _best_of(
-                repeats, peel_func, csr, backend="csr-parallel",
-                workers=count)
+                repeats, func, *args, backend="csr-parallel", workers=count)
             if par_result.lam != seq_result.lam:
                 raise AssertionError(
                     f"{name}: {count}-worker lambda differs from the "
-                    f"sequential CSR engine — the parallel peel is broken")
+                    f"sequential CSR engine — the parallel path is broken")
+            if seq_signature is not None and \
+                    condensed_signature(par_result) != seq_signature:
+                raise AssertionError(
+                    f"{name}: {count}-worker condensed hierarchy differs "
+                    f"from the sequential CSR engine — the parallel "
+                    f"hierarchy construction is broken")
             row["workers"][str(count)] = {
                 "seconds": round(par_seconds, 6),
                 "vs_sequential": round(par_seconds / seq_seconds, 3),
             }
         results["workloads"][name] = row
-    # hierarchy parity: the parallel FND path must condense identically
-    graph = generators.powerlaw_cluster(2500, 8, 0.6, seed=23,
-                                        name="fnd23-parallel-parity")
-    csr = as_backend(graph, "csr")
-    csr.hot_arrays()
-    seq = decompose(csr, 2, 3, algorithm="fnd", backend="csr")
-    par = decompose(csr, 2, 3, algorithm="fnd", backend="csr-parallel",
-                    workers=max(workers))
-    if seq.lam != par.lam or \
-            condensed_signature(seq) != condensed_signature(par):
-        raise AssertionError(
-            "parallel FND condensed hierarchy differs from the sequential "
-            "CSR engine — the parallel incidence set-up is broken")
+    # every fnd workload above proved condensed parity at every count
     results["hierarchy_parity"] = "ok"
 
 

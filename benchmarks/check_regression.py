@@ -18,14 +18,25 @@ calibration loops; the gate then fails when
 λ parity between the backends (and condensed-hierarchy parity for the FND
 workloads) is asserted inside the smoke run itself.  ``--update`` also
 records the worker-scaling section (``bench_backends.run_parallel_smoke``)
-in the baseline; the scaling numbers are informational here — the CI
-``parallel-smoke`` job gates them directly against the sequential time,
-which is machine-independent.
+in the baseline; in the default gate those numbers are only checked for
+presence — the CI ``parallel-smoke`` job gates them directly against the
+sequential time, which is machine-independent.
+
+``--scaling PATH`` is a second gate mode for the CI ``scaling-bench``
+job: instead of re-running anything it reads a freshly recorded scaling
+JSON (the ``--parallel-only --json`` output of ``bench_backends.py``)
+and compares its per-workload, per-worker-count ``vs_sequential``
+ratios against the ``--baseline``'s committed ``parallel`` section.
+Ratios are dimensionless, so the comparison is meaningful across
+machines of different raw speed; a workload or worker count recorded in
+the baseline but missing from the fresh run fails, as does any ratio
+above ``--threshold ×`` its baseline value.
 
 Usage::
 
     python benchmarks/check_regression.py             # gate against baseline
     python benchmarks/check_regression.py --update    # refresh the baseline
+    python benchmarks/check_regression.py --scaling BENCH_scaling.json
 """
 
 from __future__ import annotations
@@ -97,6 +108,53 @@ def check(fresh: dict, baseline: dict, threshold: float,
     return failures
 
 
+def check_scaling(fresh: dict, baseline: dict,
+                  threshold: float) -> list[str]:
+    """Failure messages for the worker-scaling gate (empty = pass).
+
+    ``fresh`` is a recorded scaling run (either the bare
+    ``run_parallel_smoke`` dict or a results file wrapping it under
+    ``"parallel"``); the reference is the committed baseline's
+    ``parallel`` section.  Every baseline workload and worker count must
+    be present, parity must have been asserted, and each
+    ``vs_sequential`` ratio may regress at most ``threshold ×``.
+    """
+    base = baseline.get("parallel")
+    if base is None:
+        return ["parallel: the baseline has no worker-scaling section "
+                "(record one with --update)"]
+    fresh = fresh.get("parallel", fresh)
+    failures: list[str] = []
+    if fresh.get("hierarchy_parity") != "ok":
+        failures.append(
+            "hierarchy_parity: the fresh scaling run did not assert "
+            "condensed-hierarchy parity")
+    workloads = fresh.get("workloads", {})
+    for name, base_row in base["workloads"].items():
+        row = workloads.get(name)
+        if row is None:
+            failures.append(
+                f"{name}: baseline scaling workload missing from the fresh "
+                f"run — renamed or dropped workloads must update the "
+                f"baseline explicitly (--update)")
+            continue
+        for count, base_entry in base_row["workers"].items():
+            entry = row.get("workers", {}).get(count)
+            if entry is None:
+                failures.append(
+                    f"{name}: worker count {count} missing from the fresh "
+                    f"scaling run")
+                continue
+            budget = base_entry["vs_sequential"] * threshold
+            if entry["vs_sequential"] > budget:
+                failures.append(
+                    f"{name} w{count}: {entry['vs_sequential']:.2f}x the "
+                    f"sequential time, over budget {budget:.2f}x "
+                    f"({threshold}x baseline "
+                    f"{base_entry['vs_sequential']:.2f}x)")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="compare a fresh benchmark smoke run against the "
@@ -113,6 +171,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per workload (best-of); use "
                              "more when recording a baseline")
+    parser.add_argument("--scaling", type=Path, metavar="PATH", default=None,
+                        help="gate a recorded worker-scaling JSON against "
+                             "the baseline's parallel section instead of "
+                             "re-running the smoke")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -123,6 +185,21 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         with open(args.baseline) as handle:
             baseline = json.load(handle)
+
+    if args.scaling is not None:
+        if args.update:
+            print("error: --scaling and --update are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        with open(args.scaling) as handle:
+            fresh_scaling = json.load(handle)
+        failures = check_scaling(fresh_scaling, baseline, args.threshold)
+        if failures:
+            for message in failures:
+                print(f"REGRESSION: {message}", file=sys.stderr)
+            return 1
+        print("worker-scaling regression gate: OK")
+        return 0
 
     fresh = run_smoke("quick", repeats=args.repeats)
     for name, row in fresh["workloads"].items():

@@ -10,10 +10,12 @@ Three backends implement the peeling engine:
   construction (:mod:`repro.core.csr_fnd`) and merge-intersection cell
   views.
 * ``"csr-parallel"`` — the CSR arrays plus the shared-memory execution
-  layer of :mod:`repro.parallel`: round-synchronous bulk peels and
-  worker-sharded incidence set-up.  Takes ``workers=N`` (default: the
-  ``REPRO_WORKERS`` environment variable, else 1); ``workers=1`` runs the
-  sequential CSR engine with no process pool.  Requires numpy.
+  layer of :mod:`repro.parallel`: worker-sharded incidence set-up,
+  round-synchronous bulk peels, and level-wise parallel hierarchy
+  construction over the shared rooted forest.  Takes ``workers=N``
+  (default: the ``REPRO_WORKERS`` environment variable, else 1);
+  ``workers=1`` runs the sequential CSR engine with no process pool.
+  Requires numpy.
 
 Callers pick per run: every function here takes ``backend=`` (or an
 already-converted graph) and guarantees **identical λ output** across
@@ -194,11 +196,11 @@ def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
     CSR backend, FND for the paper's evaluated (r, s) pairs and LCPS run
     *directly* on the flat arrays — peel, hierarchy construction and
     traversal never build an object graph; the remaining algorithms peel
-    through the CSR cell views.  The parallel backend additionally shards
-    the FND incidence set-up over ``workers`` processes (hierarchy
-    construction itself stays sequential, so the condensed tree is
-    node-for-node identical); ``workers`` is ignored by the other
-    backends.  The returned :class:`Decomposition` carries the graph
+    through the CSR cell views.  The parallel backend runs FND end-to-end
+    over ``workers`` processes — sharded incidence set-up, bulk peel, and
+    level-wise parallel hierarchy construction, with the condensed tree
+    still node-for-node identical to the sequential engine; ``workers``
+    is ignored by the other backends.  The returned :class:`Decomposition` carries the graph
     exactly as it was passed in, with one exception: running the object
     engine on a :class:`CSRGraph` input converts, since that engine's
     views and traversals need the object representation.

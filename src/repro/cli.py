@@ -43,8 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", choices=BACKENDS, default=None,
                        help="graph engine: 'object' (set/list adjacency), "
                             "'csr' (flat-array peeling) or 'csr-parallel' "
-                            "(shared-memory workers); default: follow the "
-                            "input representation (auto)")
+                            "(shared-memory workers: sharded set-up, bulk "
+                            "peel and parallel hierarchy construction); "
+                            "default: follow the input representation (auto)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for the csr-parallel backend "
                             "(default: $REPRO_WORKERS, else 1 = sequential)")

@@ -12,11 +12,11 @@ loop into a handful of numpy gathers per round.
 
 With a :class:`~repro.parallel.pool.WorkerPool`, each round's decrement
 is sharded: the parent stamps the frontier into the shared ``peel_round``
-array, workers compute partial decrement vectors over their frontier
-shard into their own shared buffers, and the parent sums them — addition
-commutes, so λ is byte-identical for every worker count (and to the
-in-process run).  Without a pool the same kernels run on the whole
-frontier in one call.
+array, workers compute sparse ``(targets, counts)`` pairs over their
+frontier shard — exactly what the in-process kernels emit — and the
+parent merges them by sorted target id.  Addition commutes, so λ is
+byte-identical for every worker count (and to the in-process run).
+Without a pool the same kernels run on the whole frontier in one call.
 """
 
 from __future__ import annotations
@@ -44,6 +44,7 @@ __all__ = [
     "bulk_core_peel",
     "bulk_nucleus34_peel",
     "bulk_truss_peel",
+    "merge_sparse_decrements",
     "parallel_core_peel",
     "parallel_nucleus34_peel",
     "parallel_truss_peel",
@@ -133,15 +134,18 @@ MIN_SHARD_SLOTS = 32768
 
 
 class _ShardedDecrement:
-    """Pool-side decrement: shard the frontier, sum the partial vectors.
+    """Pool-side decrement: shard the frontier, merge sparse partials.
 
-    Owns the shared round state (``peel_round`` + frontier buffer + one
-    decrement buffer per worker) for the duration of one peel; the static
-    arrays (adjacency or incidence) are bound by the caller.  Rounds whose
-    total slot weight falls under :data:`MIN_SHARD_SLOTS` run the same
-    kernel in the parent instead (``local_fn``) — byte-identical result,
-    no round trip.  Use as a context manager so the segments are always
-    unlinked.
+    Owns the shared round state (``peel_round`` + frontier buffer) for
+    the duration of one peel; the static arrays (adjacency or incidence)
+    are bound by the caller.  Workers return sparse ``(targets, counts)``
+    pairs — exactly what the in-process kernels produce — and the parent
+    merges them by sorted target id, so a round's merge cost follows the
+    cells it actually touched instead of O(workers × cells) dense-vector
+    sums.  Rounds whose total slot weight falls under
+    :data:`MIN_SHARD_SLOTS` run the same kernel in the parent instead
+    (``local_fn``) — byte-identical result, no round trip.  Use as a
+    context manager so the segments are always unlinked.
     """
 
     def __init__(self, pool: WorkerPool, size: int, weights, task, local_fn):
@@ -150,17 +154,12 @@ class _ShardedDecrement:
         self.task = task
         self.local_fn = local_fn
         self.state = None
-        self.dec_bundles = []
         try:
             self.state = SharedArrayBundle.create({
                 "peel_round": np.full(size, -1, dtype=np.int64),
                 "frontier": np.zeros(size, dtype=np.int64),
             })
-            for _ in range(pool.workers):
-                self.dec_bundles.append(SharedArrayBundle.create(
-                    {"dec": np.zeros(size, dtype=np.int64)}))
             pool.bind([self.state.spec])
-            pool.bind_each([bundle.spec for bundle in self.dec_bundles])
         except Exception:
             # __exit__ never runs when __init__ raises — free the
             # segments here or they leak for the process lifetime
@@ -168,14 +167,11 @@ class _ShardedDecrement:
             raise
         self.peel_round = self.state["peel_round"]
         self._frontier_buf = self.state["frontier"]
-        self._total = np.zeros(size, dtype=np.int64)
 
     def _release(self) -> None:
         if self.state is not None:
             self.state.unlink()
             self.state = None
-        while self.dec_bundles:
-            self.dec_bundles.pop().unlink()
 
     def __call__(self, frontier, rnd):
         shard_weights = self.weights[frontier]
@@ -184,14 +180,9 @@ class _ShardedDecrement:
         count = len(frontier)
         self._frontier_buf[:count] = frontier
         cuts = weighted_cuts(shard_weights, self.pool.workers)
-        self.pool.scatter([self.task + (rnd, lo, hi)
-                           for lo, hi in zip(cuts[:-1], cuts[1:])])
-        total = self._total
-        total[:] = 0
-        for bundle in self.dec_bundles:
-            total += bundle["dec"]
-        targets = np.flatnonzero(total)
-        return targets, total[targets]
+        parts = self.pool.scatter([self.task + (rnd, lo, hi)
+                                   for lo, hi in zip(cuts[:-1], cuts[1:])])
+        return merge_sparse_decrements(parts)
 
     def __enter__(self) -> "_ShardedDecrement":
         return self
@@ -203,11 +194,43 @@ class _ShardedDecrement:
             self._release()
 
 
+def merge_sparse_decrements(parts):
+    """Sum per-worker sparse ``(targets, counts)`` pairs into one pair.
+
+    Frontier shards overlap in the cells they touch, so equal targets
+    from different workers must add; ``np.unique`` keeps the merged
+    targets sorted (the same order the in-process kernels emit), making
+    the pool path's output byte-identical to a single whole-frontier
+    kernel call.
+    """
+    parts = [(t, c) for t, c in parts if len(t)]
+    if not parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if len(parts) == 1:
+        return parts[0]
+    all_targets = np.concatenate([t for t, _ in parts])
+    all_counts = np.concatenate([c for _, c in parts])
+    targets, inverse = np.unique(all_targets, return_inverse=True)
+    counts = np.zeros(len(targets), dtype=np.int64)
+    np.add.at(counts, inverse, all_counts)
+    return targets, counts
+
+
 def bulk_core_peel(csr: CSRGraph, pool: WorkerPool | None = None,
-                   ) -> PeelingResult:
-    """(1,2) bulk peel: core numbers λ₂, frontier rounds over the CSR."""
-    arrays = csr_arrays_int64(csr)
-    indptr, indices = arrays["indptr"], arrays["indices"]
+                   static: SharedArrayBundle | None = None) -> PeelingResult:
+    """(1,2) bulk peel: core numbers λ₂, frontier rounds over the CSR.
+
+    ``static`` may hand in an already-shared ``indptr``/``indices``
+    bundle (the FND pipeline shares the adjacency once across its peel
+    and construction phases); without one the bundle is created — and
+    unlinked — here.
+    """
+    if static is not None:
+        indptr, indices = static["indptr"], static["indices"]
+    else:
+        arrays = csr_arrays_int64(csr)
+        indptr, indices = arrays["indptr"], arrays["indices"]
     sup = np.diff(indptr)
     if pool is None:
         peel_round = np.full(csr.n, -1, dtype=np.int64)
@@ -216,8 +239,10 @@ def bulk_core_peel(csr: CSRGraph, pool: WorkerPool | None = None,
             return core_decrement(indptr, indices, peel_round, frontier)
 
         return _round_loop(sup, peel_round, decrement_for)
-    static = SharedArrayBundle.create(
-        {"indptr": indptr, "indices": indices})
+    owned = static is None
+    if owned:
+        static = SharedArrayBundle.create(
+            {"indptr": indptr, "indices": indices})
     try:
         pool.bind([static.spec])
         with _ShardedDecrement(
@@ -227,12 +252,18 @@ def bulk_core_peel(csr: CSRGraph, pool: WorkerPool | None = None,
         ) as sharded:
             return _round_loop(sup, sharded.peel_round, sharded)
     finally:
-        static.unlink()
+        if owned:
+            static.unlink()
 
 
 def _bulk_incidence_peel(sup, ptr, comps, pool: WorkerPool | None,
+                         static: SharedArrayBundle | None = None,
                          ) -> PeelingResult:
-    """Shared driver for the (2,3)/(3,4) bulk peels over an incidence."""
+    """Shared driver for the (2,3)/(3,4) bulk peels over an incidence.
+
+    ``static`` may hand in an already-shared ``ptr``/``c1..cN`` bundle
+    (see :func:`bulk_core_peel`).
+    """
     size = len(sup)
     if pool is None:
         peel_round = np.full(size, -1, dtype=np.int64)
@@ -241,10 +272,12 @@ def _bulk_incidence_peel(sup, ptr, comps, pool: WorkerPool | None,
             return incidence_decrement(ptr, comps, peel_round, frontier, rnd)
 
         return _round_loop(sup, peel_round, decrement_for)
-    named = {"ptr": ptr}
-    for i, comp in enumerate(comps):
-        named[f"c{i + 1}"] = comp
-    static = SharedArrayBundle.create(named)
+    owned = static is None
+    if owned:
+        named = {"ptr": ptr}
+        for i, comp in enumerate(comps):
+            named[f"c{i + 1}"] = comp
+        static = SharedArrayBundle.create(named)
     try:
         pool.bind([static.spec])
         with _ShardedDecrement(
@@ -254,7 +287,8 @@ def _bulk_incidence_peel(sup, ptr, comps, pool: WorkerPool | None,
         ) as sharded:
             return _round_loop(sup, sharded.peel_round, sharded)
     finally:
-        static.unlink()
+        if owned:
+            static.unlink()
 
 
 def bulk_truss_peel(csr: CSRGraph, pool: WorkerPool | None = None,

@@ -1,0 +1,278 @@
+"""Level-wise parallel hierarchy construction over settled λ values.
+
+The sequential FND (:mod:`repro.core.csr_fnd`) fuses sub-nucleus
+detection into the peel: every merge depends on the λ values settled
+before it, which is why PR 3 left the construction phase sequential.
+This module removes that dependence chain by running *after* the bulk
+peel, when every λ is already known — sub-nucleus detection then
+decomposes into independent **level-wise connectivity** problems:
+
+* an s-clique becomes *active* at level ``k`` when the minimum λ over
+  its cells is ``k`` — it proves its cells mutually connected in every
+  k'-(r,s) nucleus with ``k' <= k``;
+* the k-sub-nuclei are the connected components of the λ >= ``k`` cells
+  under the cliques active at level ``k`` (components formed at higher
+  levels collapse to single super-nodes via their hierarchy tops);
+* processing levels in decreasing λ order and attaching each touched
+  higher component under the level's node reproduces, after
+  condensation, exactly the nucleus tree the sequential extended peel +
+  BuildHierarchy produces — node λ multiset, cell→nucleus map, and
+  parent structure (the parity suite asserts it node-for-node).
+
+Each level's frontier is sharded across the
+:class:`~repro.parallel.pool.WorkerPool` by incidence weight; workers
+scan their ranges zero-copy (the incidence, λ and frontier arrays live
+in a :class:`~repro.parallel.shm.SharedArrayBundle`), run a **local
+union-find** over the active-clique pairs they own, and send back only
+its spanning forest.  The parent merges the per-worker forests into the
+:class:`~repro.parallel.shm.SharedRootedForest` in worker order — a
+deterministic link sequence, so repeated runs at the same worker count
+build byte-identical skeletons, and every worker count condenses to the
+same tree (connectivity does not depend on how the frontier was cut).
+Levels too small to amortise a pipe round-trip run the same kernels in
+the parent (:data:`MIN_LEVEL_SLOTS`, mirroring the bulk peels).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.disjoint_set import ArrayRootedForest
+from repro.core.fnd import FndInstrumentation
+from repro.core.hierarchy import Hierarchy
+from repro.graph.csr import CSRGraph, csr_arrays_int64
+from repro.parallel.kernels import (
+    core_level_edges,
+    incidence_level_edges,
+    spanning_forest_reduce,
+    weighted_cuts,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedArrayBundle, share_forest
+
+__all__ = [
+    "MIN_LEVEL_SLOTS",
+    "core_hierarchy_from_lambda",
+    "hierarchy_from_lambda",
+    "incidence_hierarchy_from_lambda",
+]
+
+#: levels touching fewer incidence slots than this are resolved by the
+#: parent itself — like the bulk peels' ``MIN_SHARD_SLOTS``, the pipe
+#: round-trip costs more than the scan for the long tail of tiny levels.
+MIN_LEVEL_SLOTS = 32768
+
+
+def _merge_level(edge_parts, k: int, comp, forest, node_lambda: list[int],
+                 ) -> int:
+    """Merge per-worker spanning forests into the global skeleton.
+
+    Each ``(a, b)`` pair connects a frontier cell ``a`` (λ = ``k``, the
+    owning cell of an active s-clique) to a companion ``b`` with
+    λ(b) >= ``k``.  The discipline mirrors sequential FND: same-level
+    tops merge with Link-r, higher-λ tops are attached under the level's
+    node (the permanent downward hierarchy edge).  Processing parts in
+    worker order keeps the link sequence deterministic.  Returns the
+    number of downward (cross-level) connections made.
+    """
+    downward = 0
+    for a, b in edge_parts:
+        for u, v in zip(a.tolist(), b.tolist()):
+            cu = comp[u]
+            cv = comp[v]
+            if cu < 0:
+                if cv < 0:
+                    # two fresh frontier cells: one shared level node
+                    node = forest.make_node()
+                    node_lambda.append(k)
+                    comp[u] = node
+                    comp[v] = node
+                    continue
+                tv = forest.find(cv)
+                if node_lambda[tv] == k:
+                    comp[u] = tv  # join the level component v reached
+                    continue
+                # v's component formed at a higher λ: it nests under the
+                # level node u founds
+                node = forest.make_node()
+                node_lambda.append(k)
+                comp[u] = node
+                forest.attach_node(tv, node)
+                downward += 1
+                continue
+            tu = forest.find(cu)  # a level-k top: u was assigned this level
+            if cv < 0:
+                comp[v] = tu  # v is a fresh frontier cell of this level
+                continue
+            tv = forest.find(cv)
+            if tu == tv:
+                continue
+            if node_lambda[tv] == k:
+                forest.link(tu, tv)
+            else:
+                # a component formed at a higher λ joins this level's node
+                forest.attach_node(tv, tu)
+                downward += 1
+    return downward
+
+
+def hierarchy_from_lambda(r: int, s: int, lam, edge_source, forest,
+                          instrumentation: FndInstrumentation | None = None,
+                          ) -> Hierarchy:
+    """Build the FND hierarchy from settled λ values, level by level.
+
+    ``edge_source(frontier, k)`` yields the level's connectivity pairs as
+    a list of reduced ``(a, b)`` array pairs in deterministic shard
+    order; ``forest`` is the skeleton store (an
+    :class:`~repro.core.disjoint_set.ArrayRootedForest` or a
+    :class:`~repro.parallel.shm.SharedRootedForest` — both speak
+    ``make_node(s)`` / ``find`` / ``link`` / ``attach_node`` /
+    ``adopt_roots``).  Frontier cells untouched by any active clique
+    become singleton sub-nuclei in one batch call.
+    """
+    lam = np.ascontiguousarray(lam, dtype=np.int64)
+    size = len(lam)
+    comp = np.full(size, -1, dtype=np.int64)
+    node_lambda: list[int] = []
+    downward = 0
+    build_start = time.perf_counter()
+    order = np.argsort(-lam, kind="stable")  # λ descending, cell id ascending
+    lam_sorted = lam[order]
+    start = 0
+    while start < size:
+        k = int(lam_sorted[start])
+        if k == 0:
+            break  # λ = 0 cells belong to the root
+        end = int(np.searchsorted(-lam_sorted, -k, side="right"))
+        frontier = order[start:end]
+        downward += _merge_level(edge_source(frontier, k), k, comp, forest,
+                                 node_lambda)
+        fresh = frontier[comp[frontier] < 0]
+        if len(fresh):
+            first = forest.make_nodes(len(fresh))
+            comp[fresh] = first + np.arange(len(fresh), dtype=np.int64)
+            node_lambda.extend([k] * len(fresh))
+        start = end
+    build_seconds = time.perf_counter() - build_start
+
+    if instrumentation is not None:
+        instrumentation.num_subnuclei = len(node_lambda)
+        instrumentation.num_downward_connections = downward
+        instrumentation.build_seconds = build_seconds
+
+    root = forest.make_node()
+    node_lambda.append(0)
+    forest.adopt_roots(root)
+    comp[comp < 0] = root
+    if isinstance(forest, ArrayRootedForest):
+        parents = forest.parents_or_none()
+    else:
+        parents = forest.to_array_forest().parents_or_none()
+    return Hierarchy(r, s, lam.tolist(), node_lambda, parents, comp.tolist(),
+                     root, algorithm="fnd")
+
+
+def _run_construction(r: int, s: int, lam, static: dict, weights,
+                      task_prefix: tuple, local_edges,
+                      pool: WorkerPool | None,
+                      instrumentation: FndInstrumentation | None,
+                      static_bundle: SharedArrayBundle | None) -> Hierarchy:
+    """Shared driver: local-only (``pool=None``) or worker-sharded.
+
+    ``static_bundle`` may hand in the static arrays already shared (the
+    FND pipeline shares the adjacency/incidence once across its peel and
+    construction phases); otherwise ``static`` is exported — and freed —
+    here.  Only the small per-construction state (λ plus the frontier
+    buffer) is ever exported twice.
+    """
+    lam = np.ascontiguousarray(lam, dtype=np.int64)
+    if pool is None:
+        def edge_source(frontier, k):
+            return [spanning_forest_reduce(*local_edges(lam, frontier, k))]
+
+        return hierarchy_from_lambda(r, s, lam, edge_source,
+                                     ArrayRootedForest(), instrumentation)
+
+    forest = share_forest(ArrayRootedForest(), capacity=len(lam) + 1)
+    owned = static_bundle is None
+    try:
+        if owned:
+            static_bundle = SharedArrayBundle.create(static)
+        state = {"lam": lam,
+                 "level_frontier": np.zeros(len(lam), dtype=np.int64)}
+        with SharedArrayBundle.create(state) as bundle:
+            pool.bind([static_bundle.spec, bundle.spec])
+            try:
+                frontier_buf = bundle["level_frontier"]
+
+                def edge_source(frontier, k):
+                    level_weights = weights[frontier]
+                    if int(level_weights.sum()) < MIN_LEVEL_SLOTS:
+                        return [spanning_forest_reduce(
+                            *local_edges(lam, frontier, k))]
+                    frontier_buf[:len(frontier)] = frontier
+                    cuts = weighted_cuts(level_weights, pool.workers)
+                    return pool.scatter(
+                        [task_prefix + (k, lo, hi)
+                         for lo, hi in zip(cuts[:-1], cuts[1:])])
+
+                return hierarchy_from_lambda(r, s, lam, edge_source, forest,
+                                             instrumentation)
+            finally:
+                pool.unbind()
+    finally:
+        if owned and static_bundle is not None:
+            static_bundle.unlink()
+        forest.bundle.unlink()
+
+
+def core_hierarchy_from_lambda(
+        csr: CSRGraph, lam, pool: WorkerPool | None = None,
+        instrumentation: FndInstrumentation | None = None,
+        static_bundle: SharedArrayBundle | None = None) -> Hierarchy:
+    """(1,2) hierarchy from settled core numbers, adjacency-driven.
+
+    ``static_bundle`` may hand in an already-shared ``indptr`` /
+    ``indices`` bundle; its views then also drive the parent-local
+    kernels, so the CSR arrays are converted and exported exactly once
+    per pipeline.
+    """
+    if static_bundle is not None:
+        indptr, indices = static_bundle["indptr"], static_bundle["indices"]
+    else:
+        arrays = csr_arrays_int64(csr)
+        indptr, indices = arrays["indptr"], arrays["indices"]
+
+    def local_edges(lam_arr, frontier, k):
+        return core_level_edges(indptr, indices, lam_arr, frontier, k)
+
+    return _run_construction(
+        1, 2, lam, {"indptr": indptr, "indices": indices}, np.diff(indptr),
+        ("core-level",), local_edges, pool, instrumentation, static_bundle)
+
+
+def incidence_hierarchy_from_lambda(
+        r: int, s: int, lam, ptr, comps,
+        pool: WorkerPool | None = None,
+        instrumentation: FndInstrumentation | None = None,
+        static_bundle: SharedArrayBundle | None = None) -> Hierarchy:
+    """(2,3)/(3,4) hierarchy from settled λ over a materialised incidence.
+
+    ``static_bundle`` may hand in an already-shared ``ptr``/``c1..cN``
+    bundle covering the same incidence (see
+    :func:`core_hierarchy_from_lambda`).
+    """
+    comps = tuple(np.ascontiguousarray(c, dtype=np.int64) for c in comps)
+    ptr = np.ascontiguousarray(ptr, dtype=np.int64)
+
+    def local_edges(lam_arr, frontier, k):
+        return incidence_level_edges(ptr, comps, lam_arr, frontier, k)
+
+    static = {"ptr": ptr}
+    for i, comp in enumerate(comps):
+        static[f"c{i + 1}"] = comp
+    return _run_construction(
+        r, s, lam, static, np.diff(ptr), ("inc-level", len(comps)),
+        local_edges, pool, instrumentation, static_bundle)

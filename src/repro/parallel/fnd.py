@@ -1,38 +1,60 @@
-"""FND decomposition with sharded incidence set-up.
+"""End-to-end parallel FND: sharded set-up, bulk peel, level-wise build.
 
-Hierarchy construction itself (the extended peel fused with
-BuildHierarchy) is a sequential dependence chain — every sub-nucleus
-merge depends on the λ values settled before it — so parallelising it
-would change the tie-breaking that the node-for-node parity contract
-forbids.  What *is* parallel-friendly is the dominant set-up phase: the
-triangle / K₄ listing and incidence materialisation.  This module farms
-that out to the worker pool and then runs the unchanged sequential
-:func:`~repro.core.csr_fnd._incidence_fnd` over the result, so λ and the
-condensed hierarchy are identical to the ``csr`` backend by construction.
+PR 3 parallelised the incidence set-up but kept the extended peel fused
+with BuildHierarchy sequential — every sub-nucleus merge depended on the
+λ values settled before it.  The pipeline here breaks that chain in
+three worker-pool phases over one set of shared arrays:
 
-(1,2) has no incidence phase — its set-up is one ``np.diff`` — so the
-parallel backend simply delegates to the sequential direct path there.
+1. **set-up** — triangle/K₄ listing and incidence materialisation,
+   sharded by pair-balanced ranges (:mod:`repro.parallel.incidence`;
+   (1,2) needs none — its degrees are one ``np.diff``);
+2. **peel** — the round-synchronous bulk peel settles λ for every cell,
+   elementwise identical to the sequential engine
+   (:mod:`repro.parallel.bulk`);
+3. **construction** — with λ known, sub-nucleus detection becomes
+   level-wise connectivity: workers union-find their incidence shards
+   locally and the parent merges the per-worker forests into the shared
+   rooted forest in deterministic order
+   (:mod:`repro.parallel.construct`).
+
+The output contract is unchanged from
+:func:`~repro.core.csr_fnd.csr_fnd_decomposition`: λ is elementwise
+identical and the *condensed* hierarchy is node-for-node identical to
+the sequential CSR engine, for (1,2), (2,3) and (3,4), at every worker
+count.  Only the non-maximal skeleton differs — the level-wise build
+materialises one sub-nucleus per (level, component), a subset of the
+sequential T* that condenses to the same nucleus tree.  When sharding
+cannot pay (one worker, or a host without spare cores — see
+:func:`~repro.parallel.bulk.sharding_effective`) the whole pipeline
+degrades to the sequential direct path.
 """
 
 from __future__ import annotations
 
-from repro.core.csr_fnd import (
-    _incidence_fnd,
-    csr_fnd_core,
-    csr_fnd_decomposition,
-)
+import numpy as np
+
+from repro.core.csr_fnd import csr_fnd_decomposition
 from repro.core.fnd import FndInstrumentation
 from repro.core.hierarchy import Hierarchy
 from repro.core.peeling import PeelingResult
 from repro.core.views import CellView, CSREdgeView, CSRTriangleView, VertexView
 from repro.errors import InvalidParameterError
-from repro.graph.csr import CSRGraph
-from repro.parallel.bulk import sharding_effective
+from repro.graph.csr import CSRGraph, csr_arrays_int64
+from repro.parallel.bulk import (
+    _bulk_incidence_peel,
+    bulk_core_peel,
+    sharding_effective,
+)
+from repro.parallel.construct import (
+    core_hierarchy_from_lambda,
+    incidence_hierarchy_from_lambda,
+)
 from repro.parallel.incidence import (
     parallel_nucleus34_incidence,
     parallel_truss_incidence,
 )
 from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedArrayBundle
 
 __all__ = ["parallel_fnd_decomposition"]
 
@@ -41,35 +63,57 @@ def parallel_fnd_decomposition(
         csr: CSRGraph, r: int, s: int, workers: int,
         instrumentation: FndInstrumentation | None = None,
 ) -> tuple[PeelingResult, Hierarchy, CellView]:
-    """Direct FND with the incidence set-up sharded over ``workers``.
+    """Direct FND with set-up, peel *and* construction over ``workers``.
 
     Same contract as :func:`~repro.core.csr_fnd.csr_fnd_decomposition`:
     ``(peeling, hierarchy, view)`` with λ elementwise and the condensed
-    hierarchy node-for-node equal to the sequential CSR engine.  When
-    sharding cannot pay (one worker, or a host without spare cores — see
-    :func:`~repro.parallel.bulk.sharding_effective`) this degrades to the
-    sequential direct path.
+    hierarchy node-for-node equal to the sequential CSR engine (only the
+    peel ``order`` follows the bulk rounds instead of the single-cell
+    pops).  Degrades to the sequential direct path when sharding cannot
+    pay.
     """
     if workers == 1 or not sharding_effective():
         return csr_fnd_decomposition(csr, r, s, instrumentation)
     if (r, s) == (1, 2):
-        peeling, hierarchy = csr_fnd_core(csr, instrumentation)
+        with WorkerPool(workers) as pool:
+            arrays = csr_arrays_int64(csr)
+            # one shared export of the adjacency serves peel + construction
+            with SharedArrayBundle.create(
+                    {"indptr": arrays["indptr"],
+                     "indices": arrays["indices"]}) as static:
+                peeling = bulk_core_peel(csr, pool=pool, static=static)
+                lam = np.asarray(peeling.lam, dtype=np.int64)
+                hierarchy = core_hierarchy_from_lambda(
+                    csr, lam, pool=pool, instrumentation=instrumentation,
+                    static_bundle=static)
         return peeling, hierarchy, VertexView(csr)
     if (r, s) == (2, 3):
         with WorkerPool(workers) as pool:
             sup, ptr, comp1, comp2 = parallel_truss_incidence(csr, pool)
-        peeling, hierarchy = _incidence_fnd(
-            2, 3, sup.tolist(), ptr.tolist(),
-            (comp1.tolist(), comp2.tolist()), instrumentation)
+            with SharedArrayBundle.create(
+                    {"ptr": ptr, "c1": comp1, "c2": comp2}) as static:
+                peeling = _bulk_incidence_peel(sup, ptr, (comp1, comp2),
+                                               pool, static=static)
+                lam = np.asarray(peeling.lam, dtype=np.int64)
+                hierarchy = incidence_hierarchy_from_lambda(
+                    2, 3, lam, ptr, (comp1, comp2), pool=pool,
+                    instrumentation=instrumentation, static_bundle=static)
         return peeling, hierarchy, CSREdgeView(csr)
     if (r, s) == (3, 4):
         with WorkerPool(workers) as pool:
             triangles, sup, ptr, comps = parallel_nucleus34_incidence(
                 csr, pool)
-        degrees = sup.tolist()
-        peeling, hierarchy = _incidence_fnd(
-            3, 4, list(degrees), ptr.tolist(),
-            tuple(c.tolist() for c in comps), instrumentation)
+            degrees = sup.tolist()  # the bulk peel settles sup in place
+            named = {"ptr": ptr}
+            for i, comp in enumerate(comps):
+                named[f"c{i + 1}"] = comp
+            with SharedArrayBundle.create(named) as static:
+                peeling = _bulk_incidence_peel(sup, ptr, comps, pool,
+                                               static=static)
+                lam = np.asarray(peeling.lam, dtype=np.int64)
+                hierarchy = incidence_hierarchy_from_lambda(
+                    3, 4, lam, ptr, comps, pool=pool,
+                    instrumentation=instrumentation, static_bundle=static)
         view = CSRTriangleView(csr, _enumeration=(triangles, degrees))
         return peeling, hierarchy, view
     raise InvalidParameterError(

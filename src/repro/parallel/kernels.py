@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.graph.csr import run_slots as _gather_slots
 
-__all__ = ["core_decrement", "incidence_decrement", "weighted_cuts"]
+__all__ = [
+    "core_decrement",
+    "core_level_edges",
+    "incidence_decrement",
+    "incidence_level_edges",
+    "spanning_forest_reduce",
+    "weighted_cuts",
+]
 
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -75,6 +82,95 @@ def incidence_decrement(ptr, comps, peel_round, frontier, rnd):
         return _EMPTY, _EMPTY
     return np.unique(np.concatenate(hit) if len(hit) > 1 else hit[0],
                      return_counts=True)
+
+
+def core_level_edges(indptr, indices, lam, frontier, k):
+    """Level-``k`` connectivity pairs of a (1,2) frontier shard.
+
+    ``frontier`` holds vertices with λ = ``k``.  An edge connects two
+    sub-nuclei at level ``k`` exactly when its minimum endpoint λ is
+    ``k``; the minimum-id λ = ``k`` endpoint *owns* the edge so each one
+    is emitted by exactly one frontier cell (and hence exactly one
+    worker, whatever the sharding).  Returns aligned ``(a, b)`` arrays
+    with ``a`` the owning frontier vertex and λ(b) >= ``k``.
+    """
+    slots, counts = _gather_slots(indptr[frontier], indptr[frontier + 1])
+    if len(slots) == 0:
+        return _EMPTY, _EMPTY
+    cell = np.repeat(frontier, counts)
+    neighbor = indices[slots]
+    nl = lam[neighbor]
+    keep = (nl > k) | ((nl == k) & (neighbor > cell))
+    return cell[keep], neighbor[keep]
+
+
+def incidence_level_edges(ptr, comps, lam, frontier, k):
+    """Level-``k`` connectivity pairs of a (2,3)/(3,4) frontier shard.
+
+    Walks the materialised incidence of every frontier cell (all λ =
+    ``k``).  An s-clique becomes *active* at level ``k`` when the
+    minimum λ over its cells is ``k``; its minimum-id λ = ``k`` cell
+    owns it and emits one ``(owner, companion)`` pair per companion —
+    a star, so the clique's cells land in one component.  Companions
+    with λ < ``k`` kill the slot (the clique activated at a lower
+    level); a λ = ``k`` companion with a smaller id means another
+    frontier cell owns it.
+    """
+    slots, counts = _gather_slots(ptr[frontier], ptr[frontier + 1])
+    if len(slots) == 0:
+        return _EMPTY, _EMPTY
+    cell_of_slot = np.repeat(frontier, counts)
+    companions = [c[slots] for c in comps]
+    keep = np.ones(len(slots), dtype=bool)
+    for comp in companions:
+        cl = lam[comp]
+        keep &= cl >= k
+        keep &= (cl != k) | (comp > cell_of_slot)
+    if not keep.any():
+        return _EMPTY, _EMPTY
+    owner = cell_of_slot[keep]
+    a = np.concatenate([owner] * len(companions))
+    b = np.concatenate([comp[keep] for comp in companions])
+    return a, b
+
+
+def spanning_forest_reduce(a, b):
+    """Reduce union pairs to the spanning edges of a local union-find.
+
+    The worker-side compression step of the parallel hierarchy
+    construction: running a union-find over the raw ``(a, b)`` pairs,
+    only the pairs that actually merged two components are kept — a
+    spanning forest of the shard's connectivity, usually a tiny fraction
+    of the raw pair count.  The kept pairs are a subset of the input in
+    input order (after a first-occurrence dedup), so the parent's merge
+    over worker outputs is deterministic and every kept pair still has
+    its original (owner, companion) orientation.
+    """
+    if len(a) == 0:
+        return _EMPTY, _EMPTY
+    nodes, inverse = np.unique(np.concatenate((a, b)), return_inverse=True)
+    la = inverse[:len(a)]
+    lb = inverse[len(a):]
+    _, first = np.unique(la * len(nodes) + lb, return_index=True)
+    first.sort()
+    parent = list(range(len(nodes)))
+    keep: list[int] = []
+    for idx in first.tolist():
+        x = parent[la[idx]]
+        while parent[x] != x:
+            x = parent[x]
+        y = parent[lb[idx]]
+        while parent[y] != y:
+            y = parent[y]
+        parent[la[idx]] = x
+        parent[lb[idx]] = y
+        if x != y:
+            parent[x] = y
+            keep.append(idx)
+    if len(keep) == len(a):
+        return a, b
+    keep_arr = np.asarray(keep, dtype=np.int64)
+    return a[keep_arr], b[keep_arr]
 
 
 def weighted_cuts(weights, parts: int) -> list[int]:

@@ -4,13 +4,19 @@ A :class:`WorkerPool` spawns ``workers`` long-lived processes connected
 by pipes.  Workers hold no state of their own beyond the shared-memory
 bundles the parent has told them to :meth:`~WorkerPool.bind`; every task
 is a tiny picklable tuple naming a range of work over those arrays, so
-the per-round coordination cost is a couple of pipe messages per worker
-— the array payloads never cross the pipe.
+the inputs never cross the pipe and each reply carries only the task's
+sparse output (decrement pairs, reduced spanning forests, or listing
+shards) — nothing proportional to the graph.
 
 Task vocabulary (see ``_worker_main``):
 
-* ``core-dec`` / ``inc-dec`` — partial decrement vectors for a frontier
-  shard, written into the worker's own bound ``dec`` buffer;
+* ``core-dec`` / ``inc-dec`` — sparse ``(targets, counts)`` decrement
+  pairs for a frontier shard (the round's touched cells only — the
+  parent merges the per-worker pairs, so nothing dense ever moves);
+* ``core-level`` / ``inc-level`` — level-``k`` connectivity pairs for a
+  λ-frontier shard of the parallel hierarchy construction, reduced to
+  the worker's local union-find spanning forest before they cross the
+  pipe;
 * ``triangles`` / ``k4`` — a shard of the vectorised clique-listing
   kernels of :mod:`repro.graph.csr` (these do return arrays, since their
   output size is unknown up front);
@@ -72,7 +78,13 @@ def _worker_main(conn, untrack: bool) -> None:
     import numpy as np  # noqa: F401 - ensures numpy is live before kernels
 
     from repro.graph.csr import k4_pair_kernel, triangle_pair_kernel
-    from repro.parallel.kernels import core_decrement, incidence_decrement
+    from repro.parallel.kernels import (
+        core_decrement,
+        core_level_edges,
+        incidence_decrement,
+        incidence_level_edges,
+        spanning_forest_reduce,
+    )
 
     bundles: list[SharedArrayBundle] = []
     arrays: dict = {}
@@ -97,22 +109,28 @@ def _worker_main(conn, untrack: bool) -> None:
                 elif command == "core-dec":
                     _, _rnd, lo, hi = message
                     frontier = arrays["frontier"][lo:hi]
-                    targets, counts = core_decrement(
+                    payload = core_decrement(
                         arrays["indptr"], arrays["indices"],
                         arrays["peel_round"], frontier)
-                    dec = arrays["dec"]
-                    dec[...] = 0
-                    dec[targets] = counts
                 elif command == "inc-dec":
                     _, ncomps, rnd, lo, hi = message
                     comps = tuple(arrays[f"c{i + 1}"] for i in range(ncomps))
                     frontier = arrays["frontier"][lo:hi]
-                    targets, counts = incidence_decrement(
+                    payload = incidence_decrement(
                         arrays["ptr"], comps, arrays["peel_round"],
                         frontier, rnd)
-                    dec = arrays["dec"]
-                    dec[...] = 0
-                    dec[targets] = counts
+                elif command == "core-level":
+                    _, k, lo, hi = message
+                    frontier = arrays["level_frontier"][lo:hi]
+                    payload = spanning_forest_reduce(*core_level_edges(
+                        arrays["indptr"], arrays["indices"], arrays["lam"],
+                        frontier, k))
+                elif command == "inc-level":
+                    _, ncomps, k, lo, hi = message
+                    comps = tuple(arrays[f"c{i + 1}"] for i in range(ncomps))
+                    frontier = arrays["level_frontier"][lo:hi]
+                    payload = spanning_forest_reduce(*incidence_level_edges(
+                        arrays["ptr"], comps, arrays["lam"], frontier, k))
                 elif command == "triangles":
                     _, n, lo, hi = message
                     payload = triangle_pair_kernel(
@@ -202,10 +220,6 @@ class WorkerPool:
     def bind(self, specs: list[tuple]) -> None:
         """Attach the given bundles (by spec) in every worker."""
         self.broadcast(("bind", list(specs)))
-
-    def bind_each(self, specs: list[tuple]) -> None:
-        """Attach bundle ``i`` in worker ``i`` only (per-worker buffers)."""
-        self.scatter([("bind", [spec]) for spec in specs])
 
     def unbind(self) -> None:
         """Drop every bound bundle in every worker."""

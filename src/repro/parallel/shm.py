@@ -191,6 +191,37 @@ class SharedRootedForest:
         self.size = idx + 1
         return idx
 
+    def make_nodes(self, count: int) -> int:
+        """Claim ``count`` contiguous slots as fresh nodes; first id back.
+
+        The batch counterpart of :meth:`make_node` — one vectorised write
+        per array instead of ``count`` scalar stores.  The level-wise
+        parallel hierarchy construction uses it to mint a whole
+        λ-frontier of singleton sub-nuclei per round.
+        """
+        first = self.size
+        end = first + count
+        if end > self.capacity:
+            raise IndexError("shared forest capacity exhausted")
+        self.parent[first:end] = -1
+        self.root[first:end] = -1
+        self.rank[first:end] = 0
+        self.size = end
+        return first
+
+    def adopt_roots(self, new_root: int) -> None:
+        """Parent every live parentless node except ``new_root`` to it.
+
+        Vectorised final step of the hierarchy construction: the
+        surviving tree roots become children of the λ = 0 whole-graph
+        node.  Only ``parent`` is written; ``root`` shortcuts are left
+        as compressed.
+        """
+        live = self.parent[:self.size]
+        orphans = live < 0
+        orphans[new_root] = False
+        live[orphans] = new_root
+
     def find(self, x: int, compress: bool = True) -> int:
         """Greatest ancestor of ``x`` via ``root`` pointers (Find-r)."""
         root = self.root
