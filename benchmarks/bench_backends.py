@@ -9,6 +9,17 @@ Three modes:
   asserts the λ arrays are identical (and, for the FND workloads, that the
   condensed hierarchies match node-for-node), prints the speedups and
   optionally writes the JSON consumed by ``check_regression.py``.
+* **query latency** (``run_query_smoke``, part of the default standalone
+  run): the serving side of the paper's build-once/serve-many story.
+  Builds one decomposition per workload, then times batch
+  vertex→community queries through the flat
+  :class:`repro.flatindex.FlatHierarchyIndex` against the equivalent
+  per-vertex loop over the legacy
+  :class:`repro.queries.HierarchyIndex` (answers asserted identical),
+  plus the persistence path — ``save``/``load`` of the ``.npz`` index
+  versus recomputing the decomposition from scratch.
+  ``check_regression.py`` gates the recorded batch speedup (≥10×) and
+  the load-vs-recompute ratio (≤1).
 * **worker scaling** (``--parallel``, combinable with the above): times
   the ``csr-parallel`` backend at several worker counts (``--workers``,
   default 1 2 4) against the sequential CSR engine on the
@@ -87,6 +98,28 @@ SMOKE_WORKLOADS = {
 
 _PEEL_FUNCS = {"core": core_peel, "truss": truss_peel,
                "nucleus34": nucleus34_peel}
+
+#: query-latency workloads: one decomposition each, then batch queries
+#: through the flat index vs a per-vertex legacy-index loop.
+#: ``sample_step`` thins the queried vertex set so the *legacy* reference
+#: loop stays a few seconds; both sides query the identical vertex list.
+#: ``k_num``/``k_den`` pick the community strength as that fraction of the
+#: workload's max λ (mid-depth levels: large enough to be non-trivial,
+#: small enough that every vertex still resolves communities).
+QUERY_WORKLOADS = {
+    "quick": {
+        "kcore": dict(rs=(1, 2), sample_step=4, k_num=2, k_den=3,
+                      gen=dict(n=20000, m=8, p=0.5, seed=7)),
+        "truss23": dict(rs=(2, 3), sample_step=1, k_num=1, k_den=3,
+                        gen=dict(n=5000, m=10, p=0.6, seed=17)),
+    },
+    "full": {
+        "kcore": dict(rs=(1, 2), sample_step=12, k_num=2, k_den=3,
+                      gen=dict(n=60000, m=8, p=0.5, seed=7)),
+        "truss23": dict(rs=(2, 3), sample_step=3, k_num=1, k_den=3,
+                        gen=dict(n=14000, m=10, p=0.6, seed=17)),
+    },
+}
 
 #: worker-scaling workloads: the three peel+incidence phases
 #: (``kind="peel"``) plus the three full parallel FND constructions —
@@ -274,6 +307,78 @@ def run_smoke(mode: str = "quick", repeats: int = 3) -> dict:
     return results
 
 
+def run_query_smoke(mode: str = "quick", repeats: int = 3) -> dict:
+    """Time the serving hot path: flat batch queries vs the legacy
+    per-vertex loop, plus persisted-index load vs recomputing.
+
+    The flat answers must equal the legacy answers for every queried
+    vertex (each community compared as a sorted cell list); the legacy
+    reference is timed once (it is the slow side by orders of magnitude)
+    and the flat/batch and load paths best-of ``repeats``.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.flatindex import FlatHierarchyIndex
+    from repro.queries import HierarchyIndex
+
+    results: dict = {"mode": mode, "workloads": {}}
+    for name, spec in QUERY_WORKLOADS[mode].items():
+        gen = spec["gen"]
+        graph = generators.powerlaw_cluster(
+            gen["n"], gen["m"], gen["p"], seed=gen["seed"],
+            name=f"{name}-query-smoke")
+        csr = as_backend(graph, "csr")
+        csr.hot_arrays()
+        r, s = spec["rs"]
+        decompose_seconds, decomposition = _best_of(
+            1, decompose, csr, r, s, algorithm="fnd", backend="csr")
+        build_seconds, flat = _best_of(1, FlatHierarchyIndex, decomposition)
+        legacy = HierarchyIndex(decomposition)
+        legacy._nodes_of_vertex  # warm the lazy maps: time queries, not set-up
+        k = max(1, spec["k_num"] * decomposition.max_lambda // spec["k_den"])
+        vertices = list(range(0, graph.n, spec["sample_step"]))
+
+        def legacy_loop(index=legacy, vertices=vertices, k=k):
+            return [index.communities_of_vertex(v, k) for v in vertices]
+
+        legacy_seconds, legacy_answers = _best_of(1, legacy_loop)
+        flat_answers = flat.communities_of_vertex_batch(vertices, k)
+        for mine, theirs in zip(flat_answers, legacy_answers):
+            if [c.tolist() for c in mine] != [sorted(c) for c in theirs]:
+                raise AssertionError(
+                    f"{name}: flat and legacy indexes disagree — the flat "
+                    f"query index is broken")
+        del legacy_answers, flat_answers  # keep timing free of their memory
+        flat_seconds, _ = _best_of(
+            repeats, flat.communities_of_vertex_batch, vertices, k)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = _Path(tmp) / f"{name}.npz"
+            save_seconds, _ = _best_of(1, flat.save, path)
+            load_seconds, loaded = _best_of(
+                repeats, FlatHierarchyIndex.load, path)
+            assert loaded.num_cells == flat.num_cells
+        results["workloads"][name] = {
+            "n": graph.n,
+            "m": graph.m,
+            "r": r,
+            "s": s,
+            "k": k,
+            "vertices_queried": len(vertices),
+            "legacy_seconds": round(legacy_seconds, 6),
+            "flat_seconds": round(flat_seconds, 6),
+            "batch_speedup": round(legacy_seconds / flat_seconds, 3),
+            "decompose_seconds": round(decompose_seconds, 6),
+            "build_seconds": round(build_seconds, 6),
+            "save_seconds": round(save_seconds, 6),
+            "load_seconds": round(load_seconds, 6),
+            "load_vs_recompute": round(load_seconds / decompose_seconds, 4),
+        }
+    # every workload above proved flat-vs-legacy answer parity
+    results["parity"] = "ok"
+    return results
+
+
 def run_parallel_smoke(mode: str = "quick",
                        workers: tuple[int, ...] = (1, 2, 4),
                        repeats: int = 3) -> dict:
@@ -418,6 +523,18 @@ def main(argv: list[str] | None = None) -> int:
                   f"object {row['object_seconds']:.3f}s  "
                   f"csr {row['csr_seconds']:.3f}s  "
                   f"speedup {row['speedup']:.2f}x  (identical lambda)")
+        queries = run_query_smoke(mode, repeats=args.repeats)
+        results["queries"] = queries
+        print("query latency (flat batch vs legacy per-vertex, identical "
+              "answers)")
+        for name, row in queries["workloads"].items():
+            print(f"{name:10s} k={row['k']} "
+                  f"vertices={row['vertices_queried']:>6}  "
+                  f"legacy {row['legacy_seconds']:.3f}s  "
+                  f"flat {row['flat_seconds'] * 1000:.1f}ms  "
+                  f"speedup {row['batch_speedup']:.0f}x  "
+                  f"load {row['load_seconds'] * 1000:.1f}ms "
+                  f"({row['load_vs_recompute']:.3f}x recompute)")
     if args.parallel or args.parallel_only:
         parallel = run_parallel_smoke(mode, workers=tuple(args.workers),
                                       repeats=args.repeats)

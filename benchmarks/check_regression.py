@@ -15,6 +15,13 @@ calibration loops; the gate then fails when
 * the CSR backend has lost its edge over the object backend (speedup below
   ``--min-speedup``, default 1.5x — the committed baseline records ~2-4x).
 
+The fresh run also records the query-latency section
+(``bench_backends.run_query_smoke``): when the baseline carries one, the
+flat-index batch speedup over the legacy per-vertex loop must stay at or
+above ``--min-query-speedup`` (default 10x; ratios are dimensionless so no
+rescale applies), and loading the persisted ``.npz`` index may cost at most
+``--max-load-ratio`` (default 1x) of recomputing the decomposition.
+
 λ parity between the backends (and condensed-hierarchy parity for the FND
 workloads) is asserted inside the smoke run itself.  ``--update`` also
 records the worker-scaling section (``bench_backends.run_parallel_smoke``)
@@ -46,7 +53,7 @@ import json
 import sys
 from pathlib import Path
 
-from bench_backends import run_parallel_smoke, run_smoke
+from bench_backends import run_parallel_smoke, run_query_smoke, run_smoke
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -57,6 +64,11 @@ _SCALE_BAND = (0.2, 5.0)
 
 #: per-workload fields the gate reads; all must exist in a fresh run
 _ROW_KEYS = ("csr_seconds", "object_seconds", "speedup")
+
+#: per-workload fields of the query-latency section; all must exist in a
+#: fresh run (the two ratio fields are the gated ones)
+_QUERY_ROW_KEYS = ("legacy_seconds", "flat_seconds", "batch_speedup",
+                   "load_seconds", "decompose_seconds", "load_vs_recompute")
 
 
 def check(fresh: dict, baseline: dict, threshold: float,
@@ -105,6 +117,59 @@ def check(fresh: dict, baseline: dict, threshold: float,
         failures.append(
             "parallel: baseline records a worker-scaling section but the "
             "fresh run has none (run with the parallel smoke, or --update)")
+    return failures
+
+
+def check_queries(fresh: dict, baseline: dict, min_batch_speedup: float,
+                  max_load_ratio: float) -> list[str]:
+    """Failure messages for the query-latency gate (empty = pass).
+
+    The gated quantities are dimensionless, so no calibration rescale:
+    the flat batch path must answer the recorded vertex→community
+    workload at least ``min_batch_speedup ×`` faster than the per-vertex
+    legacy loop, and loading the persisted index must cost at most
+    ``max_load_ratio ×`` a fresh decomposition.  Answer parity is
+    asserted inside the smoke run itself.
+    """
+    base = baseline.get("queries")
+    if base is None:
+        return []
+    fresh_queries = fresh.get("queries")
+    if fresh_queries is None:
+        return ["queries: baseline records a query-latency section but the "
+                "fresh run has none — the smoke run no longer produces it"]
+    failures: list[str] = []
+    if fresh_queries.get("parity") != "ok":
+        failures.append(
+            "queries: the fresh run did not assert flat-vs-legacy answer "
+            "parity")
+    for name, base_row in base["workloads"].items():
+        row = fresh_queries.get("workloads", {}).get(name)
+        if row is None:
+            failures.append(
+                f"queries/{name}: baseline workload missing from fresh run "
+                f"— renamed or dropped workloads must update the baseline "
+                f"explicitly (--update)")
+            continue
+        missing = [key for key in _QUERY_ROW_KEYS
+                   if key in base_row and key not in row]
+        if missing:
+            failures.append(
+                f"queries/{name}: baseline field(s) {', '.join(missing)} "
+                f"missing from fresh run")
+            continue
+        if row["batch_speedup"] < min_batch_speedup:
+            failures.append(
+                f"queries/{name}: flat batch speedup "
+                f"{row['batch_speedup']:.1f}x fell below "
+                f"{min_batch_speedup}x the per-vertex legacy loop "
+                f"(baseline recorded {base_row['batch_speedup']:.1f}x)")
+        if row["load_vs_recompute"] > max_load_ratio:
+            failures.append(
+                f"queries/{name}: loading the persisted index took "
+                f"{row['load_vs_recompute']:.2f}x a fresh decomposition "
+                f"(gate: {max_load_ratio}x; baseline recorded "
+                f"{base_row['load_vs_recompute']:.2f}x)")
     return failures
 
 
@@ -167,6 +232,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="min required CSR-over-object speedup "
                              "(default 1.5)")
+    parser.add_argument("--min-query-speedup", type=float, default=10.0,
+                        help="min required flat-batch-over-legacy query "
+                             "speedup (default 10)")
+    parser.add_argument("--max-load-ratio", type=float, default=1.0,
+                        help="max allowed persisted-index load time as a "
+                             "fraction of a fresh decomposition (default 1)")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per workload (best-of); use "
@@ -205,6 +276,12 @@ def main(argv: list[str] | None = None) -> int:
     for name, row in fresh["workloads"].items():
         print(f"{name:10s} object {row['object_seconds']:.3f}s  "
               f"csr {row['csr_seconds']:.3f}s  speedup {row['speedup']:.2f}x")
+    fresh["queries"] = run_query_smoke("quick", repeats=args.repeats)
+    for name, row in fresh["queries"]["workloads"].items():
+        print(f"query/{name:10s} legacy {row['legacy_seconds']:.3f}s  "
+              f"flat {row['flat_seconds'] * 1000:.1f}ms  "
+              f"speedup {row['batch_speedup']:.0f}x  "
+              f"load/recompute {row['load_vs_recompute']:.3f}")
     if args.update or (baseline is not None and "parallel" in baseline):
         # keep the worker-scaling section in lockstep with the baseline
         # (its λ/hierarchy parity asserts run as a side effect).  The
@@ -222,6 +299,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures = check(fresh, baseline, args.threshold, args.min_speedup)
+    failures += check_queries(fresh, baseline, args.min_query_speedup,
+                              args.max_load_ratio)
     if failures:
         for message in failures:
             print(f"REGRESSION: {message}", file=sys.stderr)

@@ -33,10 +33,13 @@ from repro.export import (
     hierarchy_from_json,
     hierarchy_to_json,
     load_hierarchy,
+    load_hierarchy_npz,
     save_hierarchy,
+    save_hierarchy_npz,
     skeleton_to_dot,
     tree_to_dot,
 )
+from repro.flatindex import FlatHierarchyIndex
 from repro.external import semi_external_core_decomposition
 from repro.kcore.temporal import temporal_core_numbers, temporal_k_core
 from repro.kcore.uncertain import uncertain_core_numbers, uncertain_k_core
@@ -65,7 +68,7 @@ from repro.graph import (
 )
 from repro.graph import generators
 from repro import backends
-from repro.backends import BACKENDS
+from repro.backends import BACKENDS, build_query_index
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.kcore import (
     core_hierarchy,
@@ -133,6 +136,8 @@ __all__ = [
     "decompose_by_components",
     "semi_external_core_decomposition",
     "HierarchyIndex",
+    "FlatHierarchyIndex",
+    "build_query_index",
     # survey-section core variants
     "weighted_core_numbers",
     "weighted_k_core",
@@ -145,6 +150,8 @@ __all__ = [
     "hierarchy_from_json",
     "save_hierarchy",
     "load_hierarchy",
+    "save_hierarchy_npz",
+    "load_hierarchy_npz",
     "tree_to_dot",
     "skeleton_to_dot",
     # errors

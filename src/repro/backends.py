@@ -57,6 +57,7 @@ __all__ = [
     "as_csr",
     "as_object",
     "backend_view",
+    "build_query_index",
     "core_peel",
     "decompose",
     "nucleus34_peel",
@@ -246,3 +247,22 @@ def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
     # hypo touch the graph only through the view)
     return nucleus_decomposition(graph, r, s, algorithm=algorithm,
                                  view=build_view(csr, r, s))
+
+
+def build_query_index(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
+                      algorithm: str = "fnd",
+                      backend: str | None = None,
+                      workers: int | None = None):
+    """Decompose on the chosen backend and return the flat serving index.
+
+    The build-once half of build-once/serve-many: runs :func:`decompose`
+    (any backend, identical hierarchy) and lowers the condensed tree to a
+    :class:`~repro.flatindex.FlatHierarchyIndex` — persist it with
+    ``index.save(path)`` and a fresh process serves batch queries via
+    ``FlatHierarchyIndex.load(path)`` without re-peeling.  Requires
+    numpy (lazy import keeps the peeling engines numpy-optional).
+    """
+    from repro.flatindex import FlatHierarchyIndex
+
+    return FlatHierarchyIndex(decompose(graph, r, s, algorithm=algorithm,
+                                        backend=backend, workers=workers))

@@ -6,6 +6,8 @@ Examples::
     repro-nucleus decompose graph.txt --r 2 --s 3 --algorithm fnd --tree
     repro-nucleus dataset stanford3 --size small --r 1 --s 2
     repro-nucleus densest graph.txt --r 2 --s 3 --top 5
+    repro-nucleus query graph.txt --r 2 --s 3 --save-index graph.npz
+    repro-nucleus query graph.npz --vertices 0,5,9 --k 2
 """
 
 from __future__ import annotations
@@ -72,6 +74,29 @@ def build_parser() -> argparse.ArgumentParser:
     densest.add_argument("--backend", choices=BACKENDS, default=None)
     densest.add_argument("--workers", type=int, default=None)
 
+    query = sub.add_parser(
+        "query", help="build (or load) a flat query index and answer "
+                      "community queries")
+    query.add_argument("path",
+                       help="a graph file to decompose and index, or a "
+                            "persisted .npz index to serve from")
+    query.add_argument("--r", type=int, default=1)
+    query.add_argument("--s", type=int, default=2)
+    query.add_argument("--backend", choices=BACKENDS, default=None)
+    query.add_argument("--workers", type=int, default=None)
+    query.add_argument("--save-index", metavar="PATH",
+                       help="persist the index as .npz (build once, then "
+                            "serve it with `query PATH`)")
+    query.add_argument("--vertices", metavar="V,V,...",
+                       help="comma-separated vertex ids to query")
+    query.add_argument("--k", type=int, default=1,
+                       help="community strength for --vertices (default 1)")
+    query.add_argument("--profile", action="store_true",
+                       help="print each vertex's nested community profile "
+                            "instead of its k-level communities")
+    query.add_argument("--cells", action="store_true",
+                       help="also print the cell ids of each community")
+
     export = sub.add_parser(
         "export", help="decompose and export the hierarchy (json/dot)")
     export.add_argument("path")
@@ -113,6 +138,45 @@ def _print_decomposition(graph: Graph, r: int, s: int, algorithm: str,
         print("hierarchy  : (hypo baseline builds none)")
 
 
+def _run_query(args: argparse.Namespace) -> int:
+    from repro.backends import build_query_index
+    from repro.flatindex import FlatHierarchyIndex
+
+    if args.path.endswith(".npz"):
+        index = FlatHierarchyIndex.load(args.path)
+        print(f"loaded : {index!r}")
+    else:
+        index = build_query_index(load_graph(args.path), args.r, args.s,
+                                  backend=args.backend, workers=args.workers)
+        print(f"built  : {index!r}")
+    if args.save_index:
+        index.save(args.save_index)
+        print(f"saved  : {args.save_index}")
+    if not args.vertices:
+        return 0
+    try:
+        vertices = [int(tok) for tok in args.vertices.split(",") if tok]
+    except ValueError as exc:
+        raise ReproError(f"bad --vertices list: {exc}") from None
+    if args.profile:
+        for vertex, levels in zip(vertices, index.profile_batch(vertices)):
+            print(f"vertex {vertex}:")
+            for level in levels:
+                print(f"  {level}")
+            if not levels:
+                print("  (no communities)")
+        return 0
+    answers = index.communities_of_vertex_batch(vertices, args.k)
+    for vertex, communities in zip(vertices, answers):
+        sizes = ", ".join(str(len(c)) for c in communities) or "none"
+        print(f"vertex {vertex}: {len(communities)} communities at k={args.k} "
+              f"(cells: {sizes})")
+        if args.cells:
+            for cells in communities:
+                print(f"  {cells.tolist()}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _run(build_parser().parse_args(argv))
@@ -148,6 +212,8 @@ def _run(args: argparse.Namespace) -> int:
                                      limit=args.top):
             print(report)
         return 0
+    if args.command == "query":
+        return _run_query(args)
     if args.command == "export":
         from repro.export import save_hierarchy, skeleton_to_dot, tree_to_dot
 

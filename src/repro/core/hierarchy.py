@@ -48,9 +48,25 @@ class NucleusTree:
     def __init__(self, nodes: list[NucleusNode], root: int):
         self.nodes = nodes
         self.root = root
+        self._cell_nodes: list[int] | None = None
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def cell_nodes(self) -> list[int]:
+        """``cell → node id`` for every cell, built once and cached.
+
+        Cells are dense ``0 .. C-1`` (every cell is some node's own cell),
+        so the map is a flat list — the common input to every query index.
+        """
+        if self._cell_nodes is None:
+            total = sum(len(node.own_cells) for node in self.nodes)
+            mapping = [self.root] * total
+            for node in self.nodes:
+                for cell in node.own_cells:
+                    mapping[cell] = node.id
+            self._cell_nodes = mapping
+        return self._cell_nodes
 
     def __getitem__(self, node_id: int) -> NucleusNode:
         return self.nodes[node_id]
@@ -238,13 +254,7 @@ class Hierarchy:
                 f"cell {cell} has lambda {self.lam[cell]} < requested k {target}")
         tree = self.condense()
         # locate the condensed node of the cell, then climb until k <= target
-        node_of_cell: dict[int, int] = getattr(self, "_cell_node_cache", None) or {}
-        if not node_of_cell:
-            for node in tree.nodes:
-                for c in node.own_cells:
-                    node_of_cell[c] = node.id
-            self._cell_node_cache = node_of_cell
-        node_id = node_of_cell[cell]
+        node_id = tree.cell_nodes()[cell]
         while True:
             node = tree[node_id]
             par = node.parent

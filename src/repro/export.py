@@ -6,6 +6,11 @@ both portable:
 
 * :func:`hierarchy_to_json` / :func:`hierarchy_from_json` — lossless
   round-trip of a :class:`~repro.core.hierarchy.Hierarchy`;
+* :func:`save_hierarchy_npz` / :func:`load_hierarchy_npz` — the same
+  round-trip as flat binary arrays (fast to load, no JSON parse), the
+  build-once half of the build-once/serve-many workflow —
+  :func:`save_hierarchy` / :func:`load_hierarchy` dispatch on the
+  ``.npz`` suffix;
 * :func:`tree_to_dot` — Graphviz rendering of the condensed nucleus tree;
 * :func:`skeleton_to_dot` — Graphviz rendering of the raw skeleton
   (sub-nuclei and their parent links), the structure in the paper's Fig. 5.
@@ -15,18 +20,32 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from zipfile import BadZipFile
 
 from repro.core.hierarchy import Hierarchy, NucleusTree
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, InvalidParameterError
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 __all__ = [
     "hierarchy_to_json",
     "hierarchy_from_json",
     "save_hierarchy",
     "load_hierarchy",
+    "save_hierarchy_npz",
+    "load_hierarchy_npz",
     "tree_to_dot",
     "skeleton_to_dot",
 ]
+
+#: on-disk schema version of the ``.npz`` hierarchy payload
+HIERARCHY_NPZ_FORMAT = 1
+
+_NPZ_KEYS = ("format", "r", "s", "algorithm", "lam", "node_lambda",
+             "parent", "comp", "root")
 
 
 def hierarchy_to_json(hierarchy: Hierarchy) -> str:
@@ -64,13 +83,86 @@ def hierarchy_from_json(text: str) -> Hierarchy:
 
 
 def save_hierarchy(hierarchy: Hierarchy, path: str | Path) -> None:
-    """Write a hierarchy to a JSON file."""
-    Path(path).write_text(hierarchy_to_json(hierarchy))
+    """Write a hierarchy to disk (``.npz`` → binary, anything else JSON)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        save_hierarchy_npz(hierarchy, path)
+        return
+    path.write_text(hierarchy_to_json(hierarchy))
 
 
 def load_hierarchy(path: str | Path) -> Hierarchy:
-    """Read a hierarchy from a JSON file."""
-    return hierarchy_from_json(Path(path).read_text())
+    """Read a hierarchy from disk (``.npz`` → binary, anything else JSON)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        return load_hierarchy_npz(path)
+    return hierarchy_from_json(path.read_text())
+
+
+def save_hierarchy_npz(hierarchy: Hierarchy, path: str | Path) -> None:
+    """Persist a hierarchy-skeleton as flat binary arrays (``.npz``).
+
+    The payload is an uncompressed zip of ``.npy`` members — one
+    contiguous binary blob per array, so loading is an ``fread`` per
+    array instead of a JSON parse over every int.
+    """
+    if _np is None:
+        raise InvalidParameterError(
+            "hierarchy .npz persistence requires numpy (use the JSON "
+            "format instead)")
+    with open(path, "wb") as handle:  # savez would append ".npz"
+        _save_hierarchy_arrays(handle, hierarchy)
+
+
+def _save_hierarchy_arrays(handle, hierarchy: Hierarchy) -> None:
+    _np.savez(
+        handle,
+        format=_np.int64(HIERARCHY_NPZ_FORMAT),
+        r=_np.int64(hierarchy.r),
+        s=_np.int64(hierarchy.s),
+        algorithm=_np.str_(hierarchy.algorithm),
+        lam=_np.asarray(hierarchy.lam, dtype=_np.int64),
+        node_lambda=_np.asarray(hierarchy.node_lambda, dtype=_np.int64),
+        parent=_np.asarray(
+            [-1 if p is None else p for p in hierarchy.parent],
+            dtype=_np.int64),
+        comp=_np.asarray(hierarchy.comp, dtype=_np.int64),
+        root=_np.int64(hierarchy.root),
+    )
+
+
+def load_hierarchy_npz(path: str | Path) -> Hierarchy:
+    """Inverse of :func:`save_hierarchy_npz`."""
+    if _np is None:
+        raise InvalidParameterError(
+            "hierarchy .npz persistence requires numpy (use the JSON "
+            "format instead)")
+    try:
+        with _np.load(path, allow_pickle=False) as payload:
+            missing = [key for key in _NPZ_KEYS if key not in payload.files]
+            if missing:
+                raise GraphFormatError(
+                    f"{path}: not a hierarchy .npz "
+                    f"(missing {', '.join(missing)})")
+            version = int(payload["format"])
+            if version != HIERARCHY_NPZ_FORMAT:
+                raise GraphFormatError(
+                    f"{path}: unsupported hierarchy format {version} "
+                    f"(this build reads {HIERARCHY_NPZ_FORMAT})")
+            return Hierarchy(
+                r=int(payload["r"]),
+                s=int(payload["s"]),
+                lam=payload["lam"].tolist(),
+                node_lambda=payload["node_lambda"].tolist(),
+                parent=[None if p == -1 else p
+                        for p in payload["parent"].tolist()],
+                comp=payload["comp"].tolist(),
+                root=int(payload["root"]),
+                algorithm=str(payload["algorithm"]),
+            )
+    except (OSError, ValueError, BadZipFile) as exc:
+        raise GraphFormatError(
+            f"{path}: malformed hierarchy .npz: {exc}") from exc
 
 
 def tree_to_dot(tree: NucleusTree, name: str = "nuclei") -> str:

@@ -1,0 +1,542 @@
+"""Flat-array serving index over the condensed nucleus hierarchy.
+
+The paper's promise is *build once, query forever*: after the hierarchy is
+constructed, community-search queries are tree walks.  The object-based
+:class:`~repro.queries.HierarchyIndex` answers those walks through Python
+dicts-of-sets, which is fine for a handful of look-ups but not for serving
+traffic.  :class:`FlatHierarchyIndex` lowers the condensed tree to numpy
+arrays instead:
+
+* ``node_k`` / ``node_parent`` — the condensed tree itself (node ids are
+  exactly the :class:`~repro.core.hierarchy.NucleusTree` ids);
+* ``tin`` / ``tout`` — Euler-tour (preorder interval) labels, so
+  "is ``x`` inside nucleus ``a``" is two comparisons and a nucleus's cell
+  set is one slice of the tour-ordered cell array;
+* ``cell_node`` plus a tour-sorted cell permutation — ``subtree_cells`` by
+  ``searchsorted`` instead of a tree walk;
+* a CSR ``vertex → condensed nodes`` map — the TCP-style vertex queries
+  batch over plain array gathers;
+* per-``k`` *top* pointers (shallowest ancestor still at level ``>= k``),
+  computed for all nodes at once by pointer doubling and cached.
+
+Every query of :class:`~repro.queries.HierarchyIndex` has a scalar
+equivalent here with identical answers (cell lists are returned sorted
+ascending), plus a vectorised **batch** variant over arrays of vertices or
+cells.  :meth:`FlatHierarchyIndex.save` persists the whole index as an
+uncompressed ``.npz`` (one flat binary blob per array, loadable lazily), so
+``decompose → save`` runs once and a fresh process serves queries with
+:meth:`FlatHierarchyIndex.load` — no re-peeling, no graph needed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+from zipfile import BadZipFile
+
+from repro.analysis.density import edge_density
+from repro.core.decomposition import Decomposition
+from repro.core.hierarchy import Hierarchy
+from repro.errors import GraphFormatError, InvalidParameterError
+from repro.queries import CommunityLevel
+
+try:  # the index is array-native; there is no object fallback
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    np = None
+
+__all__ = ["FlatHierarchyIndex", "FLAT_INDEX_FORMAT"]
+
+#: on-disk schema version of the ``.npz`` payload
+FLAT_INDEX_FORMAT = 1
+
+#: arrays every persisted index must carry
+_REQUIRED_KEYS = (
+    "format", "r", "s", "n", "root", "algorithm",
+    "node_k", "node_parent", "tin", "tout",
+    "cell_node", "lam", "cells_in_tour", "cell_tin_sorted",
+    "vert_indptr", "vert_nodes",
+)
+
+#: optional per-node profile statistics (written by ``save(stats=True)``)
+_STAT_KEYS = ("node_nv", "node_ne", "node_density")
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise InvalidParameterError(
+            "FlatHierarchyIndex requires numpy (the flat query index has no "
+            "object fallback; use repro.queries.HierarchyIndex instead)")
+
+
+def _multi_range(starts, counts):
+    """Concatenate ``arange(starts[i], starts[i] + counts[i])`` for all i."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    before = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.repeat(starts - before, counts) + np.arange(total, dtype=np.int64)
+
+
+class FlatHierarchyIndex:
+    """Array-backed query index over a decomposition's condensed tree.
+
+    Build from a :class:`~repro.core.decomposition.Decomposition` (or from a
+    ``hierarchy`` plus the ``graph`` it describes), or :meth:`load` a
+    persisted one.  Node ids match ``hierarchy.condense()`` node-for-node,
+    so answers are directly comparable with
+    :class:`~repro.queries.HierarchyIndex`.
+    """
+
+    def __init__(self, decomposition: Decomposition | None = None, *,
+                 hierarchy: Hierarchy | None = None,
+                 graph=None, view=None):
+        _require_numpy()
+        if decomposition is not None:
+            hierarchy = decomposition.hierarchy
+            graph = decomposition.graph
+            view = decomposition.view
+            algorithm = decomposition.algorithm
+        else:
+            algorithm = hierarchy.algorithm if hierarchy is not None else ""
+        if hierarchy is None:
+            raise InvalidParameterError(
+                "no hierarchy to index (hypo builds none; pass a "
+                "decomposition or hierarchy that has one)")
+        if graph is None:
+            raise InvalidParameterError(
+                "FlatHierarchyIndex needs the graph to map vertices to "
+                "cells (load a persisted index to serve without one)")
+        if view is None:
+            from repro.core.views import build_view
+
+            view = build_view(graph, hierarchy.r, hierarchy.s)
+        self.r = hierarchy.r
+        self.s = hierarchy.s
+        self.algorithm = algorithm
+        self.graph = graph
+        self.view = view
+        self.n = graph.n
+        tree = hierarchy.condense()
+        self.root = tree.root
+        num_nodes = len(tree)
+        self.node_k = np.fromiter((node.k for node in tree.nodes),
+                                  dtype=np.int32, count=num_nodes)
+        self.node_parent = np.fromiter(
+            (-1 if node.parent is None else node.parent
+             for node in tree.nodes), dtype=np.int32, count=num_nodes)
+        self._label_tour(tree)
+        self.cell_node = np.asarray(tree.cell_nodes(), dtype=np.int32)
+        self.lam = np.asarray(hierarchy.lam, dtype=np.int32)
+        self._sort_cells_by_tour()
+        self._build_vertex_map()
+        self._tops_cache: dict[int, "np.ndarray"] = {}
+        self._stats: dict[int, tuple[int, int, float]] = {}
+        self._stat_arrays = None
+        self._edge_arrays = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _label_tour(self, tree) -> None:
+        """Preorder interval labels: subtree(a) == [tin[a], tout[a])."""
+        num_nodes = len(tree)
+        tin = np.zeros(num_nodes, dtype=np.int32)
+        tout = np.zeros(num_nodes, dtype=np.int32)
+        timer = 0
+        stack: list[tuple[int, bool]] = [(tree.root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                tout[node] = timer
+                continue
+            tin[node] = timer
+            timer += 1
+            stack.append((node, True))
+            for child in tree[node].children:
+                stack.append((child, False))
+        self.tin = tin
+        self.tout = tout
+
+    def _sort_cells_by_tour(self) -> None:
+        cell_tin = self.tin[self.cell_node]
+        order = np.argsort(cell_tin, kind="stable")
+        self.cells_in_tour = order.astype(np.int32)
+        self.cell_tin_sorted = cell_tin[order]
+
+    def _build_vertex_map(self) -> None:
+        """CSR ``vertex → sorted unique condensed nodes`` map."""
+        num_cells = len(self.cell_node)
+        r = self.r
+        if num_cells == 0:
+            verts = np.empty(0, dtype=np.int64)
+        elif r == 1:
+            verts = np.arange(num_cells, dtype=np.int64)
+        else:
+            triples = getattr(self.view, "_vertices", None)
+            if triples is not None:  # (3,4) views keep the triple list
+                verts = np.asarray(triples, dtype=np.int64).reshape(-1)
+            elif r == 2 and hasattr(self.graph, "esrc"):
+                verts = np.column_stack([
+                    np.frombuffer(self.graph.esrc, dtype=np.int32),
+                    np.frombuffer(self.graph.etgt, dtype=np.int32),
+                ]).astype(np.int64).reshape(-1)
+            else:
+                verts = np.empty(num_cells * r, dtype=np.int64)
+                cell_vertices = self.view.cell_vertices
+                for cell in range(num_cells):
+                    verts[cell * r:(cell + 1) * r] = cell_vertices(cell)
+        # kept build-side (not persisted): powers the vectorised node stats
+        self._cell_verts = verts.reshape(num_cells, r) if num_cells else None
+        nodes = np.repeat(self.cell_node.astype(np.int64), r)
+        num_nodes = len(self.node_k)
+        pairs = np.unique(verts * num_nodes + nodes)
+        owners = pairs // num_nodes
+        self.vert_nodes = (pairs % num_nodes).astype(np.int32)
+        counts = np.bincount(owners, minlength=self.n).astype(np.int64)
+        self.vert_indptr = np.concatenate(
+            ([0], np.cumsum(counts))).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # core primitives
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self.cell_node)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_k)
+
+    def _tops_at(self, k: int):
+        """Per node: shallowest ancestor-or-self with level >= k (-1 when
+        the node itself is below k).  Pointer doubling, cached per k."""
+        cached = self._tops_cache.get(k)
+        if cached is not None:
+            return cached
+        node_ids = np.arange(self.num_nodes, dtype=np.int32)
+        parent = self.node_parent
+        safe_parent = np.where(parent >= 0, parent, 0)
+        climb = (parent >= 0) & (self.node_k[safe_parent] >= k)
+        step = np.where(climb, parent, node_ids)
+        while True:
+            jumped = step[step]
+            if np.array_equal(jumped, step):
+                break
+            step = jumped
+        tops = np.where(self.node_k >= k, step, np.int32(-1))
+        self._tops_cache[k] = tops
+        return tops
+
+    def _subtree_slice(self, node: int) -> tuple[int, int]:
+        lo = int(np.searchsorted(self.cell_tin_sorted, self.tin[node], "left"))
+        hi = int(np.searchsorted(self.cell_tin_sorted, self.tout[node], "left"))
+        return lo, hi
+
+    def community_cells(self, node: int):
+        """All cells of condensed node ``node`` (sorted ascending)."""
+        lo, hi = self._subtree_slice(node)
+        return np.sort(self.cells_in_tour[lo:hi])
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """O(1) interval test: is ``node`` inside ``ancestor``'s subtree?"""
+        return bool(self.tin[ancestor] <= self.tin[node]) and \
+            bool(self.tin[node] < self.tout[ancestor])
+
+    def nodes_of_vertex(self, vertex: int):
+        """Sorted condensed node ids whose own cells touch ``vertex``."""
+        if not 0 <= vertex < self.n:
+            return np.empty(0, dtype=np.int32)
+        lo, hi = self.vert_indptr[vertex], self.vert_indptr[vertex + 1]
+        return self.vert_nodes[lo:hi]
+
+    # ------------------------------------------------------------------
+    # scalar queries (answers identical to HierarchyIndex, cells sorted)
+    # ------------------------------------------------------------------
+    def node_of_cell(self, cell: int) -> int:
+        """Condensed-tree node holding the cell directly."""
+        return int(self.cell_node[cell])
+
+    def max_nucleus(self, cell: int) -> list[int]:
+        """Cells of the maximum nucleus of ``cell`` (Definition 3)."""
+        return self.community_cells(int(self.cell_node[cell])).tolist()
+
+    def nucleus_at(self, cell: int, k: int) -> list[int]:
+        """Cells of the k-nucleus containing ``cell`` (k <= λ(cell))."""
+        if k > self.lam[cell]:
+            raise InvalidParameterError(
+                f"cell {cell} has lambda {self.lam[cell]} < k={k}")
+        top = int(self._tops_at(k)[self.cell_node[cell]])
+        return self.community_cells(top).tolist()
+
+    def communities_of_vertex(self, vertex: int, k: int) -> list[list[int]]:
+        """All maximal k-level nuclei touching ``vertex`` (cell lists)."""
+        return [cells.tolist()
+                for cells in self.communities_of_vertex_batch([vertex], k)[0]]
+
+    def profile(self, vertex: int) -> list[CommunityLevel]:
+        """Root-to-densest chain of communities containing ``vertex``."""
+        return self.profile_batch([vertex])[0]
+
+    # ------------------------------------------------------------------
+    # batch queries
+    # ------------------------------------------------------------------
+    def _as_vertex_array(self, vertices: Sequence[int] | Iterable[int]):
+        out = np.asarray(vertices, dtype=np.int64)
+        if out.ndim != 1:
+            raise InvalidParameterError(
+                f"expected a flat array of vertices, got shape {out.shape}")
+        return out
+
+    def max_nucleus_batch(self, cells) -> list["np.ndarray"]:
+        """:meth:`max_nucleus` for an array of cells."""
+        cache: dict[int, np.ndarray] = {}
+        out = []
+        for node in self.cell_node[np.asarray(cells, dtype=np.int64)].tolist():
+            hit = cache.get(node)
+            if hit is None:
+                hit = cache.setdefault(node, self.community_cells(node))
+            out.append(hit)
+        return out
+
+    def nucleus_at_batch(self, cells, k: int) -> list["np.ndarray"]:
+        """:meth:`nucleus_at` for an array of cells (k <= λ of each)."""
+        cells = np.asarray(cells, dtype=np.int64)
+        bad = np.nonzero(self.lam[cells] < k)[0]
+        if len(bad):
+            cell = int(cells[bad[0]])
+            raise InvalidParameterError(
+                f"cell {cell} has lambda {self.lam[cell]} < k={k}")
+        tops = self._tops_at(k)[self.cell_node[cells]]
+        cache: dict[int, np.ndarray] = {}
+        out = []
+        for top in tops.tolist():
+            hit = cache.get(top)
+            if hit is None:
+                hit = cache.setdefault(top, self.community_cells(top))
+            out.append(hit)
+        return out
+
+    def communities_of_vertex_batch(self, vertices, k: int) \
+            -> list[list["np.ndarray"]]:
+        """:meth:`communities_of_vertex` for an array of vertices.
+
+        Returns, per input vertex, the maximal k-level nuclei touching it
+        (each a sorted cell array, ordered by condensed node id — the same
+        order :class:`~repro.queries.HierarchyIndex` yields).  Identical
+        nuclei are materialised once per call.
+        """
+        vertices = self._as_vertex_array(vertices)
+        inside = (vertices >= 0) & (vertices < self.n)
+        safe = np.where(inside, vertices, 0)
+        starts = self.vert_indptr[safe]
+        counts = np.where(inside, self.vert_indptr[safe + 1] - starts, 0)
+        gather = _multi_range(starts, counts)
+        nodes = self.vert_nodes[gather].astype(np.int64)
+        owner = np.repeat(np.arange(len(vertices), dtype=np.int64), counts)
+        tops = self._tops_at(k)[nodes]
+        keep = tops >= 0
+        owner = owner[keep]
+        tops = tops[keep].astype(np.int64)
+        pairs = np.unique(owner * self.num_nodes + tops)
+        out: list[list[np.ndarray]] = [[] for _ in range(len(vertices))]
+        cache: dict[int, np.ndarray] = {}
+        for pair in pairs.tolist():
+            which, top = divmod(pair, self.num_nodes)
+            cells = cache.get(top)
+            if cells is None:
+                cells = cache.setdefault(top, self.community_cells(top))
+            out[which].append(cells)
+        return out
+
+    def profile_batch(self, vertices) -> list[list[CommunityLevel]]:
+        """:meth:`profile` for an array of vertices.
+
+        Node statistics (size, edges, density) are computed once per
+        condensed node and cached — persisted indexes saved with
+        ``stats=True`` serve profiles without any graph at all.
+        """
+        vertices = self._as_vertex_array(vertices)
+        node_k = self.node_k
+        parent = self.node_parent
+        out: list[list[CommunityLevel]] = []
+        for vertex in vertices.tolist():
+            nodes = self.nodes_of_vertex(vertex)
+            if len(nodes) == 0:
+                out.append([])
+                continue
+            ks = node_k[nodes]
+            deepest = int(nodes[int(np.argmax(ks))])  # ties: smallest id
+            chain: list[int] = []
+            current = deepest
+            while current >= 0:
+                chain.append(current)
+                current = int(parent[current])
+            chain.reverse()
+            levels: list[CommunityLevel] = []
+            for node in chain:
+                if node == self.root:
+                    continue
+                nv, ne, density = self._node_stats(node)
+                levels.append(CommunityLevel(
+                    k=int(node_k[node]), node_id=node, num_vertices=nv,
+                    num_edges=ne, density=density))
+            out.append(levels)
+        return out
+
+    # ------------------------------------------------------------------
+    # profile statistics
+    # ------------------------------------------------------------------
+    def _edge_endpoint_arrays(self):
+        """Endpoint arrays of every graph edge (for induced-edge counts)."""
+        if self._edge_arrays is None:
+            graph = self.graph
+            if hasattr(graph, "esrc"):  # CSR: already flat
+                src = np.frombuffer(graph.esrc, dtype=np.int32)
+                tgt = np.frombuffer(graph.etgt, dtype=np.int32)
+            else:
+                index = graph.edge_index
+                src = np.asarray(index.source, dtype=np.int64)
+                tgt = np.asarray(index.target, dtype=np.int64)
+            self._edge_arrays = (src, tgt)
+        return self._edge_arrays
+
+    def _node_stats(self, node: int) -> tuple[int, int, float]:
+        """(num_vertices, num_edges, density) of a node's induced subgraph.
+
+        Counts by array masking when built from a decomposition — the
+        exact counts (and therefore the exact density float) that
+        ``graph.subgraph`` + :func:`edge_density` produce, without
+        materialising a subgraph per node.
+        """
+        if self._stat_arrays is not None:
+            nv, ne, density = self._stat_arrays
+            return int(nv[node]), int(ne[node]), float(density[node])
+        cached = self._stats.get(node)
+        if cached is None:
+            if self.graph is None:
+                raise InvalidParameterError(
+                    "this persisted index was saved without node statistics "
+                    "(stats=False); re-save with stats=True or rebuild from "
+                    "a decomposition to answer profile queries")
+            if getattr(self, "_cell_verts", None) is not None:
+                vertices = np.unique(
+                    self._cell_verts[self.community_cells(node)])
+                nv = len(vertices)
+                mask = np.zeros(self.n, dtype=bool)
+                mask[vertices] = True
+                src, tgt = self._edge_endpoint_arrays()
+                ne = int(np.count_nonzero(mask[src] & mask[tgt]))
+                density = 0.0 if nv < 2 else 2.0 * ne / (nv * (nv - 1))
+                cached = (nv, ne, density)
+            else:
+                if self.view is None:
+                    from repro.core.views import build_view
+
+                    self.view = build_view(self.graph, self.r, self.s)
+                sub = self.graph.subgraph(self.view.vertices_of_cells(
+                    self.community_cells(node).tolist()))
+                cached = (sub.n, sub.m, edge_density(sub))
+            self._stats[node] = cached
+        return cached
+
+    def precompute_stats(self) -> None:
+        """Materialise size/edge/density arrays for every node (the arrays
+        :meth:`save` persists with ``stats=True``)."""
+        if self._stat_arrays is not None:
+            return
+        nv = np.zeros(self.num_nodes, dtype=np.int64)
+        ne = np.zeros(self.num_nodes, dtype=np.int64)
+        density = np.zeros(self.num_nodes, dtype=np.float64)
+        for node in range(self.num_nodes):
+            nv[node], ne[node], density[node] = self._node_stats(node)
+        self._stat_arrays = (nv, ne, density)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path, stats: bool = True) -> None:
+        """Persist the index as an uncompressed ``.npz``.
+
+        ``stats=True`` (default) additionally materialises the per-node
+        profile statistics so a fresh process can answer *every* query
+        without the graph; ``stats=False`` skips that work and the loaded
+        index answers everything except :meth:`profile`.
+        """
+        payload = {
+            "format": np.int64(FLAT_INDEX_FORMAT),
+            "r": np.int64(self.r),
+            "s": np.int64(self.s),
+            "n": np.int64(self.n),
+            "root": np.int64(self.root),
+            "algorithm": np.str_(self.algorithm),
+            "node_k": self.node_k,
+            "node_parent": self.node_parent,
+            "tin": self.tin,
+            "tout": self.tout,
+            "cell_node": self.cell_node,
+            "lam": self.lam,
+            "cells_in_tour": self.cells_in_tour,
+            "cell_tin_sorted": self.cell_tin_sorted,
+            "vert_indptr": self.vert_indptr,
+            "vert_nodes": self.vert_nodes,
+        }
+        if stats:
+            self.precompute_stats()
+            nv, ne, density = self._stat_arrays
+            payload.update(node_nv=nv, node_ne=ne, node_density=density)
+        with open(path, "wb") as handle:  # savez would append ".npz"
+            np.savez(handle, **payload)
+
+    @classmethod
+    def load(cls, path: str | Path, graph=None,
+             view=None) -> "FlatHierarchyIndex":
+        """Rebuild a persisted index; pure array reads, no re-peeling.
+
+        ``graph``/``view`` are optional — attach them only to compute
+        profile statistics missing from an index saved with
+        ``stats=False``.
+        """
+        _require_numpy()
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                missing = [key for key in _REQUIRED_KEYS
+                           if key not in payload.files]
+                if missing:
+                    raise GraphFormatError(
+                        f"{path}: not a flat hierarchy index "
+                        f"(missing {', '.join(missing)})")
+                version = int(payload["format"])
+                if version != FLAT_INDEX_FORMAT:
+                    raise GraphFormatError(
+                        f"{path}: unsupported index format {version} "
+                        f"(this build reads {FLAT_INDEX_FORMAT})")
+                index = cls.__new__(cls)
+                index.r = int(payload["r"])
+                index.s = int(payload["s"])
+                index.n = int(payload["n"])
+                index.root = int(payload["root"])
+                index.algorithm = str(payload["algorithm"])
+                for key in ("node_k", "node_parent", "tin", "tout",
+                            "cell_node", "lam", "cells_in_tour",
+                            "cell_tin_sorted", "vert_indptr", "vert_nodes"):
+                    setattr(index, key, payload[key])
+                index._stat_arrays = None
+                if all(key in payload.files for key in _STAT_KEYS):
+                    index._stat_arrays = tuple(payload[key]
+                                               for key in _STAT_KEYS)
+        except (OSError, ValueError, BadZipFile) as exc:
+            raise GraphFormatError(
+                f"{path}: malformed flat index file: {exc}") from exc
+        index.graph = graph
+        index.view = view  # else built lazily if profile stats need it
+        index._tops_cache = {}
+        index._stats = {}
+        index._cell_verts = None
+        index._edge_arrays = None
+        return index
+
+    def __repr__(self) -> str:
+        return (f"<FlatHierarchyIndex ({self.r},{self.s}) "
+                f"algorithm={self.algorithm!r} cells={self.num_cells} "
+                f"nodes={self.num_nodes} vertices={self.n}>")

@@ -23,6 +23,7 @@ from repro.errors import GraphFormatError
 from repro.graph.adjacency import Graph
 
 __all__ = [
+    "dedup_edges",
     "load_edge_list",
     "save_edge_list",
     "load_mtx",
@@ -35,19 +36,45 @@ __all__ = [
 _COMMENT_PREFIXES = ("#", "%")
 
 
+def dedup_edges(edges: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Drop duplicate undirected edges, including reversed repeats.
+
+    The first-seen orientation of each edge is kept, in input order.
+    :class:`Graph` and :class:`~repro.graph.csr.CSRGraph` dedup on
+    construction anyway; this is for consumers of raw edge lists (direct
+    CSR array construction, edge counting) that bypass them.
+    """
+    seen: set[tuple[int, int]] = set()
+    out: list[tuple[int, int]] = []
+    for u, v in edges:
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((u, v))
+    return out
+
+
 def relabel_edges(raw_edges: Iterable[tuple[object, object]]) -> tuple[int, list[tuple[int, int]]]:
     """Relabel arbitrary hashable endpoints to dense ints.
 
-    Returns ``(n, edges)``; ids are assigned in first-seen order.  Self loops
-    are dropped.
+    Returns ``(n, edges)``; ids are assigned in first-seen order.  Self
+    loops and duplicate edges — including reversed duplicates such as
+    ``(7, 5)`` after ``(5, 7)`` — are dropped, so ``len(edges)`` is the
+    true undirected edge count.
     """
     ids: dict[object, int] = {}
     edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
     for raw_u, raw_v in raw_edges:
         if raw_u == raw_v:
             continue
         u = ids.setdefault(raw_u, len(ids))
         v = ids.setdefault(raw_v, len(ids))
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
         edges.append((u, v))
     return len(ids), edges
 
@@ -95,6 +122,7 @@ def load_mtx(path: str | Path, name: str = "") -> Graph:
         cols = int(dims[1])
         n = max(rows, cols)
         edges: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line or line.startswith("%"):
@@ -105,6 +133,11 @@ def load_mtx(path: str | Path, name: str = "") -> Graph:
                 continue
             if not (0 <= u < n and 0 <= v < n):
                 raise GraphFormatError(f"{path}:{lineno}: entry ({u + 1}, {v + 1}) out of range")
+            # symmetric matrices list both (i, j) and (j, i); keep one
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
             edges.append((u, v))
     return Graph(n, edges, name=name or path.stem)
 

@@ -12,6 +12,10 @@ needed inverse maps once and then answers:
   cells touch a vertex (the TCP query, answered from the hierarchy);
 * :meth:`profile` — a vertex's chain of nested communities from the root
   to its densest nucleus, with sizes and densities (community "zoom").
+
+For serving workloads, :class:`repro.flatindex.FlatHierarchyIndex` answers
+the same queries (identically) from flat numpy arrays, adds vectorised
+batch variants, and persists to ``.npz`` for build-once/serve-many.
 """
 
 from __future__ import annotations
@@ -41,24 +45,46 @@ class CommunityLevel:
 
 
 class HierarchyIndex:
-    """Reusable query index over a :class:`Decomposition`."""
+    """Reusable query index over a :class:`Decomposition`.
+
+    The inverse maps (cell → condensed node, vertex → condensed nodes) are
+    built lazily on first use and cached: constructing the index is O(1),
+    so building one per request — or purely for cell-level queries — no
+    longer pays the O(n·depth) set-up that used to dominate query time.
+    """
 
     def __init__(self, decomposition: Decomposition):
         if decomposition.hierarchy is None:
             raise InvalidParameterError(
                 f"{decomposition.algorithm} produced no hierarchy to index")
         self.decomposition = decomposition
-        self.tree = decomposition.hierarchy.condense()
         self.view = decomposition.view
-        self._node_of_cell: dict[int, int] = {}
-        for node in self.tree.nodes:
-            for cell in node.own_cells:
-                self._node_of_cell[cell] = node.id
-        self._nodes_of_vertex: dict[int, set[int]] = {}
-        for cell in range(self.view.num_cells):
-            node = self._node_of_cell[cell]
-            for vertex in self.view.cell_vertices(cell):
-                self._nodes_of_vertex.setdefault(vertex, set()).add(node)
+        self._tree = None
+        self._vertex_map: dict[int, set[int]] | None = None
+
+    @property
+    def tree(self):
+        """Condensed nucleus tree (cached on the hierarchy itself)."""
+        if self._tree is None:
+            self._tree = self.decomposition.hierarchy.condense()
+        return self._tree
+
+    @property
+    def _node_of_cell(self) -> list[int]:
+        """cell → condensed node id (shared cache on the tree)."""
+        return self.tree.cell_nodes()
+
+    @property
+    def _nodes_of_vertex(self) -> dict[int, set[int]]:
+        if self._vertex_map is None:
+            mapping: dict[int, set[int]] = {}
+            cell_nodes = self._node_of_cell
+            for cell in range(self.view.num_cells):
+                node = cell_nodes[cell]
+                for vertex in self.view.cell_vertices(cell):
+                    mapping.setdefault(vertex, set()).add(node)
+            self._vertex_map = mapping
+        return self._vertex_map
 
     # ------------------------------------------------------------------
     def node_of_cell(self, cell: int) -> int:
@@ -109,7 +135,8 @@ class HierarchyIndex:
         nodes = self._nodes_of_vertex.get(vertex)
         if not nodes:
             return []
-        deepest = max(nodes, key=lambda n: self.tree[n].k)
+        # deterministic tie-break: deepest level, then smallest node id
+        deepest = max(nodes, key=lambda n: (self.tree[n].k, -n))
         chain: list[int] = []
         current: int | None = deepest
         while current is not None:

@@ -87,3 +87,46 @@ class TestCommands:
         path.write_text("only-one-token\n")
         assert main(["stats", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    def test_build_and_query(self, graph_file, capsys):
+        assert main(["query", graph_file, "--r", "2", "--s", "3",
+                     "--vertices", "0,8", "--k", "1", "--cells"]) == 0
+        out = capsys.readouterr().out
+        assert "built  :" in out
+        assert "vertex 0:" in out and "vertex 8:" in out
+
+    def test_save_then_serve(self, graph_file, tmp_path, capsys):
+        index_path = tmp_path / "fig2.npz"
+        assert main(["query", graph_file, "--r", "1", "--s", "2",
+                     "--save-index", str(index_path)]) == 0
+        assert index_path.exists()
+        capsys.readouterr()
+        assert main(["query", str(index_path), "--vertices", "0,1",
+                     "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "loaded :" in out
+        assert "communities at k=2" in out
+
+    def test_profile_from_persisted_index(self, graph_file, tmp_path,
+                                          capsys):
+        index_path = tmp_path / "fig2.npz"
+        assert main(["query", graph_file, "--save-index",
+                     str(index_path)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(index_path), "--vertices", "0",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "vertex 0:" in out
+        assert "density" in out
+
+    def test_bad_vertices_friendly_error(self, graph_file, capsys):
+        assert main(["query", graph_file, "--vertices", "zero"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_index_file_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a zip")
+        assert main(["query", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err

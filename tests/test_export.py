@@ -82,3 +82,23 @@ def test_round_trip_random(g):
     restored = hierarchy_from_json(hierarchy_to_json(h))
     restored.validate()
     assert restored.canonical_nuclei() == h.canonical_nuclei()
+
+
+class TestNpzDispatch:
+    def test_save_hierarchy_dispatches_on_suffix(self, tmp_path):
+        h = nucleus_decomposition(figure2_graph(), 1, 2,
+                                  algorithm="fnd").hierarchy
+        pytest.importorskip("numpy")
+        path = tmp_path / "h.npz"
+        save_hierarchy(h, path)
+        restored = load_hierarchy(path)
+        restored.validate()
+        assert restored.lam == h.lam
+        assert restored.canonical_nuclei() == h.canonical_nuclei()
+
+    def test_json_path_still_json(self, tmp_path):
+        h = nucleus_decomposition(figure2_graph(), 1, 2,
+                                  algorithm="fnd").hierarchy
+        path = tmp_path / "h.json"
+        save_hierarchy(h, path)
+        assert path.read_text().startswith("{")

@@ -1,0 +1,304 @@
+"""FlatHierarchyIndex: parity with HierarchyIndex, batch queries, and the
+persisted build-once/serve-many path."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.backends import as_backend, build_query_index, decompose
+from repro.core.decomposition import nucleus_decomposition
+from repro.errors import GraphFormatError, InvalidParameterError
+from repro.examples_graphs import bowtie, figure2_graph
+from repro.export import load_hierarchy_npz, save_hierarchy_npz
+from repro.flatindex import FlatHierarchyIndex
+from repro.graph import generators
+from repro.queries import HierarchyIndex
+
+RS_PAIRS = [(1, 2), (2, 3), (3, 4)]
+
+
+@pytest.fixture(scope="module")
+def parity_graph():
+    return generators.powerlaw_cluster(120, 5, 0.5, seed=9)
+
+
+def _decompose(graph, backend, r, s):
+    converted = as_backend(graph, "csr" if backend != "object" else "object")
+    workers = 2 if backend == "csr-parallel" else None
+    return decompose(converted, r, s, algorithm="fnd", backend=backend,
+                     workers=workers)
+
+
+def _assert_parity(decomposition, graph):
+    legacy = HierarchyIndex(decomposition)
+    flat = FlatHierarchyIndex(decomposition)
+    num_cells = flat.num_cells
+    for cell in range(num_cells):
+        assert flat.node_of_cell(cell) == legacy.node_of_cell(cell)
+        assert flat.max_nucleus(cell) == sorted(legacy.max_nucleus(cell))
+    for cell in range(0, num_cells, 5):
+        for k in range(decomposition.lam[cell] + 1):
+            assert flat.nucleus_at(cell, k) == \
+                sorted(legacy.nucleus_at(cell, k))
+    for k in (1, 2, 3):
+        for vertex in range(graph.n):
+            ours = flat.communities_of_vertex(vertex, k)
+            theirs = [sorted(c)
+                      for c in legacy.communities_of_vertex(vertex, k)]
+            assert ours == theirs
+    for vertex in range(graph.n):
+        assert flat.profile(vertex) == legacy.profile(vertex)
+
+
+class TestParity:
+    @pytest.mark.parametrize("rs", RS_PAIRS, ids=["12", "23", "34"])
+    @pytest.mark.parametrize("backend", ["object", "csr"])
+    def test_matches_legacy_index(self, parity_graph, backend, rs):
+        decomposition = _decompose(parity_graph, backend, *rs)
+        _assert_parity(decomposition, parity_graph)
+
+    @pytest.mark.parametrize("rs", RS_PAIRS, ids=["12", "23", "34"])
+    def test_matches_legacy_index_parallel(self, parity_graph, rs):
+        decomposition = _decompose(parity_graph, "csr-parallel", *rs)
+        _assert_parity(decomposition, parity_graph)
+
+    @pytest.mark.parametrize("algorithm", ["naive", "dft", "lcps"])
+    def test_other_algorithms_index_too(self, parity_graph, algorithm):
+        decomposition = nucleus_decomposition(parity_graph, 1, 2,
+                                              algorithm=algorithm)
+        _assert_parity(decomposition, parity_graph)
+
+
+class TestBatchVariants:
+    @pytest.fixture(scope="class")
+    def flat(self, parity_graph):
+        return FlatHierarchyIndex(
+            decompose(parity_graph, 2, 3, algorithm="fnd", backend="csr"))
+
+    def test_max_nucleus_batch(self, flat):
+        cells = np.arange(flat.num_cells)
+        batch = flat.max_nucleus_batch(cells)
+        assert len(batch) == flat.num_cells
+        for cell, answer in zip(cells.tolist(), batch):
+            assert answer.tolist() == flat.max_nucleus(cell)
+
+    def test_nucleus_at_batch(self, flat):
+        cells = [c for c in range(flat.num_cells) if flat.lam[c] >= 1]
+        for answer, cell in zip(flat.nucleus_at_batch(cells, 1), cells):
+            assert answer.tolist() == flat.nucleus_at(cell, 1)
+
+    def test_nucleus_at_batch_rejects_shallow_cells(self, flat):
+        shallow = int(np.argmin(flat.lam))
+        with pytest.raises(InvalidParameterError):
+            flat.nucleus_at_batch([shallow], int(flat.lam[shallow]) + 1)
+
+    def test_communities_batch(self, flat, parity_graph):
+        vertices = list(range(parity_graph.n))
+        batch = flat.communities_of_vertex_batch(vertices, 2)
+        for vertex, communities in zip(vertices, batch):
+            assert [c.tolist() for c in communities] == \
+                flat.communities_of_vertex(vertex, 2)
+
+    def test_profile_batch(self, flat, parity_graph):
+        vertices = list(range(parity_graph.n))
+        batch = flat.profile_batch(vertices)
+        for vertex, levels in zip(vertices, batch):
+            assert levels == flat.profile(vertex)
+
+    def test_out_of_range_vertices_are_empty(self, flat):
+        batch = flat.communities_of_vertex_batch([-3, 10 ** 6], 1)
+        assert batch == [[], []]
+        assert flat.profile_batch([10 ** 6]) == [[]]
+
+    def test_rejects_non_flat_input(self, flat):
+        with pytest.raises(InvalidParameterError):
+            flat.communities_of_vertex_batch([[0, 1], [2, 3]], 1)
+
+
+class TestStructure:
+    def test_is_ancestor_matches_tree(self, parity_graph):
+        decomposition = decompose(parity_graph, 2, 3, algorithm="fnd",
+                                  backend="csr")
+        flat = FlatHierarchyIndex(decomposition)
+        tree = decomposition.hierarchy.condense()
+        for node in tree.nodes:
+            for other in tree.nodes:
+                # interval test vs an explicit parent walk
+                current, found = other.id, False
+                while current is not None:
+                    if current == node.id:
+                        found = True
+                        break
+                    current = tree[current].parent
+                assert flat.is_ancestor(node.id, other.id) == found
+
+    def test_rejects_hypo(self, parity_graph):
+        decomposition = nucleus_decomposition(parity_graph, 1, 2,
+                                              algorithm="hypo")
+        with pytest.raises(InvalidParameterError):
+            FlatHierarchyIndex(decomposition)
+
+    def test_nucleus_at_too_deep_raises(self):
+        flat = FlatHierarchyIndex(
+            nucleus_decomposition(figure2_graph(), 1, 2, algorithm="fnd"))
+        with pytest.raises(InvalidParameterError):
+            flat.nucleus_at(10, 3)
+
+    def test_figure2_answers(self):
+        flat = FlatHierarchyIndex(
+            nucleus_decomposition(figure2_graph(), 1, 2, algorithm="fnd"))
+        assert flat.max_nucleus(0) == [0, 1, 2, 3]
+        assert flat.nucleus_at(0, 2) == list(range(10))
+        assert flat.nucleus_at(0, 1) == list(range(11))
+
+    def test_bowtie_center_two_communities(self):
+        flat = FlatHierarchyIndex(
+            nucleus_decomposition(bowtie(), 2, 3, algorithm="fnd"))
+        communities = flat.communities_of_vertex(0, 1)
+        assert len(communities) == 2
+        assert all(len(c) == 3 for c in communities)
+
+
+class TestPersistence:
+    @pytest.fixture(scope="class")
+    def built(self, parity_graph):
+        return FlatHierarchyIndex(
+            decompose(parity_graph, 2, 3, algorithm="fnd", backend="csr"))
+
+    def test_round_trip(self, built, parity_graph, tmp_path):
+        path = tmp_path / "index.npz"
+        built.save(path)
+        loaded = FlatHierarchyIndex.load(path)
+        assert loaded.r == built.r and loaded.s == built.s
+        assert loaded.algorithm == built.algorithm
+        vertices = list(range(parity_graph.n))
+        fresh = built.communities_of_vertex_batch(vertices, 2)
+        again = loaded.communities_of_vertex_batch(vertices, 2)
+        for row_a, row_b in zip(fresh, again):
+            assert [c.tolist() for c in row_a] == [c.tolist() for c in row_b]
+        # stats were persisted: profiles answer with no graph attached
+        assert loaded.graph is None
+        assert loaded.profile_batch(vertices) == \
+            built.profile_batch(vertices)
+
+    def test_stats_false_profile_needs_graph(self, built, parity_graph,
+                                             tmp_path):
+        path = tmp_path / "lean.npz"
+        built.save(path, stats=False)
+        loaded = FlatHierarchyIndex.load(path)
+        assert loaded.communities_of_vertex(0, 1) == \
+            built.communities_of_vertex(0, 1)
+        with pytest.raises(InvalidParameterError):
+            loaded.profile(0)
+        attached = FlatHierarchyIndex.load(path, graph=parity_graph)
+        assert attached.profile(0) == built.profile(0)
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(GraphFormatError):
+            FlatHierarchyIndex.load(path)
+
+    def test_wrong_payload_raises(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            FlatHierarchyIndex.load(path)
+
+    def test_fresh_process_round_trip(self, built, parity_graph, tmp_path):
+        """save → load → query in a brand-new interpreter."""
+        path = tmp_path / "served.npz"
+        built.save(path)
+        vertices = list(range(0, parity_graph.n, 3))
+        script = (
+            "import json, sys\n"
+            "from repro.flatindex import FlatHierarchyIndex\n"
+            "index = FlatHierarchyIndex.load(sys.argv[1])\n"
+            "vertices = json.loads(sys.argv[2])\n"
+            "answers = [[c.tolist() for c in row] for row in\n"
+            "           index.communities_of_vertex_batch(vertices, 2)]\n"
+            "profiles = [[(lvl.k, lvl.node_id, lvl.num_vertices,\n"
+            "              lvl.num_edges, lvl.density) for lvl in row]\n"
+            "            for row in index.profile_batch(vertices)]\n"
+            "print(json.dumps({'answers': answers, 'profiles': profiles}))\n")
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(path), json.dumps(vertices)],
+            capture_output=True, text=True, env=env)
+        assert out.returncode == 0, out.stderr
+        served = json.loads(out.stdout)
+        expected = [[c.tolist() for c in row] for row in
+                    built.communities_of_vertex_batch(vertices, 2)]
+        assert served["answers"] == expected
+        expected_profiles = [
+            [(lvl.k, lvl.node_id, lvl.num_vertices, lvl.num_edges,
+              lvl.density) for lvl in row]
+            for row in built.profile_batch(vertices)]
+        assert [[tuple(lvl) for lvl in row] for row in served["profiles"]] \
+            == expected_profiles
+
+
+class TestHierarchyNpz:
+    def test_round_trip(self, parity_graph, tmp_path):
+        hierarchy = decompose(parity_graph, 2, 3, algorithm="fnd",
+                              backend="csr").hierarchy
+        path = tmp_path / "h.npz"
+        save_hierarchy_npz(hierarchy, path)
+        restored = load_hierarchy_npz(path)
+        restored.validate()
+        assert restored.lam == hierarchy.lam
+        assert restored.node_lambda == hierarchy.node_lambda
+        assert restored.parent == hierarchy.parent
+        assert restored.comp == hierarchy.comp
+        assert restored.root == hierarchy.root
+        assert restored.algorithm == hierarchy.algorithm
+
+    def test_index_from_persisted_hierarchy(self, parity_graph, tmp_path):
+        """hierarchy .npz + graph → index, no re-peeling, same answers."""
+        decomposition = decompose(parity_graph, 2, 3, algorithm="fnd",
+                                  backend="csr")
+        path = tmp_path / "h.npz"
+        save_hierarchy_npz(decomposition.hierarchy, path)
+        rebuilt = FlatHierarchyIndex(hierarchy=load_hierarchy_npz(path),
+                                     graph=decomposition.graph)
+        direct = FlatHierarchyIndex(decomposition)
+        for vertex in range(0, parity_graph.n, 7):
+            assert rebuilt.communities_of_vertex(vertex, 2) == \
+                direct.communities_of_vertex(vertex, 2)
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"nope")
+        with pytest.raises(GraphFormatError):
+            load_hierarchy_npz(path)
+
+
+class TestWiring:
+    def test_build_query_index(self, parity_graph):
+        index = build_query_index(parity_graph, 2, 3, backend="csr")
+        assert isinstance(index, FlatHierarchyIndex)
+        assert (index.r, index.s) == (2, 3)
+        assert index.num_cells == parity_graph.m
+
+    def test_flat_index_requires_graph_with_bare_hierarchy(self,
+                                                           parity_graph):
+        hierarchy = decompose(parity_graph, 1, 2).hierarchy
+        with pytest.raises(InvalidParameterError):
+            FlatHierarchyIndex(hierarchy=hierarchy)
+
+    def test_lazy_legacy_index_builds_nothing_up_front(self, parity_graph):
+        decomposition = decompose(parity_graph, 2, 3, algorithm="fnd",
+                                  backend="csr")
+        index = HierarchyIndex(decomposition)
+        assert index._tree is None
+        assert index._vertex_map is None
+        index.communities_of_vertex(0, 1)
+        assert index._vertex_map is not None

@@ -6,6 +6,7 @@ from repro.errors import GraphFormatError
 from repro.graph import generators
 from repro.graph.adjacency import Graph
 from repro.graph.io import (
+    dedup_edges,
     load_edge_list,
     load_graph,
     load_json,
@@ -129,3 +130,37 @@ class TestRelabel:
         n, edges = relabel_edges([("a", "a"), ("a", "b")])
         assert n == 2
         assert edges == [(0, 1)]
+
+
+class TestDedup:
+    def test_relabel_drops_exact_duplicates(self):
+        n, edges = relabel_edges([(5, 7), (5, 7), (5, 7)])
+        assert n == 2
+        assert edges == [(0, 1)]
+
+    def test_relabel_drops_reversed_duplicates(self):
+        n, edges = relabel_edges([(5, 7), (7, 5), (5, 7)])
+        assert n == 2
+        assert edges == [(0, 1)]
+
+    def test_relabel_keeps_first_seen_orientation(self):
+        _, edges = relabel_edges([("b", "a"), ("a", "b"), ("a", "c")])
+        assert edges == [(0, 1), (1, 2)]
+
+    def test_dedup_edges_helper(self):
+        assert dedup_edges([(3, 1), (1, 3), (3, 1), (0, 2)]) == \
+            [(3, 1), (0, 2)]
+
+    def test_edge_list_loader_dedups(self, tmp_path):
+        path = tmp_path / "dups.txt"
+        path.write_text("5 7\n7 5\n5 7\n7 9\n")
+        g = load_edge_list(path)
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_mtx_both_orientations_one_edge(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n"
+                        "3 3 4\n1 2\n2 1\n2 3\n3 2\n")
+        g = load_mtx(path)
+        assert g.m == 2

@@ -70,3 +70,20 @@ class TestBeyondPaperSnippet:
             result.hierarchy.canonical_nuclei()
         assert repro.tree_to_dot(result.hierarchy.condense()).startswith("digraph")
         assert "digraph" in repro.skeleton_to_dot(result.hierarchy)
+
+
+class TestServingSnippet:
+    def test_build_persist_serve(self, tmp_path):
+        import pytest
+        pytest.importorskip("numpy")
+        graph = repro.generators.powerlaw_cluster(150, 5, 0.5, seed=4)
+        index = repro.build_query_index(graph, 2, 3, backend="csr")
+        answers = index.communities_of_vertex_batch(range(graph.n), 2)
+        assert len(answers) == graph.n
+        assert len(index.profile_batch([0, 17, 93])) == 3
+        path = tmp_path / "graph.npz"
+        index.save(path)
+        served = repro.FlatHierarchyIndex.load(path)
+        again = served.communities_of_vertex_batch(range(graph.n), 2)
+        for row_a, row_b in zip(answers, again):
+            assert [c.tolist() for c in row_a] == [c.tolist() for c in row_b]
