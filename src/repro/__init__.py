@@ -15,6 +15,26 @@ Quickstart::
     result = repro.nucleus_decomposition(graph, r=2, s=3, algorithm="fnd")
     tree = result.hierarchy.condense()
     print(tree.format(max_nodes=20))
+
+The package is layered (see ``docs/ARCHITECTURE.md`` for the full map):
+
+* **graph substrate** — :class:`Graph` (object adjacency) and
+  :class:`CSRGraph` (flat arrays), loaders, generators, datasets;
+* **decomposition engines** — :func:`nucleus_decomposition` and the
+  :mod:`repro.backends` dispatch layer (``object`` / ``csr`` /
+  ``csr-parallel``, identical λ and hierarchies, only speed differs);
+* **k-core / k-truss layers** — :func:`core_numbers`,
+  :func:`truss_numbers`, the survey-section variants (weighted,
+  directed, uncertain, temporal) and :func:`build_tcp_index`;
+* **query indexes** — :class:`HierarchyIndex` (object, interactive) and
+  :class:`FlatHierarchyIndex` (flat arrays, batch kernels, ``.npz``
+  persistence) built by :func:`build_query_index` and reloaded by
+  :func:`load_query_index`;
+* **serving tier** — :mod:`repro.serve`: :class:`IndexRegistry` over
+  memory-mapped indexes plus the async ``repro-nucleus serve`` front
+  end (NDJSON + HTTP, micro-batching; ``docs/SERVING.md``);
+* **analysis & export** — :func:`densest_nuclei`,
+  :func:`hierarchy_stats`, JSON/DOT/``.npz`` round-trips.
 """
 
 from repro.analysis import densest_nuclei, edge_density, hierarchy_stats, table3_row
@@ -68,7 +88,8 @@ from repro.graph import (
 )
 from repro.graph import generators
 from repro import backends
-from repro.backends import BACKENDS, build_query_index
+from repro.backends import BACKENDS, build_query_index, load_query_index
+from repro.serve import IndexRegistry, ServeClient
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.kcore import (
     core_hierarchy,
@@ -87,7 +108,7 @@ from repro.ktruss import (
     truss_numbers,
 )
 
-__version__ = "1.0.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "__version__",
@@ -138,6 +159,10 @@ __all__ = [
     "HierarchyIndex",
     "FlatHierarchyIndex",
     "build_query_index",
+    "load_query_index",
+    # serving tier (full surface in repro.serve)
+    "IndexRegistry",
+    "ServeClient",
     # survey-section core variants
     "weighted_core_numbers",
     "weighted_k_core",

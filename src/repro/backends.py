@@ -60,6 +60,7 @@ __all__ = [
     "build_query_index",
     "core_peel",
     "decompose",
+    "load_query_index",
     "nucleus34_peel",
     "resolve_backend",
     "truss_peel",
@@ -266,3 +267,22 @@ def build_query_index(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
 
     return FlatHierarchyIndex(decompose(graph, r, s, algorithm=algorithm,
                                         backend=backend, workers=workers))
+
+
+def load_query_index(path, *, mmap_mode: str | None = "r",
+                     graph=None, view=None):
+    """Load a persisted ``.npz`` flat index — the serve-many half.
+
+    ``mmap_mode="r"`` (the default) memory-maps the arrays read-only, so
+    the index costs one page-cache copy no matter how many processes
+    serve it (what ``repro-nucleus serve`` workers and the CLI ``query``
+    subcommand use); ``mmap_mode=None`` copies them into the process.
+    ``graph``/``view`` attach only when profile statistics were skipped
+    at save time (``stats=False``).  See also
+    :class:`repro.serve.IndexRegistry` for serving several indexes from
+    one process.
+    """
+    from repro.flatindex import FlatHierarchyIndex
+
+    return FlatHierarchyIndex.load(path, graph=graph, view=view,
+                                   mmap_mode=mmap_mode)

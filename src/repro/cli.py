@@ -8,6 +8,10 @@ Examples::
     repro-nucleus densest graph.txt --r 2 --s 3 --top 5
     repro-nucleus query graph.txt --r 2 --s 3 --save-index graph.npz
     repro-nucleus query graph.npz --vertices 0,5,9 --k 2
+    repro-nucleus serve graph.npz --port 8765 --workers 4
+    repro-nucleus serve web=web.npz social=social.npz --coalesce-window 2
+
+Every subcommand is documented in ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -97,6 +101,36 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cells", action="store_true",
                        help="also print the cell ids of each community")
 
+    serve = sub.add_parser(
+        "serve", help="serve one or many persisted .npz indexes over TCP "
+                      "(NDJSON + HTTP) from a long-lived async process")
+    serve.add_argument("indexes", nargs="+", metavar="INDEX",
+                       help="persisted .npz index paths, each optionally "
+                            "as name=path (default name: the file stem; "
+                            "the first index is the default route)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks a free one; the printed "
+                            "'serving ...' line reports it)")
+    serve.add_argument("--coalesce-window", type=float, default=0.0,
+                       metavar="MS",
+                       help="max milliseconds a scalar request waits to "
+                            "be coalesced into a batch kernel call "
+                            "(default 0: batch whatever arrived by the "
+                            "next event-loop tick)")
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="flush a coalescer bucket early at this many "
+                            "requests (default 512)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="accept-loop processes sharing the listening "
+                            "socket and the mmap'd index pages (default 1)")
+    serve.add_argument("--uncoalesced", action="store_true",
+                       help="answer through the per-request scalar path "
+                            "(the benchmark's reference mode)")
+    serve.add_argument("--no-mmap", action="store_true",
+                       help="copy the index arrays into each process "
+                            "instead of memory-mapping them")
+
     export = sub.add_parser(
         "export", help="decompose and export the hierarchy (json/dot)")
     export.add_argument("path")
@@ -139,12 +173,13 @@ def _print_decomposition(graph: Graph, r: int, s: int, algorithm: str,
 
 
 def _run_query(args: argparse.Namespace) -> int:
-    from repro.backends import build_query_index
-    from repro.flatindex import FlatHierarchyIndex
+    from repro.backends import build_query_index, load_query_index
 
     if args.path.endswith(".npz"):
-        index = FlatHierarchyIndex.load(args.path)
-        print(f"loaded : {index!r}")
+        # registry-style mmap load: read-only page-cache views, no copy
+        index = load_query_index(args.path, mmap_mode="r")
+        print(f"loaded : {index!r} "
+              f"({'mmap' if index.mmapped else 'eager'})")
     else:
         index = build_query_index(load_graph(args.path), args.r, args.s,
                                   backend=args.backend, workers=args.workers)
@@ -214,6 +249,15 @@ def _run(args: argparse.Namespace) -> int:
         return 0
     if args.command == "query":
         return _run_query(args)
+    if args.command == "serve":
+        from repro.serve.server import ServerConfig, run_server
+
+        config = ServerConfig(
+            host=args.host, port=args.port,
+            coalesce_window=args.coalesce_window / 1000.0,
+            max_batch=args.max_batch, uncoalesced=args.uncoalesced,
+            workers=args.workers)
+        return run_server(args.indexes, config, mmap=not args.no_mmap)
     if args.command == "export":
         from repro.export import save_hierarchy, skeleton_to_dot, tree_to_dot
 

@@ -30,6 +30,8 @@ uncompressed ``.npz`` (one flat binary blob per array, loadable lazily), so
 
 from __future__ import annotations
 
+import struct
+import zipfile
 from pathlib import Path
 from typing import Iterable, Sequence
 from zipfile import BadZipFile
@@ -45,7 +47,7 @@ try:  # the index is array-native; there is no object fallback
 except ImportError:  # pragma: no cover - the CI image ships numpy
     np = None
 
-__all__ = ["FlatHierarchyIndex", "FLAT_INDEX_FORMAT"]
+__all__ = ["FlatHierarchyIndex", "FLAT_INDEX_FORMAT", "mmap_npz"]
 
 #: on-disk schema version of the ``.npz`` payload
 FLAT_INDEX_FORMAT = 1
@@ -67,6 +69,75 @@ def _require_numpy() -> None:
         raise InvalidParameterError(
             "FlatHierarchyIndex requires numpy (the flat query index has no "
             "object fallback; use repro.queries.HierarchyIndex instead)")
+
+
+def _read_npy_header(handle, version):
+    """(shape, fortran_order, dtype) of the ``.npy`` stream at ``handle``."""
+    reader = getattr(np.lib.format,
+                     f"read_array_header_{version[0]}_{version[1]}", None)
+    if reader is not None:
+        return reader(handle)
+    return np.lib.format._read_array_header(handle, version)
+
+
+def mmap_npz(path: str | Path) -> dict | None:
+    """Memory-map every array member of an **uncompressed** ``.npz``.
+
+    ``np.load(..., mmap_mode="r")`` silently ignores ``mmap_mode`` for
+    zipped files, so this maps each member by hand: ``np.savez`` stores
+    members with ``ZIP_STORED`` (no compression), which means every
+    embedded ``.npy`` sits verbatim in the archive and can be handed to
+    :class:`numpy.memmap` at its data offset.  The returned arrays are
+    **read-only views of the page cache** — N processes mapping the same
+    index share one physical copy, the serving analogue of
+    :mod:`repro.parallel.shm`.
+
+    Returns ``None`` when the archive cannot be mapped (a compressed or
+    object-dtype member) — callers fall back to an eager load.  Raises
+    :class:`GraphFormatError` on a structurally broken archive, matching
+    :meth:`FlatHierarchyIndex.load`.
+    """
+    arrays: dict = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None  # compressed member: not mappable
+            key = info.filename
+            if key.endswith(".npy"):
+                key = key[:-4]
+            # the local header's name/extra lengths can differ from the
+            # central directory's, so read it from the file itself
+            raw.seek(info.header_offset)
+            header = raw.read(30)
+            if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                raise GraphFormatError(
+                    f"{path}: malformed zip local header for {info.filename}")
+            name_len, extra_len = struct.unpack("<HH", header[26:30])
+            raw.seek(info.header_offset + 30 + name_len + extra_len)
+            try:
+                version = np.lib.format.read_magic(raw)
+                shape, fortran, dtype = _read_npy_header(raw, version)
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}: member {info.filename} is not a valid .npy: "
+                    f"{exc}") from exc
+            if dtype.hasobject:
+                return None  # pickled payload: not mappable
+            count = 1
+            for dim in shape:
+                count *= dim
+            if count == 0:
+                arrays[key] = np.empty(shape, dtype=dtype)
+            elif shape == ():
+                # np.memmap treats an empty shape as "map the whole
+                # file"; scalars are a handful of bytes — read them
+                arrays[key] = np.frombuffer(
+                    raw.read(dtype.itemsize), dtype=dtype).reshape(())
+            else:
+                arrays[key] = np.memmap(
+                    path, dtype=dtype, mode="r", offset=raw.tell(),
+                    shape=shape, order="F" if fortran else "C")
+    return arrays
 
 
 def _multi_range(starts, counts):
@@ -134,6 +205,7 @@ class FlatHierarchyIndex:
         self._stats: dict[int, tuple[int, int, float]] = {}
         self._stat_arrays = None
         self._edge_arrays = None
+        self.mmapped = False
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -489,45 +561,60 @@ class FlatHierarchyIndex:
             np.savez(handle, **payload)
 
     @classmethod
-    def load(cls, path: str | Path, graph=None,
-             view=None) -> "FlatHierarchyIndex":
+    def load(cls, path: str | Path, graph=None, view=None, *,
+             mmap_mode: str | None = None) -> "FlatHierarchyIndex":
         """Rebuild a persisted index; pure array reads, no re-peeling.
 
         ``graph``/``view`` are optional — attach them only to compute
         profile statistics missing from an index saved with
         ``stats=False``.
+
+        ``mmap_mode="r"`` memory-maps the arrays read-only instead of
+        copying them into the process (:func:`mmap_npz` — ``np.load``
+        ignores ``mmap_mode`` for ``.npz`` archives).  Pages are shared
+        through the OS page cache, so any number of serving processes
+        hold **one** physical copy of the index; an archive that cannot
+        be mapped falls back to an eager load.  ``mmap_mode=None`` (the
+        default) loads eagerly.
         """
         _require_numpy()
+        if mmap_mode not in (None, "r"):
+            raise InvalidParameterError(
+                f"mmap_mode must be None or 'r', got {mmap_mode!r} "
+                f"(the index arrays are immutable once persisted)")
         try:
-            with np.load(path, allow_pickle=False) as payload:
-                missing = [key for key in _REQUIRED_KEYS
-                           if key not in payload.files]
-                if missing:
-                    raise GraphFormatError(
-                        f"{path}: not a flat hierarchy index "
-                        f"(missing {', '.join(missing)})")
-                version = int(payload["format"])
-                if version != FLAT_INDEX_FORMAT:
-                    raise GraphFormatError(
-                        f"{path}: unsupported index format {version} "
-                        f"(this build reads {FLAT_INDEX_FORMAT})")
-                index = cls.__new__(cls)
-                index.r = int(payload["r"])
-                index.s = int(payload["s"])
-                index.n = int(payload["n"])
-                index.root = int(payload["root"])
-                index.algorithm = str(payload["algorithm"])
-                for key in ("node_k", "node_parent", "tin", "tout",
-                            "cell_node", "lam", "cells_in_tour",
-                            "cell_tin_sorted", "vert_indptr", "vert_nodes"):
-                    setattr(index, key, payload[key])
-                index._stat_arrays = None
-                if all(key in payload.files for key in _STAT_KEYS):
-                    index._stat_arrays = tuple(payload[key]
-                                               for key in _STAT_KEYS)
+            arrays = mmap_npz(path) if mmap_mode == "r" else None
+            mapped = arrays is not None
+            if not mapped:
+                with np.load(path, allow_pickle=False) as payload:
+                    arrays = {key: payload[key] for key in payload.files}
         except (OSError, ValueError, BadZipFile) as exc:
             raise GraphFormatError(
                 f"{path}: malformed flat index file: {exc}") from exc
+        missing = [key for key in _REQUIRED_KEYS if key not in arrays]
+        if missing:
+            raise GraphFormatError(
+                f"{path}: not a flat hierarchy index "
+                f"(missing {', '.join(missing)})")
+        version = int(arrays["format"])
+        if version != FLAT_INDEX_FORMAT:
+            raise GraphFormatError(
+                f"{path}: unsupported index format {version} "
+                f"(this build reads {FLAT_INDEX_FORMAT})")
+        index = cls.__new__(cls)
+        index.r = int(arrays["r"])
+        index.s = int(arrays["s"])
+        index.n = int(arrays["n"])
+        index.root = int(arrays["root"])
+        index.algorithm = str(arrays["algorithm"])
+        for key in ("node_k", "node_parent", "tin", "tout",
+                    "cell_node", "lam", "cells_in_tour",
+                    "cell_tin_sorted", "vert_indptr", "vert_nodes"):
+            setattr(index, key, arrays[key])
+        index._stat_arrays = None
+        if all(key in arrays for key in _STAT_KEYS):
+            index._stat_arrays = tuple(arrays[key] for key in _STAT_KEYS)
+        index.mmapped = mapped
         index.graph = graph
         index.view = view  # else built lazily if profile stats need it
         index._tops_cache = {}

@@ -1,0 +1,70 @@
+"""Wire encoding shared by the TCP and HTTP front ends.
+
+Requests are JSON objects; responses are JSON envelopes::
+
+    {"op": "communities_of_vertex", "vertex": 17, "k": 3,
+     "index": "web", "id": 41}
+    {"id": 41, "ok": true, "result": [[0, 4, 9], [22, 23]]}
+
+Answers are built as JSON *fragments* so the batch path can serialise
+each distinct answer exactly once: the ``*_batch`` kernels return the
+**same ndarray object** for every request that resolves to the same
+nucleus within a batch, so an ``id()``-keyed cache turns duplicate
+answers into a dict hit instead of a re-encode.  That cache is scoped to
+one batch — object identity means nothing beyond it.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "QUERY_OPS",
+    "cells_json",
+    "communities_json",
+    "envelope",
+    "error_envelope",
+    "profile_json",
+]
+
+#: query ops every front end routes (plus "stats", "indexes", "ping")
+QUERY_OPS = ("max_nucleus", "nucleus_at", "communities_of_vertex", "profile")
+
+
+def cells_json(cells, cache: dict | None = None) -> str:
+    """A sorted cell array as a JSON list, cached by array identity."""
+    if cache is not None:
+        hit = cache.get(id(cells))
+        if hit is not None:
+            return hit
+    text = "[" + ",".join(map(str, cells.tolist() if hasattr(cells, "tolist")
+                              else cells)) + "]"
+    if cache is not None:
+        cache[id(cells)] = text
+    return text
+
+
+def communities_json(communities, cache: dict | None = None) -> str:
+    """A list of cell arrays (one vertex's communities) as JSON."""
+    return "[" + ",".join(cells_json(c, cache) for c in communities) + "]"
+
+
+def profile_json(levels) -> str:
+    """A vertex's :class:`~repro.queries.CommunityLevel` chain as JSON."""
+    return json.dumps([
+        {"k": level.k, "node_id": level.node_id,
+         "num_vertices": level.num_vertices, "num_edges": level.num_edges,
+         "density": level.density}
+        for level in levels])
+
+
+def envelope(request_id, result_fragment: str) -> bytes:
+    """A success response line (``result_fragment`` is already JSON)."""
+    return (f'{{"id":{json.dumps(request_id)},"ok":true,'
+            f'"result":{result_fragment}}}\n').encode()
+
+
+def error_envelope(request_id, message: str) -> bytes:
+    """An error response line."""
+    return (f'{{"id":{json.dumps(request_id)},"ok":false,'
+            f'"error":{json.dumps(message)}}}\n').encode()

@@ -1,0 +1,127 @@
+"""Multi-index routing: named, memory-mapped flat indexes for one server.
+
+One serving process routinely fronts several graphs (or several (r, s)
+decompositions of the same graph).  :class:`IndexRegistry` owns that map:
+every index is loaded once per process with ``mmap_mode="r"`` (default),
+so the arrays are read-only views of the page cache and any number of
+worker processes mapping the same ``.npz`` share one physical copy.
+Requests name their index; the first registered index is the default
+route for requests that do not.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import InvalidParameterError
+from repro.flatindex import FlatHierarchyIndex
+
+__all__ = ["IndexRegistry"]
+
+
+class IndexRegistry:
+    """Name → :class:`FlatHierarchyIndex` map with a default route."""
+
+    def __init__(self):
+        self._indexes: dict[str, FlatHierarchyIndex] = {}
+        self._paths: dict[str, str] = {}
+        self._default: str | None = None
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add(self, name: str, index: FlatHierarchyIndex,
+            path: str | None = None) -> FlatHierarchyIndex:
+        """Register an already-built index under ``name``."""
+        if not name:
+            raise InvalidParameterError("index name must be non-empty")
+        if name in self._indexes:
+            raise InvalidParameterError(
+                f"duplicate index name {name!r} (already registered from "
+                f"{self._paths.get(name) or 'an in-process index'})")
+        self._indexes[name] = index
+        self._paths[name] = path or ""
+        if self._default is None:
+            self._default = name
+        return index
+
+    def open(self, name: str, path: str | Path,
+             mmap: bool = True) -> FlatHierarchyIndex:
+        """Load a persisted ``.npz`` index and register it under ``name``.
+
+        ``mmap=True`` (default) maps the arrays read-only through
+        :func:`repro.flatindex.mmap_npz`; ``mmap=False`` copies them into
+        the process (useful only when the file may be replaced in place).
+        """
+        index = FlatHierarchyIndex.load(
+            path, mmap_mode="r" if mmap else None)
+        return self.add(name, index, path=str(path))
+
+    @classmethod
+    def from_specs(cls, specs: list[str] | tuple[str, ...],
+                   mmap: bool = True) -> "IndexRegistry":
+        """Build a registry from CLI-style specs.
+
+        Each spec is either ``name=path`` or a bare path (the name is the
+        file's stem).  The first spec becomes the default index.
+        """
+        registry = cls()
+        if not specs:
+            raise InvalidParameterError(
+                "no indexes to serve (pass INDEX.npz paths or name=path "
+                "specs)")
+        for spec in specs:
+            name, eq, path = spec.partition("=")
+            if not eq:
+                name, path = Path(spec).stem, spec
+            if not name or not path:
+                raise InvalidParameterError(
+                    f"bad index spec {spec!r} (expected PATH or name=PATH)")
+            registry.open(name, path, mmap=mmap)
+        return registry
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @property
+    def default_name(self) -> str | None:
+        return self._default
+
+    def names(self) -> list[str]:
+        return list(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._indexes
+
+    def get(self, name: str | None = None) -> FlatHierarchyIndex:
+        """The index registered under ``name`` (None → the default)."""
+        if name is None:
+            if self._default is None:
+                raise InvalidParameterError("the index registry is empty")
+            return self._indexes[self._default]
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown index {name!r} (serving: "
+                f"{', '.join(self._indexes) or 'none'})") from None
+
+    def describe(self) -> dict:
+        """Per-index metadata for ``/indexes`` and ``/stats``."""
+        out = {}
+        for name, index in self._indexes.items():
+            out[name] = {
+                "path": self._paths[name],
+                "r": index.r,
+                "s": index.s,
+                "algorithm": index.algorithm,
+                "vertices": index.n,
+                "cells": index.num_cells,
+                "nodes": index.num_nodes,
+                "mmapped": bool(index.mmapped),
+                "default": name == self._default,
+            }
+        return out

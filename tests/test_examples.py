@@ -1,0 +1,34 @@
+"""Every script in examples/ must run clean from a fresh interpreter.
+
+Scripts run with cwd set to a tmp dir (they may write figures/exports)
+and `src/` on PYTHONPATH, exactly how a reader would run them from a
+clean checkout.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script)], cwd=tmp_path,
+        capture_output=True, text=True, env=env, timeout=300)
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}")
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

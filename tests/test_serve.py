@@ -1,0 +1,430 @@
+"""The serving tier: mmap loads, the registry, the coalescer, both wire
+protocols, and the `repro-nucleus serve` process end to end."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.backends import build_query_index, load_query_index
+from repro.errors import InvalidParameterError
+from repro.flatindex import FlatHierarchyIndex, mmap_npz
+from repro.graph import generators
+from repro.serve import (
+    IndexRegistry,
+    ServeClient,
+    ServeError,
+    ServerConfig,
+    ServerThread,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.powerlaw_cluster(200, 6, 0.5, seed=9)
+
+
+@pytest.fixture(scope="module")
+def flat(graph):
+    return build_query_index(graph, 1, 2, backend="csr")
+
+
+@pytest.fixture(scope="module")
+def npz_path(flat, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "kcore.npz"
+    flat.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def registry(npz_path):
+    reg = IndexRegistry()
+    reg.open("kcore", npz_path)
+    return reg
+
+
+def _expected_communities(flat, vertex, k):
+    return [[int(x) for x in community]
+            for community in flat.communities_of_vertex(vertex, k)]
+
+
+# ---------------------------------------------------------------------------
+# mmap'd .npz loads (the registry load path)
+# ---------------------------------------------------------------------------
+class TestMmapLoad:
+    def test_members_are_read_only_memmaps(self, npz_path):
+        arrays = mmap_npz(npz_path)
+        assert arrays is not None
+        member = arrays["lam"]
+        assert isinstance(member, np.memmap)
+        assert not member.flags.writeable
+
+    def test_load_mmap_marks_index(self, npz_path):
+        index = FlatHierarchyIndex.load(npz_path, mmap_mode="r")
+        assert index.mmapped
+        assert isinstance(index.lam, np.memmap)
+        assert not index.lam.flags.writeable
+
+    def test_eager_load_does_not(self, npz_path):
+        index = FlatHierarchyIndex.load(npz_path)
+        assert not index.mmapped
+        assert not isinstance(index.lam, np.memmap)
+
+    def test_mmap_answers_match_eager(self, npz_path, flat):
+        mapped = FlatHierarchyIndex.load(npz_path, mmap_mode="r")
+        for vertex in range(0, flat.n, 7):
+            assert mapped.communities_of_vertex(vertex, 2) == \
+                flat.communities_of_vertex(vertex, 2)
+            assert mapped.profile(vertex) == flat.profile(vertex)
+        for cell in range(0, flat.num_cells, 11):
+            assert mapped.max_nucleus(cell) == flat.max_nucleus(cell)
+
+    def test_load_query_index_defaults_to_mmap(self, npz_path):
+        assert load_query_index(npz_path).mmapped
+        assert not load_query_index(npz_path, mmap_mode=None).mmapped
+
+    def test_bad_mmap_mode_rejected(self, npz_path):
+        with pytest.raises(InvalidParameterError):
+            FlatHierarchyIndex.load(npz_path, mmap_mode="r+")
+
+    def test_cli_query_uses_mmap(self, npz_path, capsys):
+        from repro.cli import main
+
+        assert main(["query", str(npz_path), "--vertices", "0,5", "--k",
+                     "2"]) == 0
+        out = capsys.readouterr().out
+        assert "(mmap)" in out
+        assert "vertex 0:" in out
+
+
+class TestMmapCompressedFallback:
+    def test_compressed_npz_loads_eagerly(self, flat, tmp_path):
+        path = tmp_path / "compressed.npz"
+        eager_path = tmp_path / "plain.npz"
+        flat.save(eager_path)
+        with np.load(eager_path) as payload:
+            np.savez_compressed(path, **dict(payload.items()))
+        assert mmap_npz(path) is None  # not mappable...
+        index = FlatHierarchyIndex.load(path, mmap_mode="r")  # ...so fallback
+        assert not index.mmapped
+        assert index.communities_of_vertex(0, 2) == \
+            flat.communities_of_vertex(0, 2)
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_from_specs_named_and_bare(self, npz_path):
+        reg = IndexRegistry.from_specs(
+            [f"web={npz_path}", str(npz_path)])
+        assert reg.names() == ["web", "kcore"]
+        assert reg.default_name == "web"
+        assert "web" in reg and len(reg) == 2
+        assert reg.get() is reg.get("web")
+
+    def test_duplicate_name_rejected(self, npz_path):
+        reg = IndexRegistry()
+        reg.open("a", npz_path)
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            reg.open("a", npz_path)
+
+    def test_unknown_name_lists_served(self, registry):
+        with pytest.raises(InvalidParameterError, match="kcore"):
+            registry.get("nope")
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IndexRegistry.from_specs([])
+        with pytest.raises(InvalidParameterError):
+            IndexRegistry.from_specs(["=path"])
+
+    def test_empty_registry_has_no_default(self):
+        with pytest.raises(InvalidParameterError):
+            IndexRegistry().get()
+
+    def test_describe(self, registry, npz_path):
+        info = registry.describe()["kcore"]
+        assert info["path"] == str(npz_path)
+        assert (info["r"], info["s"]) == (1, 2)
+        assert info["mmapped"] is True
+        assert info["default"] is True
+
+
+# ---------------------------------------------------------------------------
+# server config
+# ---------------------------------------------------------------------------
+class TestServerConfig:
+    def test_defaults(self):
+        config = ServerConfig()
+        assert config.coalesce_window == 0.0
+        assert config.workers == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(coalesce_window=-1), dict(max_batch=0), dict(workers=0)])
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ServerConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# NDJSON protocol over a threaded server
+# ---------------------------------------------------------------------------
+class TestNdjsonServer:
+    @pytest.fixture(scope="class")
+    def server(self, registry):
+        with ServerThread(registry) as thread:
+            yield thread
+
+    @pytest.fixture
+    def client(self, server):
+        with ServeClient(port=server.port) as client:
+            yield client
+
+    def test_ping(self, client):
+        assert client.ping() == "pong"
+
+    def test_routes_match_direct_index(self, client, flat):
+        for vertex in range(0, flat.n, 13):
+            assert client.communities_of_vertex(vertex, 2) == \
+                _expected_communities(flat, vertex, 2)
+            profile = client.profile(vertex)
+            expected = flat.profile(vertex)
+            assert [(lv["k"], lv["node_id"]) for lv in profile] == \
+                [(lv.k, lv.node_id) for lv in expected]
+        for cell in range(0, flat.num_cells, 17):
+            assert client.max_nucleus(cell) == \
+                [int(x) for x in flat.max_nucleus(cell)]
+            lam = int(flat.lam[cell])
+            if lam >= 1:
+                assert client.nucleus_at(cell, lam) == \
+                    [int(x) for x in flat.nucleus_at(cell, lam)]
+
+    def test_pipelined_batch_coalesces(self, server, flat):
+        vertices = [v % flat.n for v in range(300)]
+        with ServeClient(port=server.port) as client:
+            before = client.stats()["batching"]["batches"]
+            answers = client.call_many(
+                [{"op": "communities_of_vertex", "vertex": v, "k": 2}
+                 for v in vertices])
+            after_stats = client.stats()["batching"]
+        assert answers == [_expected_communities(flat, v, 2)
+                           for v in vertices]
+        # 300 pipelined requests must have shared kernel calls
+        new_batches = after_stats["batches"] - before
+        assert 0 < new_batches < 300
+        assert after_stats["max_batch"] > 1
+
+    def test_named_index_routing(self, client, flat):
+        assert client.communities_of_vertex(3, 2, index="kcore") == \
+            _expected_communities(flat, 3, 2)
+        with pytest.raises(ServeError, match="unknown index"):
+            client.communities_of_vertex(3, 2, index="absent")
+
+    def test_stats_and_indexes(self, client):
+        stats = client.stats()
+        assert stats["config"]["workers"] == 1
+        assert "kcore" in stats["indexes"]
+        assert stats["routes"]  # at least one route recorded by now
+        assert client.indexes()["kcore"]["default"] is True
+
+    def test_request_validation(self, client, flat):
+        with pytest.raises(ServeError, match="unknown op"):
+            client.call("frobnicate")
+        with pytest.raises(ServeError, match="out of range"):
+            client.max_nucleus(flat.num_cells + 5)
+        with pytest.raises(ServeError, match="integer"):
+            client.call("communities_of_vertex", vertex="zero", k=2)
+        lam0 = int(flat.lam[0])
+        with pytest.raises(ServeError, match="lambda"):
+            client.nucleus_at(0, lam0 + 1)
+
+    def test_error_does_not_poison_batch(self, server, flat):
+        """A bad request in a pipelined block fails alone."""
+        requests = [{"op": "communities_of_vertex", "vertex": 1, "k": 2},
+                    {"op": "communities_of_vertex", "vertex": -7, "k": 2},
+                    {"op": "communities_of_vertex", "vertex": 2, "k": 2}]
+        with ServeClient(port=server.port) as client:
+            results = client.call_many(requests, raise_on_error=False)
+        assert results[0] == _expected_communities(flat, 1, 2)
+        assert isinstance(results[1], ServeError)
+        assert results[2] == _expected_communities(flat, 2, 2)
+
+    def test_malformed_lines(self, server):
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b"this is not json\n[1, 2, 3]\n")
+            first = json.loads(reader.readline())
+            second = json.loads(reader.readline())
+        assert not first["ok"] and "malformed" in first["error"]
+        assert not second["ok"] and "object" in second["error"]
+
+    def test_max_batch_flushes_early(self, registry, flat):
+        with ServerThread(registry, max_batch=4) as thread:
+            with ServeClient(port=thread.port) as client:
+                answers = client.call_many(
+                    [{"op": "max_nucleus", "cell": c % flat.num_cells}
+                     for c in range(32)])
+                batching = client.stats()["batching"]
+        assert len(answers) == 32
+        assert batching["max_batch"] <= 4
+
+    def test_uncoalesced_mode_same_answers(self, registry, flat):
+        with ServerThread(registry, uncoalesced=True) as thread:
+            with ServeClient(port=thread.port) as client:
+                vertices = list(range(0, flat.n, 9))
+                answers = client.call_many(
+                    [{"op": "communities_of_vertex", "vertex": v, "k": 2}
+                     for v in vertices])
+                batching = client.stats()["batching"]
+        assert answers == [_expected_communities(flat, v, 2)
+                           for v in vertices]
+        assert batching["batches"] == 0  # the coalescer never ran
+
+
+# ---------------------------------------------------------------------------
+# HTTP protocol
+# ---------------------------------------------------------------------------
+class TestHttpServer:
+    @pytest.fixture(scope="class")
+    def server(self, registry):
+        with ServerThread(registry) as thread:
+            yield thread
+
+    @staticmethod
+    def _get(server, path):
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}{path}") as response:
+            return json.loads(response.read())
+
+    def test_healthz_and_root(self, server):
+        assert self._get(server, "/healthz") == {"ok": True}
+        assert self._get(server, "/") == {"ok": True}
+
+    def test_stats_and_indexes(self, server):
+        stats = self._get(server, "/stats")
+        assert stats["config"]["max_batch"] == 512
+        assert self._get(server, "/indexes")["kcore"]["r"] == 1
+
+    def test_query_route(self, server, flat):
+        payload = self._get(server, "/query/communities_of_vertex"
+                                    "?vertex=4&k=2")
+        assert payload["ok"]
+        assert payload["result"] == _expected_communities(flat, 4, 2)
+
+    def test_post_single_and_array(self, server, flat):
+        url = f"http://127.0.0.1:{server.port}/query"
+        single = json.dumps(
+            {"op": "max_nucleus", "cell": 0}).encode()
+        with urllib.request.urlopen(
+                urllib.request.Request(url, data=single)) as response:
+            answer = json.loads(response.read())
+        assert answer["result"] == [int(x) for x in flat.max_nucleus(0)]
+        batch = json.dumps(
+            [{"op": "communities_of_vertex", "vertex": v, "k": 2}
+             for v in (1, 2, 3)]).encode()
+        with urllib.request.urlopen(
+                urllib.request.Request(url, data=batch)) as response:
+            answers = json.loads(response.read())
+        assert [a["result"] for a in answers] == \
+            [_expected_communities(flat, v, 2) for v in (1, 2, 3)]
+
+    def test_bad_routes(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            self._get(server, "/nope")
+        assert caught.value.code == 404
+        url = f"http://127.0.0.1:{server.port}/stats"
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(
+                urllib.request.Request(url, data=b"{}"))
+        assert caught.value.code == 405
+
+    def test_http_error_envelope(self, server, flat):
+        payload = self._get(
+            server, f"/query/max_nucleus?cell={flat.num_cells + 1}")
+        assert not payload["ok"]
+        assert "out of range" in payload["error"]
+
+
+# ---------------------------------------------------------------------------
+# the real process: `repro-nucleus serve` end to end
+# ---------------------------------------------------------------------------
+class TestServeProcess:
+    def _spawn(self, npz_path, *extra):
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(npz_path),
+             "--port", "0", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+            text=True)
+        line = proc.stdout.readline()
+        if not line.startswith("serving "):
+            rest = proc.stdout.read() or ""
+            proc.kill()
+            proc.wait()
+            raise AssertionError(f"server failed to start: {line}{rest}")
+        port = int(line.split(" on ", 1)[1].split()[0].rsplit(":", 1)[1])
+        return proc, port
+
+    def _shutdown(self, proc):
+        proc.terminate()
+        try:
+            return proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+
+    def test_multi_worker_serve_and_clean_shutdown(self, npz_path, flat):
+        proc, port = self._spawn(npz_path, "--workers", "2")
+        try:
+            with ServeClient(port=port) as client:
+                assert client.ping() == "pong"
+                vertices = list(range(0, flat.n, 11))
+                answers = client.call_many(
+                    [{"op": "communities_of_vertex", "vertex": v, "k": 2}
+                     for v in vertices])
+                assert answers == [_expected_communities(flat, v, 2)
+                                   for v in vertices]
+                described = client.indexes()
+                assert described["kcore"]["mmapped"] is True
+        finally:
+            returncode = self._shutdown(proc)
+        assert returncode == 0  # SIGTERM exits cleanly
+
+    def test_sigint_also_clean(self, npz_path):
+        proc, port = self._spawn(npz_path)
+        try:
+            with ServeClient(port=port) as client:
+                assert client.ping() == "pong"
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                returncode = proc.wait(timeout=10)
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.stdout.close()
+        assert returncode == 0
+
+    def test_missing_index_fails_fast(self, tmp_path):
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             str(tmp_path / "absent.npz"), "--port", "0"],
+            capture_output=True, text=True, env=env, timeout=60)
+        assert proc.returncode == 2
+        assert "error" in proc.stderr
