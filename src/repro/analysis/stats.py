@@ -74,8 +74,13 @@ def table3_row(graph: Graph, include_34: bool = True) -> Table3Row:
     c_down: dict[tuple[int, int], int] = {}
     for r, s in pairs:
         view = build_view(graph, r, s)
-        dft = nucleus_decomposition(graph, r, s, algorithm="dft", view=view)
-        fnd = nucleus_decomposition(graph, r, s, algorithm="fnd", view=view)
+        # deliberate direct engine calls: this is an instrumented A/B of
+        # the dft and fnd algorithms over one shared view, not a
+        # backend-dispatched decomposition
+        dft = nucleus_decomposition(graph, r, s, algorithm="dft",
+                                    view=view)  # repro-lint: disable=backend-parity
+        fnd = nucleus_decomposition(graph, r, s, algorithm="fnd",
+                                    view=view)  # repro-lint: disable=backend-parity
         assert dft.hierarchy is not None and fnd.fnd_stats is not None
         t[(r, s)] = dft.hierarchy.num_subnuclei
         t_star[(r, s)] = fnd.fnd_stats.num_subnuclei

@@ -34,6 +34,7 @@ environment variable.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING, Any
 
 from repro.core.csr_fnd import CSR_FND_RS, csr_fnd_decomposition
 from repro.core.csr_peel import (
@@ -49,6 +50,11 @@ from repro.core.views import build_view
 from repro.errors import InvalidParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.flatindex import FlatHierarchyIndex
 
 __all__ = [
     "BACKENDS",
@@ -119,7 +125,8 @@ def as_backend(graph: Graph | CSRGraph, backend: str) -> Graph | CSRGraph:
     return as_object(graph) if backend == "object" else as_csr(graph)
 
 
-def backend_view(graph: Graph | CSRGraph, r: int, s: int, backend: str):
+def backend_view(graph: Graph | CSRGraph, r: int, s: int,
+                 backend: str) -> Any:
     """The (r, s) cell view over the chosen backend's representation."""
     return build_view(as_backend(graph, backend), r, s)
 
@@ -253,7 +260,7 @@ def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
 def build_query_index(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
                       algorithm: str = "fnd",
                       backend: str | None = None,
-                      workers: int | None = None):
+                      workers: int | None = None) -> "FlatHierarchyIndex":
     """Decompose on the chosen backend and return the flat serving index.
 
     The build-once half of build-once/serve-many: runs :func:`decompose`
@@ -269,8 +276,9 @@ def build_query_index(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
                                         backend=backend, workers=workers))
 
 
-def load_query_index(path, *, mmap_mode: str | None = "r",
-                     graph=None, view=None):
+def load_query_index(path: str | Path, *, mmap_mode: str | None = "r",
+                     graph: Any = None,
+                     view: Any = None) -> "FlatHierarchyIndex":
     """Load a persisted ``.npz`` flat index — the serve-many half.
 
     ``mmap_mode="r"`` (the default) memory-maps the arrays read-only, so

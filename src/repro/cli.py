@@ -194,7 +194,9 @@ def _run_query(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise ReproError(f"bad --vertices list: {exc}") from None
     if args.profile:
-        for vertex, levels in zip(vertices, index.profile_batch(vertices)):
+        for vertex, levels in zip(vertices,
+                                      index.profile_batch(vertices),
+                                      strict=True):
             print(f"vertex {vertex}:")
             for level in levels:
                 print(f"  {level}")
@@ -202,7 +204,7 @@ def _run_query(args: argparse.Namespace) -> int:
                 print("  (no communities)")
         return 0
     answers = index.communities_of_vertex_batch(vertices, args.k)
-    for vertex, communities in zip(vertices, answers):
+    for vertex, communities in zip(vertices, answers, strict=True):
         sizes = ", ".join(str(len(c)) for c in communities) or "none"
         print(f"vertex {vertex}: {len(communities)} communities at k={args.k} "
               f"(cells: {sizes})")

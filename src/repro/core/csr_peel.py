@@ -344,7 +344,7 @@ def _nucleus34_incidence_numpy(csr: CSRGraph):
     from repro.graph.csr import _k4_numpy, fill_incidence
 
     tu, tv, tw, q1, q2, q3, q4 = _k4_numpy(csr)
-    triangles = list(zip(tu.tolist(), tv.tolist(), tw.tolist()))
+    triangles = list(zip(tu.tolist(), tv.tolist(), tw.tolist(), strict=True))
     # quad-major occurrence order + stable argsort lays each triangle's
     # slots out exactly as the python cursor fill does
     sup, ptr, comps = fill_incidence(

@@ -122,7 +122,7 @@ def decompose_by_components(graph: Graph, r: int = 1, s: int = 2,
     global_view = build_view(graph, r, s)
     parts = []
     peel_s = post_s = 0.0
-    for (sub, component), result in zip(jobs, results):
+    for (sub, component), result in zip(jobs, results, strict=True):
         assert result.hierarchy is not None
         cell_map = _component_cell_map(graph, component, sub, r, s)
         parts.append((result.hierarchy, cell_map))

@@ -33,7 +33,7 @@ from __future__ import annotations
 import struct
 import zipfile
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 from zipfile import BadZipFile
 
 from repro.analysis.density import edge_density
@@ -45,7 +45,7 @@ from repro.queries import CommunityLevel
 try:  # the index is array-native; there is no object fallback
     import numpy as np
 except ImportError:  # pragma: no cover - the CI image ships numpy
-    np = None
+    np = None  # type: ignore[assignment]
 
 __all__ = ["FlatHierarchyIndex", "FLAT_INDEX_FORMAT", "mmap_npz"]
 
@@ -71,13 +71,14 @@ def _require_numpy() -> None:
             "object fallback; use repro.queries.HierarchyIndex instead)")
 
 
-def _read_npy_header(handle, version):
+def _read_npy_header(handle: Any, version: tuple[int, int]) -> Any:
     """(shape, fortran_order, dtype) of the ``.npy`` stream at ``handle``."""
     reader = getattr(np.lib.format,
                      f"read_array_header_{version[0]}_{version[1]}", None)
     if reader is not None:
         return reader(handle)
-    return np.lib.format._read_array_header(handle, version)
+    return np.lib.format._read_array_header(  # type: ignore[attr-defined]
+        handle, version)
 
 
 def mmap_npz(path: str | Path) -> dict | None:
@@ -140,7 +141,7 @@ def mmap_npz(path: str | Path) -> dict | None:
     return arrays
 
 
-def _multi_range(starts, counts):
+def _multi_range(starts: Any, counts: Any) -> Any:
     """Concatenate ``arange(starts[i], starts[i] + counts[i])`` for all i."""
     total = int(counts.sum())
     if total == 0:
@@ -161,7 +162,7 @@ class FlatHierarchyIndex:
 
     def __init__(self, decomposition: Decomposition | None = None, *,
                  hierarchy: Hierarchy | None = None,
-                 graph=None, view=None):
+                 graph: Any = None, view: Any = None) -> None:
         _require_numpy()
         if decomposition is not None:
             hierarchy = decomposition.hierarchy
@@ -203,14 +204,14 @@ class FlatHierarchyIndex:
         self._build_vertex_map()
         self._tops_cache: dict[int, "np.ndarray"] = {}
         self._stats: dict[int, tuple[int, int, float]] = {}
-        self._stat_arrays = None
-        self._edge_arrays = None
+        self._stat_arrays: tuple | None = None
+        self._edge_arrays: tuple | None = None
         self.mmapped = False
 
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
-    def _label_tour(self, tree) -> None:
+    def _label_tour(self, tree: Any) -> None:
         """Preorder interval labels: subtree(a) == [tin[a], tout[a])."""
         num_nodes = len(tree)
         tin = np.zeros(num_nodes, dtype=np.int32)
@@ -280,7 +281,7 @@ class FlatHierarchyIndex:
     def num_nodes(self) -> int:
         return len(self.node_k)
 
-    def _tops_at(self, k: int):
+    def _tops_at(self, k: int) -> Any:
         """Per node: shallowest ancestor-or-self with level >= k (-1 when
         the node itself is below k).  Pointer doubling, cached per k."""
         cached = self._tops_cache.get(k)
@@ -305,7 +306,7 @@ class FlatHierarchyIndex:
         hi = int(np.searchsorted(self.cell_tin_sorted, self.tout[node], "left"))
         return lo, hi
 
-    def community_cells(self, node: int):
+    def community_cells(self, node: int) -> Any:
         """All cells of condensed node ``node`` (sorted ascending)."""
         lo, hi = self._subtree_slice(node)
         return np.sort(self.cells_in_tour[lo:hi])
@@ -315,7 +316,7 @@ class FlatHierarchyIndex:
         return bool(self.tin[ancestor] <= self.tin[node]) and \
             bool(self.tin[node] < self.tout[ancestor])
 
-    def nodes_of_vertex(self, vertex: int):
+    def nodes_of_vertex(self, vertex: int) -> Any:
         """Sorted condensed node ids whose own cells touch ``vertex``."""
         if not 0 <= vertex < self.n:
             return np.empty(0, dtype=np.int32)
@@ -353,17 +354,18 @@ class FlatHierarchyIndex:
     # ------------------------------------------------------------------
     # batch queries
     # ------------------------------------------------------------------
-    def _as_vertex_array(self, vertices: Sequence[int] | Iterable[int]):
+    def _as_vertex_array(
+            self, vertices: Sequence[int] | Iterable[int]) -> Any:
         out = np.asarray(vertices, dtype=np.int64)
         if out.ndim != 1:
             raise InvalidParameterError(
                 f"expected a flat array of vertices, got shape {out.shape}")
         return out
 
-    def max_nucleus_batch(self, cells) -> list["np.ndarray"]:
+    def max_nucleus_batch(self, cells: Any) -> list["np.ndarray"]:
         """:meth:`max_nucleus` for an array of cells."""
         cache: dict[int, np.ndarray] = {}
-        out = []
+        out: list[np.ndarray] = []
         for node in self.cell_node[np.asarray(cells, dtype=np.int64)].tolist():
             hit = cache.get(node)
             if hit is None:
@@ -371,7 +373,7 @@ class FlatHierarchyIndex:
             out.append(hit)
         return out
 
-    def nucleus_at_batch(self, cells, k: int) -> list["np.ndarray"]:
+    def nucleus_at_batch(self, cells: Any, k: int) -> list["np.ndarray"]:
         """:meth:`nucleus_at` for an array of cells (k <= λ of each)."""
         cells = np.asarray(cells, dtype=np.int64)
         bad = np.nonzero(self.lam[cells] < k)[0]
@@ -381,7 +383,7 @@ class FlatHierarchyIndex:
                 f"cell {cell} has lambda {self.lam[cell]} < k={k}")
         tops = self._tops_at(k)[self.cell_node[cells]]
         cache: dict[int, np.ndarray] = {}
-        out = []
+        out: list[np.ndarray] = []
         for top in tops.tolist():
             hit = cache.get(top)
             if hit is None:
@@ -389,7 +391,7 @@ class FlatHierarchyIndex:
             out.append(hit)
         return out
 
-    def communities_of_vertex_batch(self, vertices, k: int) \
+    def communities_of_vertex_batch(self, vertices: Any, k: int) \
             -> list[list["np.ndarray"]]:
         """:meth:`communities_of_vertex` for an array of vertices.
 
@@ -421,7 +423,7 @@ class FlatHierarchyIndex:
             out[which].append(cells)
         return out
 
-    def profile_batch(self, vertices) -> list[list[CommunityLevel]]:
+    def profile_batch(self, vertices: Any) -> list[list[CommunityLevel]]:
         """:meth:`profile` for an array of vertices.
 
         Node statistics (size, edges, density) are computed once per
@@ -459,9 +461,10 @@ class FlatHierarchyIndex:
     # ------------------------------------------------------------------
     # profile statistics
     # ------------------------------------------------------------------
-    def _edge_endpoint_arrays(self):
+    def _edge_endpoint_arrays(self) -> tuple:
         """Endpoint arrays of every graph edge (for induced-edge counts)."""
-        if self._edge_arrays is None:
+        arrays = self._edge_arrays
+        if arrays is None:
             graph = self.graph
             if hasattr(graph, "esrc"):  # CSR: already flat
                 src = np.frombuffer(graph.esrc, dtype=np.int32)
@@ -470,8 +473,9 @@ class FlatHierarchyIndex:
                 index = graph.edge_index
                 src = np.asarray(index.source, dtype=np.int64)
                 tgt = np.asarray(index.target, dtype=np.int64)
-            self._edge_arrays = (src, tgt)
-        return self._edge_arrays
+            arrays = (src, tgt)
+            self._edge_arrays = arrays
+        return arrays
 
     def _node_stats(self, node: int) -> tuple[int, int, float]:
         """(num_vertices, num_edges, density) of a node's induced subgraph.
@@ -555,13 +559,14 @@ class FlatHierarchyIndex:
         }
         if stats:
             self.precompute_stats()
+            assert self._stat_arrays is not None  # precompute_stats filled it
             nv, ne, density = self._stat_arrays
             payload.update(node_nv=nv, node_ne=ne, node_density=density)
         with open(path, "wb") as handle:  # savez would append ".npz"
             np.savez(handle, **payload)
 
     @classmethod
-    def load(cls, path: str | Path, graph=None, view=None, *,
+    def load(cls, path: str | Path, graph: Any = None, view: Any = None, *,
              mmap_mode: str | None = None) -> "FlatHierarchyIndex":
         """Rebuild a persisted index; pure array reads, no re-peeling.
 

@@ -61,7 +61,7 @@ class EdgeIndex:
         return self.source[eid], self.target[eid]
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
-        return zip(self.source, self.target)
+        return zip(self.source, self.target, strict=True)
 
 
 class Graph:

@@ -292,7 +292,7 @@ class CSRGraph:
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate edges once each, as sorted pairs, in lexicographic order."""
-        return zip(self.esrc, self.etgt)
+        return zip(self.esrc, self.etgt, strict=True)
 
     def vertices(self) -> range:
         """Iterable of all vertex ids."""
@@ -432,7 +432,7 @@ def csr_triangle_edge_ids(csr: CSRGraph):
     cuts = _chunk_starts(pair_weights)
     return _concat_columns(
         [triangle_pair_kernel(fptr, fdst, feid, fkeys, n, lo, hi)
-         for lo, hi in zip(cuts[:-1], cuts[1:])], 3)
+         for lo, hi in zip(cuts[:-1], cuts[1:], strict=True)], 3)
 
 
 def csr_edge_support(csr: CSRGraph, use_numpy: bool | None = None) -> list[int]:
@@ -627,7 +627,7 @@ def fill_incidence(occ_columns, comp_rows, size: int):
     order = _np.argsort(occ, kind="stable")
     comps = tuple(
         _np.stack(columns, axis=1).ravel()[order]
-        for columns in zip(*comp_rows))
+        for columns in zip(*comp_rows, strict=True))
     return sup, ptr, comps
 
 
@@ -763,7 +763,7 @@ def _k4_numpy(csr: CSRGraph):
     cuts = _chunk_starts(run_sizes * (run_sizes - 1) // 2)
     q1, q2, q3, q4 = _concat_columns(
         [k4_pair_kernel(tri_keys, tu, tv, tw, run_ptr, n, glo, ghi)
-         for glo, ghi in zip(cuts[:-1], cuts[1:])], 4)
+         for glo, ghi in zip(cuts[:-1], cuts[1:], strict=True)], 4)
     return tu, tv, tw, q1, q2, q3, q4
 
 
@@ -802,7 +802,7 @@ def csr_k4_triangle_ids(
         if _np is None:
             raise InvalidGraphError("numpy fast path requested but numpy is missing")
         tu, tv, tw, q1, q2, q3, q4 = _k4_numpy(csr)
-        triangles = list(zip(tu.tolist(), tv.tolist(), tw.tolist()))
+        triangles = list(zip(tu.tolist(), tv.tolist(), tw.tolist(), strict=True))
         return triangles, (q1.tolist(), q2.tolist(), q3.tolist(), q4.tolist())
     triangles = list(csr_triangles(csr))
     # encoded int keys hash faster than tuple keys in the pair probes below

@@ -242,7 +242,7 @@ def planted_cliques(num_cliques: int, clique_size: int, bridge_edges: int = 2,
                      for i in range(clique_size) for j in range(i + 1, clique_size))
     for c in range(num_cliques - 1):
         base, nxt = c * clique_size, (c + 1) * clique_size
-        for b in range(bridge_edges):
+        for _ in range(bridge_edges):
             edges.append((base + int(rng.integers(clique_size)),
                           nxt + int(rng.integers(clique_size))))
     n = num_cliques * clique_size + noise_vertices

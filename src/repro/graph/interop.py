@@ -60,7 +60,7 @@ def from_adjacency_matrix(matrix: np.ndarray, name: str = "") -> Graph:
                                 f"got shape {matrix.shape}")
     rows, cols = np.nonzero(matrix)
     edges = {(int(u), int(v)) if u < v else (int(v), int(u))
-             for u, v in zip(rows, cols) if u != v}
+             for u, v in zip(rows, cols, strict=True) if u != v}
     return Graph(matrix.shape[0], sorted(edges), name=name)
 
 
@@ -83,7 +83,7 @@ def from_scipy_sparse(matrix, name: str = "") -> Graph:
         raise InvalidGraphError(f"sparse matrix must be square, "
                                 f"got shape {coo.shape}")
     seen = set()
-    for u, v in zip(coo.row, coo.col):
+    for u, v in zip(coo.row, coo.col, strict=True):
         if u != v:
             seen.add((int(u), int(v)) if u < v else (int(v), int(u)))
     return Graph(coo.shape[0], sorted(seen), name=name)

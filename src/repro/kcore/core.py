@@ -16,8 +16,8 @@ This module exposes both:
 
 from __future__ import annotations
 
-from repro.backends import core_peel, resolve_backend
-from repro.core.decomposition import Decomposition, nucleus_decomposition
+from repro.backends import core_peel, decompose, resolve_backend
+from repro.core.decomposition import Decomposition
 from repro.graph.adjacency import Graph
 from repro.graph.components import connected_components
 from repro.graph.csr import CSRGraph
@@ -33,29 +33,35 @@ __all__ = [
 ]
 
 
-def _peel(graph: Graph | CSRGraph, backend: str | None):
-    return core_peel(graph, backend=resolve_backend(graph, backend))
+def _peel(graph: Graph | CSRGraph, backend: str | None,
+          workers: int | None):
+    return core_peel(graph, backend=resolve_backend(graph, backend),
+                     workers=workers)
 
 
 def core_numbers(graph: Graph | CSRGraph,
-                 backend: str | None = None) -> list[int]:
+                 backend: str | None = None,
+                 workers: int | None = None) -> list[int]:
     """λ₂ (max k-core number) of every vertex.
 
     ``backend=None`` picks the engine matching the representation passed
-    in; name one explicitly to force a conversion.
+    in; name one explicitly to force a conversion.  ``workers`` applies
+    to the ``csr-parallel`` backend and is ignored by the others.
     """
-    return _peel(graph, backend).lam
+    return _peel(graph, backend, workers).lam
 
 
-def degeneracy(graph: Graph | CSRGraph, backend: str | None = None) -> int:
+def degeneracy(graph: Graph | CSRGraph, backend: str | None = None,
+               workers: int | None = None) -> int:
     """The graph's degeneracy: the largest core number."""
-    return _peel(graph, backend).max_lambda
+    return _peel(graph, backend, workers).max_lambda
 
 
 def degeneracy_ordering(graph: Graph | CSRGraph,
-                        backend: str | None = None) -> list[int]:
+                        backend: str | None = None,
+                        workers: int | None = None) -> list[int]:
     """Vertices in peeling order (a degeneracy / smallest-last ordering)."""
-    return _peel(graph, backend).order
+    return _peel(graph, backend, workers).order
 
 
 def k_core(graph: Graph, k: int, lam: list[int] | None = None) -> list[list[int]]:
@@ -99,9 +105,14 @@ def shells(graph: Graph, lam: list[int] | None = None) -> dict[int, list[int]]:
     return out
 
 
-def core_hierarchy(graph: Graph, algorithm: str = "lcps") -> Decomposition:
+def core_hierarchy(graph: Graph | CSRGraph, algorithm: str = "lcps",
+                   backend: str | None = None,
+                   workers: int | None = None) -> Decomposition:
     """Full connected-k-core hierarchy (paper's (1,2) decomposition).
 
     Defaults to LCPS, the paper's fastest (1,2) algorithm (Table 4).
+    Routes through :func:`repro.backends.decompose`, so ``backend=`` and
+    ``workers=`` behave exactly as on every other entry point.
     """
-    return nucleus_decomposition(graph, 1, 2, algorithm=algorithm)
+    return decompose(graph, 1, 2, algorithm=algorithm,
+                     backend=backend, workers=workers)

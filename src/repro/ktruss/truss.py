@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.backends import resolve_backend, truss_peel
-from repro.core.decomposition import Decomposition, nucleus_decomposition
+from repro.backends import decompose, resolve_backend, truss_peel
+from repro.core.decomposition import Decomposition
 from repro.errors import InvalidParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
@@ -39,16 +39,19 @@ __all__ = [
 
 
 def truss_numbers(graph: Graph | CSRGraph, convention: str = "nucleus",
-                  backend: str | None = None) -> list[int]:
+                  backend: str | None = None,
+                  workers: int | None = None) -> list[int]:
     """Per-edge truss values, indexed by edge id.
 
     ``convention="nucleus"`` returns λ₃ (max triangles-per-edge level, the
     paper's numbers); ``convention="truss"`` returns λ₃ + 2 (Cohen/Huang's
     trussness, where a single triangle is a 3-truss).  Edge ids are
     lexicographic on both backends, so the array is backend-independent;
-    ``backend=None`` picks the engine matching the representation passed in.
+    ``backend=None`` picks the engine matching the representation passed in;
+    ``workers`` applies to the ``csr-parallel`` backend only.
     """
-    lam = truss_peel(graph, backend=resolve_backend(graph, backend)).lam
+    lam = truss_peel(graph, backend=resolve_backend(graph, backend),
+                     workers=workers).lam
     if convention == "nucleus":
         return lam
     if convention == "truss":
@@ -58,9 +61,11 @@ def truss_numbers(graph: Graph | CSRGraph, convention: str = "nucleus",
 
 
 def max_trussness(graph: Graph | CSRGraph,
-                  backend: str | None = None) -> int:
+                  backend: str | None = None,
+                  workers: int | None = None) -> int:
     """Largest trussness in the graph (truss convention; 2 if triangle-free)."""
-    return max(truss_numbers(graph, convention="truss", backend=backend),
+    return max(truss_numbers(graph, convention="truss", backend=backend,
+                             workers=workers),
                default=2)
 
 
@@ -141,6 +146,13 @@ def truss_communities(graph: Graph, k: int,
     return out
 
 
-def truss_hierarchy(graph: Graph, algorithm: str = "fnd") -> Decomposition:
-    """Full (2,3) nucleus hierarchy (k-truss community hierarchy)."""
-    return nucleus_decomposition(graph, 2, 3, algorithm=algorithm)
+def truss_hierarchy(graph: Graph | CSRGraph, algorithm: str = "fnd",
+                    backend: str | None = None,
+                    workers: int | None = None) -> Decomposition:
+    """Full (2,3) nucleus hierarchy (k-truss community hierarchy).
+
+    Routes through :func:`repro.backends.decompose`, so ``backend=`` and
+    ``workers=`` behave exactly as on every other entry point.
+    """
+    return decompose(graph, 2, 3, algorithm=algorithm,
+                     backend=backend, workers=workers)

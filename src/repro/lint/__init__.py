@@ -1,0 +1,24 @@
+"""repro-lint: project-specific static analysis for the repro codebase.
+
+The rules encode invariants the codebase already relies on — flat-array
+mmap discipline, shared-memory segment lifecycle, non-blocking async
+serving, int64 key promotion, backend dispatch parity, and worker-error
+visibility — so they are machine-checked on every PR instead of being
+rediscovered one incident at a time (see docs/STATIC_ANALYSIS.md).
+
+Pure stdlib (``ast`` + ``tokenize``); no runtime dependencies.
+"""
+
+from repro.lint.engine import lint_paths, lint_source
+from repro.lint.registry import Rule, Violation, all_rules, get_rule, register
+from repro.lint import rules as _rules  # noqa: F401  (registers built-in rules)
+
+__all__ = [
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,10 @@
+"""Built-in rules; importing this package registers them."""
+
+from repro.lint.rules import (  # noqa: F401
+    async_blocking,
+    backend_parity,
+    int_width,
+    mmap_copy,
+    shm_lifecycle,
+    swallowed,
+)

@@ -1,0 +1,69 @@
+"""RL003 no-blocking-in-async.
+
+The serving tier is a single asyncio event loop per worker; one blocking
+call stalls every in-flight request behind it.  Inside ``async def``
+bodies this rule flags ``time.sleep``, ``subprocess``/``os.system``,
+synchronous socket construction, ``urllib`` fetches, and the builtin
+``open`` — use ``await asyncio.sleep``, executors, or do the I/O before
+the loop starts.
+
+Nested synchronous ``def`` bodies are skipped: defining a helper is not
+executing it (the helper may legitimately run in an executor).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.registry import Module, Rule, dotted_name, register, walk_skipping
+
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "socket.socket",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+}
+_BLOCKING_MODULES = {"subprocess"}
+_BLOCKING_BUILTINS = {"open"}
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    if name in _BLOCKING_DOTTED:
+        return f"{name}() blocks the event loop"
+    if name.split(".", 1)[0] in _BLOCKING_MODULES:
+        return f"{name}() runs a subprocess synchronously"
+    if isinstance(call.func, ast.Name) and call.func.id in _BLOCKING_BUILTINS:
+        return "builtin open() does blocking file I/O"
+    return None
+
+
+@register
+class NoBlockingInAsync(Rule):
+    code = "RL003"
+    name = "no-blocking-in-async"
+    description = (
+        "blocking calls (time.sleep, sync file/socket I/O, subprocess) "
+        "inside async def stall the whole event loop.")
+
+    def check(self, module: Module) -> Iterator[tuple[ast.AST, str]]:
+        def nested_def(node: ast.AST) -> bool:
+            # nested sync defs aren't executed here; nested async defs are
+            # visited by the outer loop in their own right
+            return isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda))
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for child in walk_skipping(node, nested_def):
+                if isinstance(child, ast.Call):
+                    reason = _blocking_reason(child)
+                    if reason is not None:
+                        yield (child,
+                               f"{reason} inside async def {node.name!r}; "
+                               "await the async equivalent or run it in "
+                               "an executor")

@@ -1,0 +1,69 @@
+"""RL005 backend-parity.
+
+``repro.backends`` is the single dispatch point that keeps the object,
+CSR, and csr-parallel engines interchangeable (and is where ``workers=``
+resolution lives).  Calling an engine entry point directly from outside
+the engine layers forks the API: the caller silently loses backend
+selection and worker parity.  Public wrappers that do take ``backend=``
+must also take ``workers=`` (and vice versa) so every entry point reads
+the same.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.registry import Module, Rule, dotted_name, register
+
+#: layers allowed to touch engines directly: the engines themselves and
+#: the dispatch layer.
+_ENGINE_LAYERS = ("repro/core/", "repro/parallel/", "repro/backends.py",
+                  "repro/lint/")
+_ENGINE_ENTRY_POINTS = {
+    "nucleus_decomposition",
+    "csr_core_peel", "csr_truss_peel", "csr_nucleus34_peel",
+    "csr_fnd_decomposition",
+    "parallel_core_peel", "parallel_truss_peel", "parallel_nucleus34_peel",
+    "parallel_fnd_decomposition",
+    "bulk_core_peel", "bulk_truss_peel", "bulk_nucleus34_peel",
+}
+
+
+@register
+class BackendParity(Rule):
+    code = "RL005"
+    name = "backend-parity"
+    description = (
+        "peel/decompose entry points route through repro.backends and "
+        "accept backend=/workers= together.")
+
+    def check(self, module: Module) -> Iterator[tuple[ast.AST, str]]:
+        if module.relpath.startswith(_ENGINE_LAYERS):
+            # the engines themselves and the dispatch layer: workers-only
+            # signatures (parallel_*_peel) are the implementation, not the
+            # public surface
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                callee = dotted_name(node.func).rsplit(".", 1)[-1]
+                if callee in _ENGINE_ENTRY_POINTS:
+                    yield (node,
+                           f"direct call to engine entry point {callee}(); "
+                           "route through repro.backends (decompose / "
+                           "core_peel / ...) so backend= and workers= "
+                           "stay uniform")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                params = {arg.arg for arg in
+                          [*node.args.posonlyargs, *node.args.args,
+                           *node.args.kwonlyargs]}
+                if ("backend" in params) != ("workers" in params):
+                    missing = "workers" if "backend" in params else "backend"
+                    yield (node,
+                           f"public entry point {node.name}() takes "
+                           f"{'backend' if missing == 'workers' else 'workers'}= "
+                           f"but not {missing}=; backend-aware entry points "
+                           "accept both so callers can select an engine "
+                           "and a worker count uniformly")

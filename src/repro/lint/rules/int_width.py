@@ -1,0 +1,149 @@
+"""RL004 int32-overflow.
+
+The CSR/packing layers store indices as int32 for cache density, but key
+packing multiplies them (``a * n + b``): at ~2**15.5 vertices the int32
+product wraps silently (PR 3 incident in ``parallel_nucleus34_incidence``).
+This rule taints names bound to int32-producing expressions
+(``.astype(np.int32)``, ``np.frombuffer/zeros/empty/full/arange(...,
+dtype=int32)``, ``array('i', ...)``) and flags any multiplication whose
+operand is a tainted name (or an element of one) unless the operand is
+explicitly promoted via ``.astype(np.int64)`` first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.registry import Module, Rule, base_name, dotted_name, register
+
+_INT32_TOKENS = {"int32", "i4", "<i4", "uint32", "u4", "<u4"}
+_INT64_TOKENS = {"int64", "i8", "<i8", "intp"}
+_NP_PRODUCERS = {"frombuffer", "array", "asarray", "zeros", "empty", "full",
+                 "arange", "fromiter", "ascontiguousarray"}
+
+
+def _dtype_token(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    name = dotted_name(node)
+    return name.rsplit(".", 1)[-1] if name else None
+
+
+def _mentions_int32(node: ast.expr) -> bool:
+    token = _dtype_token(node)
+    return token in _INT32_TOKENS if token is not None else False
+
+
+def _mentions_int64(node: ast.expr) -> bool:
+    token = _dtype_token(node)
+    return token in _INT64_TOKENS if token is not None else False
+
+
+def _produces_int32(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr == "astype":
+        return bool(value.args) and _mentions_int32(value.args[0])
+    callee = dotted_name(func).rsplit(".", 1)[-1]
+    if callee in _NP_PRODUCERS:
+        for kw in value.keywords:
+            if kw.arg == "dtype":
+                return _mentions_int32(kw.value)
+        # stdlib array('i', ...): first arg is the typecode
+        if callee == "array" and value.args:
+            first = value.args[0]
+            return (isinstance(first, ast.Constant)
+                    and first.value in {"i", "I", "l", "L"})
+    return False
+
+
+def _promoted(value: ast.expr) -> bool:
+    """True for ``x.astype(np.int64)``-style explicit widening."""
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "astype"
+            and bool(value.args) and _mentions_int64(value.args[0]))
+
+
+def _scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+@register
+class Int32Overflow(Rule):
+    code = "RL004"
+    name = "int32-overflow"
+    description = (
+        "int32 index values used in key-packing multiplication without "
+        "explicit int64 promotion wrap silently past 2**31.")
+
+    def check(self, module: Module) -> Iterator[tuple[ast.AST, str]]:
+        for _scope, body in _scopes(module.tree):
+            tainted: set[str] = set()
+            for stmt in body:
+                yield from self._visit(stmt, tainted)
+
+    def _visit(self, stmt: ast.stmt,
+               tainted: set[str]) -> Iterator[tuple[ast.AST, str]]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # separate scope, handled by _scopes
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            value = stmt.value
+            if value is not None:
+                yield from self._flag_mults(value, tainted)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if _produces_int32(value):
+                            tainted.add(target.id)
+                        elif not isinstance(stmt, ast.AugAssign):
+                            tainted.discard(target.id)
+            return
+        # compound statements: recurse into their bodies with shared taint
+        for field in ("body", "orelse", "finalbody"):
+            for child in getattr(stmt, field, []) or []:
+                yield from self._visit(child, tainted)
+        for handler in getattr(stmt, "handlers", []) or []:
+            for child in handler.body:
+                yield from self._visit(child, tainted)
+        if not hasattr(stmt, "body"):
+            yield from self._flag_mults(stmt, tainted)
+        else:
+            # flag expressions owned by the statement head (test, iter, ...)
+            for field in ("test", "iter", "value", "items"):
+                head = getattr(stmt, field, None)
+                if isinstance(head, ast.expr):
+                    yield from self._flag_mults(head, tainted)
+
+    def _flag_mults(self, tree: ast.AST,
+                    tainted: set[str]) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, (ast.Mult, ast.LShift, ast.Pow))):
+                continue
+            for side in (node.left, node.right):
+                name = self._tainted_operand(side, tainted)
+                if name is not None:
+                    yield (node,
+                           f"{name!r} holds int32 values; promote with "
+                           ".astype(np.int64) before packing keys "
+                           "(a * n + b wraps past 2**31)")
+                    break
+
+    @staticmethod
+    def _tainted_operand(side: ast.expr, tainted: set[str]) -> str | None:
+        if _promoted(side):
+            return None
+        if isinstance(side, ast.Name) and side.id in tainted:
+            return side.id
+        if isinstance(side, ast.Subscript):
+            root = base_name(side)
+            if root in tainted:
+                return root
+        return None

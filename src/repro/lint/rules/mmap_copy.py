@@ -1,0 +1,92 @@
+"""RL001 no-silent-mmap-copy.
+
+Two ways this repo has silently materialised an "mmapped" index into RAM:
+
+* ``np.load(path, mmap_mode="r")`` on a ``.npz`` archive returns lazy
+  members that are **read into fresh arrays** on access — the mmap_mode
+  is ignored for zip archives (PR 6 incident; ``repro.flatindex.mmap_npz``
+  exists precisely because of this).
+* dtype-converting a registry-served array (``.astype``/``np.asarray(...,
+  dtype=...)``) on the serve path copies the mmap'd pages per request.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.registry import Module, Rule, dotted_name, register
+
+_SERVE_PREFIXES = ("repro/serve/",)
+_LOADER_FUNCS = {"load", "mmap_npz", "load_query_index"}
+_CONVERTERS = {"asarray", "ascontiguousarray", "asfortranarray", "require"}
+
+
+def _is_np_load(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    return name.endswith(".load") and name.split(".", 1)[0] in {
+        "np", "numpy", "_np"}
+
+
+def _literal_npy(call: ast.Call) -> bool:
+    if not call.args:
+        return False
+    first = call.args[0]
+    return (isinstance(first, ast.Constant) and isinstance(first.value, str)
+            and first.value.endswith(".npy"))
+
+
+@register
+class NoSilentMmapCopy(Rule):
+    code = "RL001"
+    name = "no-silent-mmap-copy"
+    description = (
+        "np.load(mmap_mode=...) silently copies .npz archives; serve-path "
+        "dtype conversion copies mmap'd pages — convert at build time.")
+
+    def check(self, module: Module) -> Iterator[tuple[ast.AST, str]]:
+        serve_scoped = module.relpath.startswith(_SERVE_PREFIXES)
+        loader_ranges: list[tuple[int, int]] = []
+        if not serve_scoped:
+            for node in ast.walk(module.tree):
+                if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and node.name in _LOADER_FUNCS):
+                    loader_ranges.append(
+                        (node.lineno, node.end_lineno or node.lineno))
+
+        def on_serve_path(node: ast.AST) -> bool:
+            if serve_scoped:
+                return True
+            line = getattr(node, "lineno", 0)
+            return any(lo <= line <= hi for lo, hi in loader_ranges)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_np_load(node):
+                mmap_kw = next((kw for kw in node.keywords
+                                if kw.arg == "mmap_mode"), None)
+                if (mmap_kw is not None
+                        and not (isinstance(mmap_kw.value, ast.Constant)
+                                 and mmap_kw.value.value is None)
+                        and not _literal_npy(node)):
+                    yield (node,
+                           "np.load(mmap_mode=...) is silently ignored for "
+                           ".npz archives (members are copied on access); "
+                           "use repro.flatindex.mmap_npz or "
+                           "FlatHierarchyIndex.load(mmap_mode='r')")
+                continue
+            if not on_serve_path(node):
+                continue
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "astype"):
+                yield (node,
+                       "astype() on the serve path copies the mmap'd "
+                       "array; persist the right dtype at build time")
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CONVERTERS
+                    and any(kw.arg == "dtype" for kw in node.keywords)):
+                yield (node,
+                       f"np.{node.func.attr}(..., dtype=...) on the serve "
+                       "path copies the mmap'd array; persist the right "
+                       "dtype at build time")

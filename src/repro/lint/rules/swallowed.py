@@ -1,0 +1,71 @@
+"""RL006 no-swallowed-worker-errors.
+
+A worker crash that vanishes into ``except Exception: pass`` turns into
+a hung pool or a silently-wrong decomposition.  Broad handlers
+(``except Exception``/``BaseException``/bare) must either re-raise or
+visibly record the failure — send it over the worker pipe, set it on the
+awaiting future, log it, or count it on metrics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.registry import Module, Rule, dotted_name, register
+
+_BROAD = {"Exception", "BaseException"}
+#: callee names (final attribute or function name) that count as making
+#: the failure visible to someone
+_RECORDERS = {
+    "format_exc", "print_exc",           # traceback captured for transport
+    "exception", "error", "warning", "critical", "log",  # logging
+    "send", "put", "set_exception",      # handed to the consumer
+    "fail", "print",                     # explicit reporting
+}
+_RECORDER_PREFIXES = ("record",)         # ServerMetrics.record_* counters
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        if dotted_name(node).rsplit(".", 1)[-1] in _BROAD:
+            return True
+    return False
+
+
+def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                callee = dotted_name(node.func).rsplit(".", 1)[-1]
+                if callee in _RECORDERS or callee.startswith(
+                        _RECORDER_PREFIXES):
+                    return True
+    return False
+
+
+@register
+class NoSwallowedWorkerErrors(Rule):
+    code = "RL006"
+    name = "no-swallowed-worker-errors"
+    description = (
+        "broad except handlers must re-raise or record the failure "
+        "(pipe send, future.set_exception, logging, metrics).")
+
+    def check(self, module: Module) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _handles_visibly(node):
+                caught = (dotted_name(node.type) if node.type is not None
+                          else "everything")
+                yield (node,
+                       f"broad handler catches {caught} without "
+                       "re-raising or recording it; narrow the type, or "
+                       "send/log/count the failure so it stays visible")

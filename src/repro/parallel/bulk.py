@@ -181,7 +181,7 @@ class _ShardedDecrement:
         self._frontier_buf[:count] = frontier
         cuts = weighted_cuts(shard_weights, self.pool.workers)
         parts = self.pool.scatter([self.task + (rnd, lo, hi)
-                                   for lo, hi in zip(cuts[:-1], cuts[1:])])
+                                   for lo, hi in zip(cuts[:-1], cuts[1:], strict=True)])
         return merge_sparse_decrements(parts)
 
     def __enter__(self) -> "_ShardedDecrement":

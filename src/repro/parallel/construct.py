@@ -79,7 +79,7 @@ def _merge_level(edge_parts, k: int, comp, forest, node_lambda: list[int],
     """
     downward = 0
     for a, b in edge_parts:
-        for u, v in zip(a.tolist(), b.tolist()):
+        for u, v in zip(a.tolist(), b.tolist(), strict=True):
             cu = comp[u]
             cv = comp[v]
             if cu < 0:
@@ -216,7 +216,7 @@ def _run_construction(r: int, s: int, lam, static: dict, weights,
                     cuts = weighted_cuts(level_weights, pool.workers)
                     return pool.scatter(
                         [task_prefix + (k, lo, hi)
-                         for lo, hi in zip(cuts[:-1], cuts[1:])])
+                         for lo, hi in zip(cuts[:-1], cuts[1:], strict=True)])
 
                 return hierarchy_from_lambda(r, s, lam, edge_source, forest,
                                              instrumentation)

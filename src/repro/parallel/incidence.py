@@ -57,7 +57,7 @@ def parallel_triangle_edge_ids(csr: CSRGraph, pool: WorkerPool):
         try:
             parts = pool.scatter(
                 [("triangles", csr.n, lo, hi)
-                 for lo, hi in zip(cuts[:-1], cuts[1:])])
+                 for lo, hi in zip(cuts[:-1], cuts[1:], strict=True)])
         finally:
             pool.unbind()
     return _concat_columns(parts, 3)
@@ -109,7 +109,7 @@ def parallel_nucleus34_incidence(csr: CSRGraph, pool: WorkerPool):
         try:
             parts = pool.scatter(
                 [("k4", n, glo, ghi)
-                 for glo, ghi in zip(cuts[:-1], cuts[1:])])
+                 for glo, ghi in zip(cuts[:-1], cuts[1:], strict=True)])
         finally:
             pool.unbind()
     q1, q2, q3, q4 = _concat_columns(parts, 4)
@@ -117,5 +117,5 @@ def parallel_nucleus34_incidence(csr: CSRGraph, pool: WorkerPool):
         [q1, q2, q3, q4],
         [(q2, q3, q4), (q1, q3, q4), (q1, q2, q4), (q1, q2, q3)],
         len(tu))
-    triangles = list(zip(tu.tolist(), tv.tolist(), tw.tolist()))
+    triangles = list(zip(tu.tolist(), tv.tolist(), tw.tolist(), strict=True))
     return triangles, sup, ptr, comps

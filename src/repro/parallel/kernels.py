@@ -70,13 +70,13 @@ def incidence_decrement(ptr, comps, peel_round, frontier, rnd):
     rounds = [peel_round[c] for c in companions]
     spent = np.zeros(len(slots), dtype=bool)
     owner = np.ones(len(slots), dtype=bool)
-    for comp, comp_round in zip(companions, rounds):
+    for comp, comp_round in zip(companions, rounds, strict=True):
         spent |= (comp_round >= 0) & (comp_round < rnd)
         in_frontier = comp_round == rnd
         owner &= ~in_frontier | (cell_of_slot < comp)
     live = ~spent & owner
     hit = [comp[live & (comp_round < 0)]
-           for comp, comp_round in zip(companions, rounds)]
+           for comp, comp_round in zip(companions, rounds, strict=True)]
     hit = [h for h in hit if len(h)]
     if not hit:
         return _EMPTY, _EMPTY

@@ -213,7 +213,7 @@ class WorkerPool:
         if len(tasks) != self.workers:
             raise ValueError(
                 f"need exactly {self.workers} tasks, got {len(tasks)}")
-        for conn, task in zip(self._conns, tasks):
+        for conn, task in zip(self._conns, tasks, strict=True):
             conn.send(task)
         return self._collect(self._conns)
 

@@ -22,6 +22,7 @@ manager that does the right one.
 from __future__ import annotations
 
 from multiprocessing import resource_tracker, shared_memory
+from typing import KeysView
 
 import numpy as np
 
@@ -44,8 +45,12 @@ def _attach_segment(name: str, untrack: bool) -> shared_memory.SharedMemory:
     seg = shared_memory.SharedMemory(name=name)
     if untrack:
         try:
-            resource_tracker.unregister(seg._name, "shared_memory")
-        except Exception:  # pragma: no cover - tracker internals vary
+            resource_tracker.unregister(
+                seg._name, "shared_memory")  # type: ignore[attr-defined]
+        # the tracker API is private and varies across CPython versions;
+        # failing to unregister only re-creates the bpo-39959 noise the
+        # call is trying to avoid, so any error here is safe to drop
+        except Exception:  # pragma: no cover  # repro-lint: disable=no-swallowed-worker-errors
             pass
     return seg
 
@@ -61,7 +66,7 @@ class SharedArrayBundle:
 
     def __init__(self, segments: dict[str, shared_memory.SharedMemory],
                  arrays: dict[str, np.ndarray],
-                 spec: tuple, owner: bool):
+                 spec: tuple, owner: bool) -> None:
         self._segments = segments
         self._arrays = arrays
         self.spec = spec
@@ -72,7 +77,7 @@ class SharedArrayBundle:
         """Export ``arrays`` into fresh shared-memory segments (one copy)."""
         segments: dict[str, shared_memory.SharedMemory] = {}
         views: dict[str, np.ndarray] = {}
-        spec = []
+        spec: list[tuple[str, str, str, tuple[int, ...]]] = []
         try:
             for key, arr in arrays.items():
                 arr = np.ascontiguousarray(arr)
@@ -118,7 +123,7 @@ class SharedArrayBundle:
     def __contains__(self, key: str) -> bool:
         return key in self._arrays
 
-    def keys(self):
+    def keys(self) -> KeysView[str]:
         return self._arrays.keys()
 
     def close(self) -> None:
@@ -141,7 +146,7 @@ class SharedArrayBundle:
     def __enter__(self) -> "SharedArrayBundle":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._owner:
             self.unlink()
         else:
@@ -161,7 +166,7 @@ class SharedRootedForest:
 
     __slots__ = ("bundle", "parent", "root", "rank", "size")
 
-    def __init__(self, bundle: SharedArrayBundle, size: int):
+    def __init__(self, bundle: SharedArrayBundle, size: int) -> None:
         self.bundle = bundle
         self.parent = bundle["parent"]
         self.root = bundle["root"]

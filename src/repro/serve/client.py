@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import socket
+from typing import Any
 
 from repro.errors import ReproError
 
@@ -26,7 +27,7 @@ class ServeClient:
     """One blocking connection to a nucleus server."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._file = self._sock.makefile("rb")
@@ -36,7 +37,7 @@ class ServeClient:
     # transport
     # ------------------------------------------------------------------
     def call_many(self, requests: list[dict],
-                  raise_on_error: bool = True) -> list:
+                  raise_on_error: bool = True) -> list[Any]:
         """Pipeline ``requests`` and return their results in order.
 
         Requests are tagged with fresh ``id`` values, written as one
@@ -45,7 +46,7 @@ class ServeClient:
         yields a :class:`ServeError` *instance* in the result list
         instead of raising.
         """
-        tagged = []
+        tagged: list[dict] = []
         for request in requests:
             request = dict(request)
             request["id"] = self._next_id
@@ -53,14 +54,14 @@ class ServeClient:
             tagged.append(request)
         payload = "".join(json.dumps(req) + "\n" for req in tagged)
         self._sock.sendall(payload.encode())
-        by_id = {}
+        by_id: dict[object, dict] = {}
         for _ in tagged:
             line = self._file.readline()
             if not line:
                 raise ServeError("server closed the connection mid-batch")
             response = json.loads(line)
             by_id[response.get("id")] = response
-        results = []
+        results: list[Any] = []
         for request in tagged:
             response = by_id.get(request["id"])
             if response is None:
@@ -75,9 +76,9 @@ class ServeClient:
                 results.append(error)
         return results
 
-    def call(self, op: str, **params):
+    def call(self, op: str, **params: Any) -> Any:
         """One request, one answer."""
-        request = {"op": op}
+        request: dict[str, Any] = {"op": op}
         request.update(params)
         return self.call_many([request])[0]
 
@@ -124,5 +125,5 @@ class ServeClient:
     def __enter__(self) -> "ServeClient":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -26,6 +26,7 @@ fanned out to every parked future defensively.
 from __future__ import annotations
 
 import asyncio
+from typing import Any
 
 from repro.serve import protocol
 from repro.serve.metrics import ServerMetrics
@@ -36,10 +37,10 @@ __all__ = ["BatchCoalescer"]
 class _Bucket:
     __slots__ = ("values", "futures", "handle")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.values: list[int] = []
         self.futures: list[asyncio.Future] = []
-        self.handle = None
+        self.handle: asyncio.TimerHandle | asyncio.Handle | None = None
 
 
 class BatchCoalescer:
@@ -51,8 +52,8 @@ class BatchCoalescer:
     resolves to the request's answer as a ready-to-send JSON fragment.
     """
 
-    def __init__(self, index, metrics: ServerMetrics | None = None,
-                 window: float = 0.0, max_batch: int = 512):
+    def __init__(self, index: Any, metrics: ServerMetrics | None = None,
+                 window: float = 0.0, max_batch: int = 512) -> None:
         self.index = index
         self.metrics = metrics
         self.window = window
@@ -77,7 +78,7 @@ class BatchCoalescer:
     # ------------------------------------------------------------------
     # batching machinery
     # ------------------------------------------------------------------
-    def _submit(self, key: tuple, value: int) -> asyncio.Future:
+    def _submit(self, key: tuple, value: int) -> "asyncio.Future[str]":
         loop = asyncio.get_running_loop()
         bucket = self._buckets.get(key)
         if bucket is None:
@@ -104,11 +105,13 @@ class BatchCoalescer:
         try:
             fragments = self._answer(key, bucket.values)
         except Exception as exc:  # defensive: requests are pre-validated
+            if self.metrics is not None:  # surfaced on /stats, not just
+                self.metrics.record_batch_failure(exc)  # on the futures
             for future in bucket.futures:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for future, fragment in zip(bucket.futures, fragments):
+        for future, fragment in zip(bucket.futures, fragments, strict=True):
             if not future.done():  # the client may have disconnected
                 future.set_result(fragment)
 

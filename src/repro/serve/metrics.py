@@ -30,7 +30,7 @@ class RouteStats:
 
     __slots__ = ("requests", "errors", "seconds_total", "_window", "_next")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.requests = 0
         self.errors = 0
         self.seconds_total = 0.0
@@ -62,13 +62,15 @@ class RouteStats:
 class ServerMetrics:
     """All counters one worker process exports on ``/stats``."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.started = time.time()
         self.connections_total = 0
         self.connections_open = 0
         self.batches = 0
         self.batched_requests = 0
         self.max_batch = 0
+        self.batch_failures = 0
+        self.last_batch_error = ""
         self._routes: dict[str, RouteStats] = {}
 
     def route(self, name: str) -> RouteStats:
@@ -87,6 +89,11 @@ class ServerMetrics:
         if size > self.max_batch:
             self.max_batch = size
 
+    def record_batch_failure(self, error: BaseException) -> None:
+        """Count a batch kernel that raised (every parked request failed)."""
+        self.batch_failures += 1
+        self.last_batch_error = f"{type(error).__name__}: {error}"
+
     def snapshot(self) -> dict:
         mean_batch = (self.batched_requests / self.batches
                       if self.batches else 0.0)
@@ -101,6 +108,8 @@ class ServerMetrics:
                 "batched_requests": self.batched_requests,
                 "mean_batch": round(mean_batch, 3),
                 "max_batch": self.max_batch,
+                "failures": self.batch_failures,
+                "last_error": self.last_batch_error,
             },
             "routes": {name: stats.snapshot()
                        for name, stats in self._routes.items()},

@@ -17,6 +17,7 @@ one batch — object identity means nothing beyond it.
 from __future__ import annotations
 
 import json
+from typing import Any, Iterable
 
 __all__ = [
     "QUERY_OPS",
@@ -31,7 +32,7 @@ __all__ = [
 QUERY_OPS = ("max_nucleus", "nucleus_at", "communities_of_vertex", "profile")
 
 
-def cells_json(cells, cache: dict | None = None) -> str:
+def cells_json(cells: Any, cache: dict[int, str] | None = None) -> str:
     """A sorted cell array as a JSON list, cached by array identity."""
     if cache is not None:
         hit = cache.get(id(cells))
@@ -44,12 +45,13 @@ def cells_json(cells, cache: dict | None = None) -> str:
     return text
 
 
-def communities_json(communities, cache: dict | None = None) -> str:
+def communities_json(communities: Iterable[Any],
+                     cache: dict[int, str] | None = None) -> str:
     """A list of cell arrays (one vertex's communities) as JSON."""
     return "[" + ",".join(cells_json(c, cache) for c in communities) + "]"
 
 
-def profile_json(levels) -> str:
+def profile_json(levels: Iterable[Any]) -> str:
     """A vertex's :class:`~repro.queries.CommunityLevel` chain as JSON."""
     return json.dumps([
         {"k": level.k, "node_id": level.node_id,
@@ -58,13 +60,13 @@ def profile_json(levels) -> str:
         for level in levels])
 
 
-def envelope(request_id, result_fragment: str) -> bytes:
+def envelope(request_id: object, result_fragment: str) -> bytes:
     """A success response line (``result_fragment`` is already JSON)."""
     return (f'{{"id":{json.dumps(request_id)},"ok":true,'
             f'"result":{result_fragment}}}\n').encode()
 
 
-def error_envelope(request_id, message: str) -> bytes:
+def error_envelope(request_id: object, message: str) -> bytes:
     """An error response line."""
     return (f'{{"id":{json.dumps(request_id)},"ok":false,'
             f'"error":{json.dumps(message)}}}\n').encode()

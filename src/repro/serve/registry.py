@@ -22,7 +22,7 @@ __all__ = ["IndexRegistry"]
 class IndexRegistry:
     """Name → :class:`FlatHierarchyIndex` map with a default route."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._indexes: dict[str, FlatHierarchyIndex] = {}
         self._paths: dict[str, str] = {}
         self._default: str | None = None
@@ -111,7 +111,7 @@ class IndexRegistry:
 
     def describe(self) -> dict:
         """Per-index metadata for ``/indexes`` and ``/stats``."""
-        out = {}
+        out: dict[str, dict] = {}
         for name, index in self._indexes.items():
             out[name] = {
                 "path": self._paths[name],

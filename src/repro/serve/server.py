@@ -32,7 +32,8 @@ import socket
 import sys
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import InvalidParameterError, ReproError
@@ -69,7 +70,7 @@ class ServerConfig:
     #: index pages (1 = serve from the calling process only)
     workers: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.coalesce_window < 0:
             raise InvalidParameterError(
                 f"coalesce window must be >= 0 seconds, "
@@ -86,7 +87,7 @@ class NucleusServer:
     """Asyncio server answering hierarchy queries from a registry."""
 
     def __init__(self, registry: IndexRegistry,
-                 config: ServerConfig | None = None):
+                 config: ServerConfig | None = None) -> None:
         self.registry = registry
         self.config = config or ServerConfig()
         self.metrics = ServerMetrics()
@@ -164,7 +165,9 @@ class NucleusServer:
     # ------------------------------------------------------------------
     # NDJSON protocol
     # ------------------------------------------------------------------
-    async def _serve_ndjson(self, reader, writer, first: bytes) -> None:
+    async def _serve_ndjson(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter,
+                            first: bytes) -> None:
         """Pipelined request lines; every line becomes its own task.
 
         The reader loop never awaits an answer, so all requests buffered
@@ -184,7 +187,8 @@ class NucleusServer:
         if tasks:  # EOF: flush the in-flight answers before closing
             await asyncio.gather(*tasks, return_exceptions=True)
 
-    async def _respond_line(self, line: bytes, writer) -> None:
+    async def _respond_line(self, line: bytes,
+                            writer: asyncio.StreamWriter) -> None:
         try:
             request = json.loads(line)
         except ValueError:
@@ -255,51 +259,56 @@ class NucleusServer:
         if name is not None and not isinstance(name, str):
             raise _BadRequest("index must be a string name")
         index = self.registry.get(name)
-        k = cell = vertex = None
+        # cell-addressed ops validate against num_cells, vertex-addressed
+        # ops against n; ``value`` is whichever id the op looks up
         if op in ("max_nucleus", "nucleus_at"):
-            cell = self._request_int(request, "cell")
-            if not 0 <= cell < index.num_cells:
+            value = self._request_int(request, "cell")
+            if not 0 <= value < index.num_cells:
                 raise _BadRequest(
-                    f"cell {cell} out of range (index has "
+                    f"cell {value} out of range (index has "
                     f"{index.num_cells} cells)")
         else:
-            vertex = self._request_int(request, "vertex")
-            if not 0 <= vertex < index.n:
+            value = self._request_int(request, "vertex")
+            if not 0 <= value < index.n:
                 raise _BadRequest(
-                    f"vertex {vertex} out of range (index has "
+                    f"vertex {value} out of range (index has "
                     f"{index.n} vertices)")
-        if op in ("nucleus_at", "communities_of_vertex"):
-            k = self._request_int(request, "k")
-        if op == "nucleus_at" and k > int(index.lam[cell]):
+        k = (self._request_int(request, "k")
+             if op in ("nucleus_at", "communities_of_vertex") else 0)
+        if op == "nucleus_at" and k > int(index.lam[value]):
             raise _BadRequest(
-                f"cell {cell} has lambda {int(index.lam[cell])} < k={k}")
+                f"cell {value} has lambda {int(index.lam[value])} < k={k}")
         if self.config.uncoalesced:
-            return self._scalar_answer(index, op, cell, vertex, k)
-        coalescer = self._coalescers[name or self.registry.default_name]
+            return self._scalar_answer(index, op, value, k)
+        route = name or self.registry.default_name
+        assert route is not None  # registry.get(name) succeeded above
+        coalescer = self._coalescers[route]
         if op == "max_nucleus":
-            return await coalescer.max_nucleus(cell)
+            return await coalescer.max_nucleus(value)
         if op == "nucleus_at":
-            return await coalescer.nucleus_at(cell, k)
+            return await coalescer.nucleus_at(value, k)
         if op == "communities_of_vertex":
-            return await coalescer.communities_of_vertex(vertex, k)
-        return await coalescer.profile(vertex)
+            return await coalescer.communities_of_vertex(value, k)
+        return await coalescer.profile(value)
 
     @staticmethod
-    def _scalar_answer(index, op: str, cell, vertex, k) -> str:
+    def _scalar_answer(index: Any, op: str, value: int, k: int) -> str:
         """The per-request reference path: one scalar query, one encode."""
         if op == "max_nucleus":
-            return protocol.cells_json(index.max_nucleus(cell))
+            return protocol.cells_json(index.max_nucleus(value))
         if op == "nucleus_at":
-            return protocol.cells_json(index.nucleus_at(cell, k))
+            return protocol.cells_json(index.nucleus_at(value, k))
         if op == "communities_of_vertex":
             return protocol.communities_json(
-                index.communities_of_vertex(vertex, k))
-        return protocol.profile_json(index.profile(vertex))
+                index.communities_of_vertex(value, k))
+        return protocol.profile_json(index.profile(value))
 
     # ------------------------------------------------------------------
     # HTTP protocol
     # ------------------------------------------------------------------
-    async def _serve_http(self, reader, writer, request_line: bytes) -> None:
+    async def _serve_http(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter,
+                          request_line: bytes) -> None:
         while request_line:
             parts = request_line.decode("latin-1").split()
             if len(parts) != 3:
@@ -307,7 +316,7 @@ class NucleusServer:
                     None, "malformed request line"), close=True)
                 return
             method, target, version = parts
-            headers = {}
+            headers: dict[str, str] = {}
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
@@ -370,8 +379,9 @@ class NucleusServer:
             None, f"method {method} not supported on {path!r}")
 
     @staticmethod
-    async def _http_reply(writer, status: int, payload: bytes,
-                          close: bool, head_only: bool = False) -> None:
+    async def _http_reply(writer: asyncio.StreamWriter, status: int,
+                          payload: bytes, close: bool,
+                          head_only: bool = False) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed"}.get(status, "Error")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
@@ -478,7 +488,8 @@ class ServerThread:
     (real worker processes, no GIL sharing with the application).
     """
 
-    def __init__(self, registry: IndexRegistry, **config_kwargs):
+    def __init__(self, registry: IndexRegistry,
+                 **config_kwargs: Any) -> None:
         config_kwargs.setdefault("port", 0)
         self.config = ServerConfig(**config_kwargs)
         self.registry = registry
@@ -517,12 +528,13 @@ class ServerThread:
         await server.aclose()
 
     def close(self) -> None:
-        if self._loop is not None and self._thread.is_alive():
+        if self._loop is not None and self._stop is not None \
+                and self._thread.is_alive():
             self._loop.call_soon_threadsafe(self._stop.set)
         self._thread.join(timeout=10)
 
     def __enter__(self) -> "ServerThread":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -82,7 +82,7 @@ class TestDegenerateGraphs:
     def test_nested_cliques_deep_hierarchy(self):
         # K4 inside K8 inside K12 (as vertex subsets with extra edges)
         edges = set()
-        for size, span in ((12, range(12)), (8, range(8)), (4, range(4))):
+        for span in (range(12), range(8), range(4)):
             for i in span:
                 for j in span:
                     if i < j:

@@ -1,0 +1,383 @@
+"""The repro-lint static-analysis pass: every rule fires on its target
+pattern, stays quiet on the sanctioned alternative, and the tree under
+``src/`` is clean under the full rule set."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, get_rule, lint_paths, lint_source
+from repro.lint.cli import main as lint_main
+from repro.lint.registry import Violation, select_rules
+
+REPO = Path(__file__).resolve().parents[1]
+
+# paths chosen so _relpath scoping matches the real tree
+PARALLEL = "src/repro/parallel/fixture.py"
+SERVE = "src/repro/serve/fixture.py"
+ANALYSIS = "src/repro/analysis/fixture.py"
+
+
+def codes(source: str, path: str) -> list[str]:
+    return [v.code for v in lint_source(source, path=path)]
+
+
+# ---------------------------------------------------------------------------
+# RL001 no-silent-mmap-copy
+# ---------------------------------------------------------------------------
+class TestMmapCopy:
+    def test_fires_on_npz_mmap_load(self):
+        src = 'import numpy as np\npayload = np.load(path, mmap_mode="r")\n'
+        assert codes(src, ANALYSIS) == ["RL001"]
+
+    def test_quiet_on_eager_load(self):
+        src = "import numpy as np\npayload = np.load(path)\n"
+        assert codes(src, ANALYSIS) == []
+
+    def test_quiet_on_literal_npy(self):
+        src = ('import numpy as np\n'
+               'arr = np.load("cells.npy", mmap_mode="r")\n')
+        assert codes(src, ANALYSIS) == []
+
+    def test_fires_on_serve_path_astype(self):
+        src = ("def answer(index, cells):\n"
+               "    return index.lam.astype('int64')[cells]\n")
+        assert codes(src, SERVE) == ["RL001"]
+
+    def test_fires_inside_loader_function_elsewhere(self):
+        src = ("import numpy as np\n"
+               "def load_query_index(path):\n"
+               "    arrays = read(path)\n"
+               "    return arrays['lam'].astype(np.int64)\n")
+        assert codes(src, ANALYSIS) == ["RL001"]
+
+    def test_quiet_on_build_side_astype(self):
+        src = ("import numpy as np\n"
+               "def build(tree):\n"
+               "    return np.asarray(tree.ids).astype(np.int32)\n")
+        assert codes(src, ANALYSIS) == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 shm-lifecycle
+# ---------------------------------------------------------------------------
+class TestShmLifecycle:
+    def test_fires_on_leaked_acquisition(self):
+        src = ("from multiprocessing import shared_memory\n"
+               "def worker(n):\n"
+               "    seg = shared_memory.SharedMemory(create=True, size=n)\n"
+               "    total = seg.size + n\n"
+               "    return total\n")
+        assert codes(src, PARALLEL) == ["RL002"]
+
+    def test_fires_on_discarded_acquisition(self):
+        src = ("def setup(arrays):\n"
+               "    SharedArrayBundle.create(arrays)\n")
+        assert codes(src, PARALLEL) == ["RL002"]
+
+    def test_quiet_on_with_block(self):
+        src = ("def worker(arrays):\n"
+               "    bundle = SharedArrayBundle.create(arrays)\n"
+               "    with bundle:\n"
+               "        return bundle['lam'].sum()\n")
+        assert codes(src, PARALLEL) == []
+
+    def test_quiet_on_try_finally(self):
+        src = ("def worker(forest):\n"
+               "    shared = share_forest(forest)\n"
+               "    try:\n"
+               "        return shared.find(0)\n"
+               "    finally:\n"
+               "        shared.bundle.unlink()\n")
+        assert codes(src, PARALLEL) == []
+
+    def test_quiet_on_ownership_escape(self):
+        src = ("def export(arrays):\n"
+               "    bundle = SharedArrayBundle.create(arrays)\n"
+               "    return bundle\n")
+        assert codes(src, PARALLEL) == []
+
+    def test_out_of_scope_layer_is_ignored(self):
+        src = ("def setup(arrays):\n"
+               "    SharedArrayBundle.create(arrays)\n")
+        assert codes(src, ANALYSIS) == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 no-blocking-in-async
+# ---------------------------------------------------------------------------
+class TestAsyncBlocking:
+    def test_fires_on_time_sleep(self):
+        src = ("import time\n"
+               "async def flush(self):\n"
+               "    time.sleep(0.1)\n")
+        assert codes(src, SERVE) == ["RL003"]
+
+    def test_fires_on_builtin_open(self):
+        src = ("async def dump(self, path):\n"
+               "    with open(path) as handle:\n"
+               "        return handle.read()\n")
+        assert codes(src, SERVE) == ["RL003"]
+
+    def test_quiet_on_asyncio_sleep(self):
+        src = ("import asyncio\n"
+               "async def flush(self):\n"
+               "    await asyncio.sleep(0.1)\n")
+        assert codes(src, SERVE) == []
+
+    def test_quiet_in_sync_function(self):
+        src = "import time\ndef flush(self):\n    time.sleep(0.1)\n"
+        assert codes(src, SERVE) == []
+
+    def test_nested_sync_helper_is_skipped(self):
+        src = ("async def handler(loop):\n"
+               "    def read_blocking(path):\n"
+               "        return open(path).read()\n"
+               "    return await loop.run_in_executor(None, read_blocking, 'x')\n")
+        assert codes(src, SERVE) == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 int32-overflow
+# ---------------------------------------------------------------------------
+class TestInt32Overflow:
+    def test_fires_on_tainted_multiplication(self):
+        src = ("import numpy as np\n"
+               "def pack(nodes, n):\n"
+               "    ids = nodes.astype(np.int32)\n"
+               "    return ids * n + 1\n")
+        assert codes(src, ANALYSIS) == ["RL004"]
+
+    def test_fires_on_dtype_kwarg_producer(self):
+        src = ("import numpy as np\n"
+               "def pack(raw, n):\n"
+               "    owners = np.frombuffer(raw, dtype=np.int32)\n"
+               "    return owners * n\n")
+        assert codes(src, ANALYSIS) == ["RL004"]
+
+    def test_quiet_after_promotion(self):
+        src = ("import numpy as np\n"
+               "def pack(nodes, n):\n"
+               "    ids = nodes.astype(np.int32)\n"
+               "    return ids.astype(np.int64) * n + 1\n")
+        assert codes(src, ANALYSIS) == []
+
+    def test_rebinding_clears_taint(self):
+        src = ("import numpy as np\n"
+               "def pack(nodes, n):\n"
+               "    ids = nodes.astype(np.int32)\n"
+               "    ids = ids.astype(np.int64)\n"
+               "    return ids * n\n")
+        assert codes(src, ANALYSIS) == []
+
+    def test_quiet_on_int64_arrays(self):
+        src = ("import numpy as np\n"
+               "def pack(nodes, n):\n"
+               "    ids = np.asarray(nodes, dtype=np.int64)\n"
+               "    return ids * n\n")
+        assert codes(src, ANALYSIS) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 backend-parity
+# ---------------------------------------------------------------------------
+class TestBackendParity:
+    def test_fires_on_direct_engine_call(self):
+        src = ("from repro.core.decomposition import nucleus_decomposition\n"
+               "def compare(g):\n"
+               "    return nucleus_decomposition(g, 1, 2)\n")
+        assert codes(src, ANALYSIS) == ["RL005"]
+
+    def test_fires_on_backend_without_workers(self):
+        src = ("def summarise(graph, backend=None):\n"
+               "    return graph.n\n")
+        assert codes(src, ANALYSIS) == ["RL005"]
+
+    def test_quiet_on_paired_signature(self):
+        src = ("from repro.backends import decompose\n"
+               "def summarise(graph, backend=None, workers=None):\n"
+               "    return decompose(graph, 1, 2, backend=backend,\n"
+               "                     workers=workers)\n")
+        assert codes(src, ANALYSIS) == []
+
+    def test_engine_layers_exempt(self):
+        src = ("def parallel_core_peel(csr, workers):\n"
+               "    return csr\n")
+        assert codes(src, PARALLEL) == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 no-swallowed-worker-errors
+# ---------------------------------------------------------------------------
+class TestSwallowedErrors:
+    def test_fires_on_silent_broad_except(self):
+        src = ("def drain(queue):\n"
+               "    try:\n"
+               "        return queue.get()\n"
+               "    except Exception:\n"
+               "        return None\n")
+        assert codes(src, PARALLEL) == ["RL006"]
+
+    def test_fires_on_bare_except(self):
+        src = ("def drain(queue):\n"
+               "    try:\n"
+               "        return queue.get()\n"
+               "    except:\n"
+               "        pass\n")
+        assert "RL006" in codes(src, PARALLEL)
+
+    def test_quiet_on_reraise(self):
+        src = ("def drain(queue):\n"
+               "    try:\n"
+               "        return queue.get()\n"
+               "    except Exception:\n"
+               "        queue.close()\n"
+               "        raise\n")
+        assert codes(src, PARALLEL) == []
+
+    def test_quiet_when_recorded(self):
+        src = ("def flush(futures, kernel):\n"
+               "    try:\n"
+               "        return kernel()\n"
+               "    except Exception as exc:\n"
+               "        for future in futures:\n"
+               "            future.set_exception(exc)\n")
+        assert codes(src, PARALLEL) == []
+
+    def test_quiet_on_narrow_except(self):
+        src = ("def drain(queue):\n"
+               "    try:\n"
+               "        return queue.get()\n"
+               "    except FileNotFoundError:\n"
+               "        return None\n")
+        assert codes(src, PARALLEL) == []
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+# ---------------------------------------------------------------------------
+class TestPragmas:
+    SRC = ("def drain(queue):\n"
+           "    try:\n"
+           "        return queue.get()\n"
+           "    except Exception:{comment}\n"
+           "        return None\n")
+
+    def test_inline_disable_by_name(self):
+        src = self.SRC.format(
+            comment="  # repro-lint: disable=no-swallowed-worker-errors")
+        assert codes(src, PARALLEL) == []
+
+    def test_inline_disable_by_code(self):
+        src = self.SRC.format(comment="  # repro-lint: disable=RL006")
+        assert codes(src, PARALLEL) == []
+
+    def test_other_rule_does_not_suppress(self):
+        src = self.SRC.format(comment="  # repro-lint: disable=RL004")
+        assert codes(src, PARALLEL) == ["RL006"]
+
+    def test_disable_file(self):
+        src = ("# repro-lint: disable-file=no-swallowed-worker-errors\n"
+               + self.SRC.format(comment=""))
+        assert codes(src, PARALLEL) == []
+
+    def test_pragma_on_any_line_of_a_multiline_call(self):
+        src = ("import numpy as np\n"
+               "payload = np.load(\n"
+               "    path,\n"
+               "    mmap_mode='r')  # repro-lint: disable=RL001\n")
+        assert codes(src, ANALYSIS) == []
+
+
+# ---------------------------------------------------------------------------
+# registry and engine plumbing
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_six_rules_registered(self):
+        rules = all_rules()
+        assert [r.code for r in rules] == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        assert all(r.description for r in rules)
+
+    def test_get_rule_by_code_and_name(self):
+        assert get_rule("RL002") is get_rule("shm-lifecycle")
+        with pytest.raises(KeyError):
+            get_rule("RL999")
+
+    def test_select_and_ignore(self):
+        only = select_rules(["RL001", "int32-overflow"], None)
+        assert [r.code for r in only] == ["RL001", "RL004"]
+        rest = select_rules(None, ["RL001"])
+        assert "RL001" not in [r.code for r in rest]
+
+    def test_violation_format(self):
+        violation = Violation(path="a.py", line=3, col=4, code="RL001",
+                              name="no-silent-mmap-copy", message="boom")
+        assert violation.format() == \
+            "a.py:3:4: RL001 [no-silent-mmap-copy] boom"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target)]) == 0
+        assert "0 violations" in capsys.readouterr().err
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "parallel" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+        assert lint_main([str(target)]) == 1
+        assert "RL006" in capsys.readouterr().out
+
+    def test_select_skips_other_rules(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "parallel" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+        assert lint_main(["--select", "RL001", str(target)]) == 0
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        assert lint_main(["--select", "RL999", str(tmp_path)]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def (:\n")
+        assert lint_main([str(target)]) == 2
+        assert "broken.py" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RL001" in out and "no-swallowed-worker-errors" in out
+
+    def test_module_entry_point(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(target)],
+            capture_output=True, text=True, cwd=REPO)
+        assert proc.returncode == 0, proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# self-application: the shipped tree must stay clean
+# ---------------------------------------------------------------------------
+def test_src_tree_is_clean():
+    violations, errors = lint_paths([REPO / "src"])
+    assert errors == []
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_mypy_typed_tier_is_clean():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        capture_output=True, text=True, cwd=REPO)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
