@@ -28,6 +28,15 @@ Three modes:
   and closed-loop p50/p99 from concurrent client threads.
   ``check_regression.py`` gates the recorded coalesced-over-uncoalesced
   QPS speedup (≥2×).
+* **disk backend** (``run_disk_smoke``, part of the default standalone
+  run): the out-of-core story end to end — time the partitioned
+  external-sort build (edge stream → ``.diskcsr`` directory) and a full
+  FND decomposition on the windowed disk backend at (1,2)/(2,3)/(3,4),
+  against the in-memory CSR engine on the same graphs.  λ and the
+  condensed-hierarchy canonical form must match the CSR engine for
+  every workload; ``check_regression.py`` gates the recorded
+  ``disk_vs_csr`` slowdown (dimensionless, so portable) against the
+  committed baseline.
 * **worker scaling** (``--parallel``, combinable with the above): times
   the ``csr-parallel`` backend at several worker counts (``--workers``,
   default 1 2 4) against the sequential CSR engine on the
@@ -129,6 +138,24 @@ QUERY_WORKLOADS = {
     },
 }
 
+#: disk-backend workloads: full FND decompositions on the out-of-core
+#: engine vs the in-memory CSR engine, plus the external-sort build that
+#: feeds it.  Sized smaller than the CSR smoke — the disk engine's
+#: windowed scalar reads trade throughput for bounded memory, which is
+#: exactly the ratio the regression gate records (``disk_vs_csr``).
+DISK_WORKLOADS = {
+    "quick": {
+        "fnd12": dict(rs=(1, 2), gen=dict(n=6000, m=40, p=0.2, seed=7)),
+        "fnd23": dict(rs=(2, 3), gen=dict(n=2000, m=10, p=0.6, seed=17)),
+        "fnd34": dict(rs=(3, 4), gen=dict(n=800, m=12, p=0.7, seed=13)),
+    },
+    "full": {
+        "fnd12": dict(rs=(1, 2), gen=dict(n=18000, m=40, p=0.2, seed=7)),
+        "fnd23": dict(rs=(2, 3), gen=dict(n=5000, m=10, p=0.6, seed=17)),
+        "fnd34": dict(rs=(3, 4), gen=dict(n=1500, m=12, p=0.7, seed=13)),
+    },
+}
+
 #: serving workloads: one persisted index each, served by a freshly
 #: spawned ``repro-nucleus serve`` process and hammered over TCP.
 #: ``hot_vertices`` bounds the distinct vertices queried (a skewed
@@ -205,12 +232,22 @@ def _backend_kwargs(backend: str) -> dict:
     return {"workers": 2} if backend == "csr-parallel" else {}
 
 
+def _release(graph) -> None:
+    """Disk-backend conversions own a scratch ``.diskcsr`` directory."""
+    close = getattr(graph, "close", None)
+    if close is not None:
+        close()
+
+
 @pytest.mark.benchmark(group="backends-kcore-peel")
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_kcore_peel_backends(benchmark, dataset, backend):
     graph = as_backend(dataset, backend)  # conversion not charged to the peel
-    result = run_once(benchmark, core_peel, graph, backend=backend,
-                      **_backend_kwargs(backend))
+    try:
+        result = run_once(benchmark, core_peel, graph, backend=backend,
+                          **_backend_kwargs(backend))
+    finally:
+        _release(graph)
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -220,8 +257,11 @@ def test_kcore_peel_backends(benchmark, dataset, backend):
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_truss23_peel_backends(benchmark, dataset, backend):
     graph = as_backend(dataset, backend)
-    result = run_once(benchmark, truss_peel, graph, backend=backend,
-                      **_backend_kwargs(backend))
+    try:
+        result = run_once(benchmark, truss_peel, graph, backend=backend,
+                          **_backend_kwargs(backend))
+    finally:
+        _release(graph)
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -231,8 +271,11 @@ def test_truss23_peel_backends(benchmark, dataset, backend):
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_nucleus34_peel_backends(benchmark, dataset, backend):
     graph = as_backend(dataset, backend)
-    result = run_once(benchmark, nucleus34_peel, graph, backend=backend,
-                      **_backend_kwargs(backend))
+    try:
+        result = run_once(benchmark, nucleus34_peel, graph, backend=backend,
+                          **_backend_kwargs(backend))
+    finally:
+        _release(graph)
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -244,9 +287,12 @@ def test_nucleus34_peel_backends(benchmark, dataset, backend):
 def test_fnd_hierarchy_backends(benchmark, dataset, backend, rs):
     graph = as_backend(dataset, backend)
     r, s = rs
-    result = run_once(benchmark, decompose, graph, r, s,
-                      algorithm="fnd", backend=backend,
-                      **_backend_kwargs(backend))
+    try:
+        result = run_once(benchmark, decompose, graph, r, s,
+                          algorithm="fnd", backend=backend,
+                          **_backend_kwargs(backend))
+    finally:
+        _release(graph)
     benchmark.extra_info["dataset"] = dataset.name
     benchmark.extra_info["backend"] = backend
     benchmark.extra_info["max_lambda"] = result.max_lambda
@@ -407,6 +453,70 @@ def run_query_smoke(mode: str = "quick", repeats: int = 3) -> dict:
             "load_vs_recompute": round(load_seconds / decompose_seconds, 4),
         }
     # every workload above proved flat-vs-legacy answer parity
+    results["parity"] = "ok"
+    return results
+
+
+def run_disk_smoke(mode: str = "quick", repeats: int = 3) -> dict:
+    """Time the out-of-core disk backend against the in-memory CSR engine.
+
+    Per workload: best-of ``repeats`` external-sort builds (edge stream
+    → a fresh ``.diskcsr`` scratch directory each time), then best-of
+    ``repeats`` full FND decompositions on the disk backend over the
+    last build, against the same decomposition on the CSR engine.  λ
+    must match elementwise and the condensed hierarchies must agree on
+    their canonical form — the cross-engine parity contract (the two
+    engines may number internal hierarchy nodes differently, but the
+    nuclei they describe must be identical).
+    """
+    from repro.external.build import build_diskcsr
+
+    results: dict = {"mode": mode, "workloads": {}}
+    for name, spec in DISK_WORKLOADS[mode].items():
+        gen = spec["gen"]
+        graph = generators.powerlaw_cluster(
+            gen["n"], gen["m"], gen["p"], seed=gen["seed"],
+            name=f"{name}-disk-smoke")
+        csr = as_backend(graph, "csr")
+        csr.hot_arrays()
+        r, s = spec["rs"]
+        build_seconds = float("inf")
+        disk = None
+        for _ in range(repeats):
+            if disk is not None:
+                disk.close()
+            start = time.perf_counter()
+            disk = build_diskcsr(graph.edges(), n=graph.n, name=graph.name)
+            build_seconds = min(build_seconds, time.perf_counter() - start)
+        try:
+            disk_seconds, disk_result = _best_of(
+                repeats, decompose, disk, r, s,
+                algorithm="fnd", backend="disk")
+        finally:
+            disk.close()
+        csr_seconds, csr_result = _best_of(
+            repeats, decompose, csr, r, s, algorithm="fnd", backend="csr")
+        if disk_result.lam != csr_result.lam:
+            raise AssertionError(
+                f"{name}: disk and CSR engines disagree on lambda — the "
+                f"out-of-core engine is broken")
+        if disk_result.hierarchy.canonical_nuclei() != \
+                csr_result.hierarchy.canonical_nuclei():
+            raise AssertionError(
+                f"{name}: disk and CSR engines disagree on the canonical "
+                f"nuclei — the out-of-core hierarchy construction is broken")
+        results["workloads"][name] = {
+            "n": graph.n,
+            "m": graph.m,
+            "r": r,
+            "s": s,
+            "max_lambda": disk_result.max_lambda,
+            "build_seconds": round(build_seconds, 6),
+            "disk_seconds": round(disk_seconds, 6),
+            "csr_seconds": round(csr_seconds, 6),
+            "disk_vs_csr": round(disk_seconds / csr_seconds, 3),
+        }
+    # every workload above proved lambda + canonical-nuclei parity
     results["parity"] = "ok"
     return results
 
@@ -819,6 +929,16 @@ def main(argv: list[str] | None = None) -> int:
                   f"speedup {row['batch_speedup']:.0f}x  "
                   f"load {row['load_seconds'] * 1000:.1f}ms "
                   f"({row['load_vs_recompute']:.3f}x recompute)")
+        disk = run_disk_smoke(mode, repeats=args.repeats)
+        results["disk"] = disk
+        print("disk backend (out-of-core build + FND vs in-memory CSR, "
+              "identical nuclei)")
+        for name, row in disk["workloads"].items():
+            print(f"{name:10s} n={row['n']:>6} m={row['m']:>7}  "
+                  f"build {row['build_seconds']:.3f}s  "
+                  f"disk {row['disk_seconds']:.3f}s  "
+                  f"csr {row['csr_seconds']:.3f}s  "
+                  f"ratio {row['disk_vs_csr']:.1f}x")
         serving = run_serving_smoke(mode, repeats=args.repeats)
         results["serving"] = serving
         print("serving tier (TCP, coalesced vs uncoalesced, identical "

@@ -32,6 +32,18 @@ throughput — again dimensionless, so no rescale — and route-for-route
 answer parity against direct in-process index calls must have been
 asserted.
 
+The fresh run also records the disk-backend section
+(``bench_backends.run_disk_smoke``): the out-of-core external-sort build
+plus full FND decompositions on the windowed disk engine at
+(1,2)/(2,3)/(3,4), with λ and canonical-nuclei parity against the CSR
+engine asserted inside the smoke.  When the baseline carries the
+section, each workload's recorded ``disk_vs_csr`` slowdown may regress
+at most ``--threshold ×`` its baseline value — the ratio is
+dimensionless, so no calibration rescale applies, and an engine change
+that silently turns the windowed reads into full materialisation shows
+up as a ratio *improvement*, which the out-of-core CI job (RLIMIT_AS)
+catches instead.
+
 λ parity between the backends (and condensed-hierarchy parity for the FND
 workloads) is asserted inside the smoke run itself.  ``--update`` also
 records the worker-scaling section (``bench_backends.run_parallel_smoke``)
@@ -49,11 +61,20 @@ machines of different raw speed; a workload or worker count recorded in
 the baseline but missing from the fresh run fails, as does any ratio
 above ``--threshold ×`` its baseline value.
 
+``--fold-scaling PATH`` folds a recorded scaling JSON (the weekly
+``scaling-bench`` artifact from the multi-core hosted runner) into the
+committed baseline's ``parallel`` section without re-running anything
+else — the one-command path for replacing the 1-CPU dev-container
+scaling record with real multi-core numbers.  The fold refuses runs
+that did not assert hierarchy parity or that dropped workloads the
+baseline records.
+
 Usage::
 
     python benchmarks/check_regression.py             # gate against baseline
     python benchmarks/check_regression.py --update    # refresh the baseline
     python benchmarks/check_regression.py --scaling BENCH_scaling.json
+    python benchmarks/check_regression.py --fold-scaling BENCH_scaling.json
 """
 
 from __future__ import annotations
@@ -64,7 +85,8 @@ import sys
 from pathlib import Path
 
 from bench_backends import (
-    run_parallel_smoke, run_query_smoke, run_serving_smoke, run_smoke)
+    run_disk_smoke, run_parallel_smoke, run_query_smoke, run_serving_smoke,
+    run_smoke)
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -84,6 +106,11 @@ _QUERY_ROW_KEYS = ("legacy_seconds", "flat_seconds", "batch_speedup",
 #: per-workload fields of the serving section; all must exist in a fresh
 #: run (the speedup is the gated one)
 _SERVING_ROW_KEYS = ("coalesced", "uncoalesced", "coalesce_qps_speedup")
+
+#: per-workload fields of the disk-backend section; all must exist in a
+#: fresh run (the dimensionless slowdown ratio is the gated one)
+_DISK_ROW_KEYS = ("build_seconds", "disk_seconds", "csr_seconds",
+                  "disk_vs_csr")
 
 
 def check(fresh: dict, baseline: dict, threshold: float,
@@ -234,6 +261,52 @@ def check_serving(fresh: dict, baseline: dict,
     return failures
 
 
+def check_disk(fresh: dict, baseline: dict, threshold: float) -> list[str]:
+    """Failure messages for the disk-backend gate (empty = pass).
+
+    The gated quantity is each workload's ``disk_vs_csr`` slowdown —
+    both timings come from the same fresh run, so the ratio is
+    dimensionless and no calibration rescale applies.  λ and
+    canonical-nuclei parity against the CSR engine is asserted inside
+    the smoke run itself; memory-boundedness is the out-of-core CI
+    job's claim, not this gate's.
+    """
+    base = baseline.get("disk")
+    if base is None:
+        return []
+    fresh_disk = fresh.get("disk")
+    if fresh_disk is None:
+        return ["disk: baseline records a disk-backend section but the "
+                "fresh run has none — the smoke run no longer produces it"]
+    failures: list[str] = []
+    if fresh_disk.get("parity") != "ok":
+        failures.append(
+            "disk: the fresh run did not assert disk-vs-CSR lambda and "
+            "canonical-nuclei parity")
+    for name, base_row in base["workloads"].items():
+        row = fresh_disk.get("workloads", {}).get(name)
+        if row is None:
+            failures.append(
+                f"disk/{name}: baseline workload missing from fresh run — "
+                f"renamed or dropped workloads must update the baseline "
+                f"explicitly (--update)")
+            continue
+        missing = [key for key in _DISK_ROW_KEYS
+                   if key in base_row and key not in row]
+        if missing:
+            failures.append(
+                f"disk/{name}: baseline field(s) {', '.join(missing)} "
+                f"missing from fresh run")
+            continue
+        budget = base_row["disk_vs_csr"] * threshold
+        if row["disk_vs_csr"] > budget:
+            failures.append(
+                f"disk/{name}: disk backend is {row['disk_vs_csr']:.1f}x "
+                f"the CSR engine, over budget {budget:.1f}x ({threshold}x "
+                f"baseline {base_row['disk_vs_csr']:.1f}x)")
+    return failures
+
+
 def check_scaling(fresh: dict, baseline: dict,
                   threshold: float) -> list[str]:
     """Failure messages for the worker-scaling gate (empty = pass).
@@ -281,6 +354,50 @@ def check_scaling(fresh: dict, baseline: dict,
     return failures
 
 
+def fold_scaling(scaling_path: Path, baseline_path: Path) -> int:
+    """Replace the baseline's ``parallel`` section with a recorded run.
+
+    The intended source is the weekly ``scaling-bench`` artifact from
+    the multi-core hosted runner — the committed dev-container numbers
+    measure serialised shards, so a real artifact strictly improves the
+    record.  Refuses a run that did not assert hierarchy parity, has no
+    workloads, or silently dropped workloads the current baseline
+    records (a shrunken record must be an explicit decision, not a
+    fold side effect).
+    """
+    with open(scaling_path) as handle:
+        recorded = json.load(handle)
+    section = recorded.get("parallel", recorded)
+    if section.get("hierarchy_parity") != "ok":
+        print("error: the scaling run did not assert condensed-hierarchy "
+              "parity; refusing to fold it", file=sys.stderr)
+        return 2
+    if not section.get("workloads"):
+        print("error: the scaling run records no workloads", file=sys.stderr)
+        return 2
+    if not baseline_path.exists():
+        print(f"error: no baseline at {baseline_path}; record one with "
+              f"--update first", file=sys.stderr)
+        return 2
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    previous = baseline.get("parallel", {}).get("workloads", {})
+    dropped = sorted(set(previous) - set(section["workloads"]))
+    if dropped:
+        print(f"error: scaling run drops baseline workload(s) "
+              f"{', '.join(dropped)}; shrink the baseline with --update "
+              f"instead", file=sys.stderr)
+        return 2
+    baseline["parallel"] = section
+    with open(baseline_path, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"folded {scaling_path} (cpu_count="
+          f"{section.get('cpu_count')}, workers="
+          f"{section.get('workers')}) into {baseline_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="compare a fresh benchmark smoke run against the "
@@ -310,7 +427,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="gate a recorded worker-scaling JSON against "
                              "the baseline's parallel section instead of "
                              "re-running the smoke")
+    parser.add_argument("--fold-scaling", type=Path, metavar="PATH",
+                        default=None,
+                        help="replace the baseline's parallel section with "
+                             "a recorded scaling JSON (the multi-core "
+                             "scaling-bench artifact) and rewrite the "
+                             "baseline file")
     args = parser.parse_args(argv)
+
+    if args.fold_scaling is not None:
+        if args.update or args.scaling is not None:
+            print("error: --fold-scaling is mutually exclusive with "
+                  "--update and --scaling", file=sys.stderr)
+            return 2
+        return fold_scaling(args.fold_scaling, args.baseline)
 
     baseline = None
     if not args.update:
@@ -346,6 +476,12 @@ def main(argv: list[str] | None = None) -> int:
               f"flat {row['flat_seconds'] * 1000:.1f}ms  "
               f"speedup {row['batch_speedup']:.0f}x  "
               f"load/recompute {row['load_vs_recompute']:.3f}")
+    fresh["disk"] = run_disk_smoke("quick", repeats=args.repeats)
+    for name, row in fresh["disk"]["workloads"].items():
+        print(f"disk/{name:10s} build {row['build_seconds']:.3f}s  "
+              f"disk {row['disk_seconds']:.3f}s  "
+              f"csr {row['csr_seconds']:.3f}s  "
+              f"ratio {row['disk_vs_csr']:.1f}x")
     fresh["serving"] = run_serving_smoke("quick", repeats=min(args.repeats, 2))
     for name, row in fresh["serving"]["workloads"].items():
         print(f"serve/{name:10s} coalesced "
@@ -373,6 +509,7 @@ def main(argv: list[str] | None = None) -> int:
     failures += check_queries(fresh, baseline, args.min_query_speedup,
                               args.max_load_ratio)
     failures += check_serving(fresh, baseline, args.min_coalesce_speedup)
+    failures += check_disk(fresh, baseline, args.threshold)
     if failures:
         for message in failures:
             print(f"REGRESSION: {message}", file=sys.stderr)

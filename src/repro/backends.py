@@ -1,6 +1,6 @@
 """Backend dispatch: run any decomposition on any graph engine.
 
-Three backends implement the peeling engine:
+Four backends implement the peeling engine:
 
 * ``"object"`` — :class:`~repro.graph.adjacency.Graph`, per-vertex
   ``set``/``list`` adjacency.  Flexible, allocation-heavy.
@@ -15,6 +15,13 @@ Three backends implement the peeling engine:
   construction over the shared rooted forest.  Takes ``workers=N``
   (default: the ``REPRO_WORKERS`` environment variable, else 1);
   ``workers=1`` runs the sequential CSR engine with no process pool.
+  Requires numpy.
+* ``"disk"`` — :class:`~repro.external.diskcsr.DiskCSRGraph`, the same
+  flat arrays stored in ``np.memmap``-backed ``.npy`` files and served
+  through windowed block readers, with the incidence of (2,3)/(3,4)
+  spooled to scratch files (:mod:`repro.external.engine`).  Peak memory
+  is bounded by the window cache and the O(#cells) peeling state, not
+  the graph — the out-of-core engine for graphs bigger than RAM.
   Requires numpy.
 
 Callers pick per run: every function here takes ``backend=`` (or an
@@ -34,7 +41,7 @@ environment variable.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, cast
 
 from repro.core.csr_fnd import CSR_FND_RS, csr_fnd_decomposition
 from repro.core.csr_peel import (
@@ -54,13 +61,17 @@ from repro.graph.csr import CSRGraph
 if TYPE_CHECKING:
     from pathlib import Path
 
+    from repro.external.diskcsr import DiskCSRGraph
     from repro.flatindex import FlatHierarchyIndex
+
+    AnyGraph = Graph | CSRGraph | DiskCSRGraph
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
     "as_backend",
     "as_csr",
+    "as_disk",
     "as_object",
     "backend_view",
     "build_query_index",
@@ -72,7 +83,7 @@ __all__ = [
     "truss_peel",
 ]
 
-BACKENDS = ("object", "csr", "csr-parallel")
+BACKENDS = ("object", "csr", "csr-parallel", "disk")
 
 #: engine used when an object :class:`Graph` is passed with ``backend=None``
 DEFAULT_BACKEND = "object"
@@ -92,7 +103,17 @@ def _resolve_parallel_workers(workers: int | None) -> int:
     return resolve_workers(workers)
 
 
-def resolve_backend(graph: Graph | CSRGraph, backend: str | None) -> str:
+def _diskcsr_type() -> type | None:
+    """The :class:`DiskCSRGraph` type, or ``None`` when numpy is absent
+    (lazy import keeps the object/CSR engines importable without it)."""
+    try:
+        from repro.external.diskcsr import DiskCSRGraph
+    except ImportError:  # pragma: no cover - diskcsr itself guards numpy
+        return None
+    return DiskCSRGraph
+
+
+def resolve_backend(graph: AnyGraph, backend: str | None) -> str:
     """Resolve a ``backend=None`` sentinel to the engine matching ``graph``.
 
     An explicit backend name is validated and returned untouched — passing
@@ -100,48 +121,91 @@ def resolve_backend(graph: Graph | CSRGraph, backend: str | None) -> str:
     run the object engine (useful for A/B measurements).
     """
     if backend is None:
-        return "csr" if isinstance(graph, CSRGraph) else "object"
+        if isinstance(graph, CSRGraph):
+            return "csr"
+        disk_cls = _diskcsr_type()
+        if disk_cls is not None and isinstance(graph, disk_cls):
+            return "disk"
+        return "object"
     _check(backend)
     return backend
 
 
-def as_csr(graph: Graph | CSRGraph) -> CSRGraph:
+def as_csr(graph: AnyGraph) -> CSRGraph:
     """The CSR representation of ``graph`` (no-op if already CSR)."""
     if isinstance(graph, CSRGraph):
         return graph
-    return CSRGraph.from_graph(graph)
+    if isinstance(graph, Graph):
+        return CSRGraph.from_graph(graph)
+    # disk (or any duck-typed flat) representation: edges stream sorted
+    return CSRGraph(graph.n, graph.edges(), name=graph.name)
 
 
-def as_object(graph: Graph | CSRGraph) -> Graph:
+def as_object(graph: AnyGraph) -> Graph:
     """The object representation of ``graph`` (no-op if already object)."""
     if isinstance(graph, Graph):
         return graph
     return graph.to_object()
 
 
-def as_backend(graph: Graph | CSRGraph, backend: str) -> Graph | CSRGraph:
+def as_disk(graph: AnyGraph) -> "DiskCSRGraph":
+    """The disk-backed representation of ``graph`` (no-op if already disk).
+
+    A converted graph lives in a temporary ``.diskcsr`` directory it owns
+    and removes on ``close()``; build into a persistent directory with
+    :func:`repro.external.build.build_diskcsr` instead.  Requires numpy.
+    """
+    from repro.external.diskcsr import as_diskcsr
+
+    return as_diskcsr(graph)
+
+
+def _ensure_disk(graph: AnyGraph) -> "tuple[DiskCSRGraph, bool]":
+    """``(disk_graph, converted)`` — ``converted`` means this call built a
+    temporary owned directory the caller must ``close()``."""
+    disk_cls = _diskcsr_type()
+    if disk_cls is not None and isinstance(graph, disk_cls):
+        return cast("DiskCSRGraph", graph), False
+    return as_disk(graph), True
+
+
+def as_backend(graph: AnyGraph, backend: str) -> AnyGraph:
     """Convert ``graph`` to the representation the backend peels."""
     _check(backend)
-    return as_object(graph) if backend == "object" else as_csr(graph)
+    if backend == "object":
+        return as_object(graph)
+    if backend == "disk":
+        return as_disk(graph)
+    return as_csr(graph)
 
 
-def backend_view(graph: Graph | CSRGraph, r: int, s: int,
+def backend_view(graph: AnyGraph, r: int, s: int,
                  backend: str) -> Any:
     """The (r, s) cell view over the chosen backend's representation."""
     return build_view(as_backend(graph, backend), r, s)
 
 
-def core_peel(graph: Graph | CSRGraph, backend: str | None = None,
+def core_peel(graph: AnyGraph, backend: str | None = None,
               workers: int | None = None) -> PeelingResult:
     """(1,2) peel — λ₂ (core numbers) plus degeneracy order.
 
     The CSR backend runs the direct Batagelj–Zaversnik array peel; the
-    object backend the generic Set-λ over :class:`VertexView`; the
+    object backend the generic Set-λ over :class:`VertexView`; the disk
+    backend the same array peel over windowed memmap reads; the
     parallel backend the round-synchronous bulk peel over ``workers``
     processes (``workers=1``: the sequential CSR peel, no pool).
     ``backend=None`` follows the representation passed in.
     """
     backend = resolve_backend(graph, backend)
+    if backend == "disk":
+        disk, converted = _ensure_disk(graph)
+        try:
+            from repro.external.engine import disk_core_peel
+
+            return disk_core_peel(disk)
+        finally:
+            if converted:
+                disk.close()
     if backend == "csr-parallel":
         count = _resolve_parallel_workers(workers)
         if count > 1:
@@ -154,13 +218,23 @@ def core_peel(graph: Graph | CSRGraph, backend: str | None = None,
     return peel(build_view(as_object(graph), 1, 2))
 
 
-def truss_peel(graph: Graph | CSRGraph, backend: str | None = None,
+def truss_peel(graph: AnyGraph, backend: str | None = None,
                workers: int | None = None) -> PeelingResult:
-    """(2,3) peel — λ₃ per edge id (ids are lexicographic on both backends,
+    """(2,3) peel — λ₃ per edge id (ids are lexicographic on every backend,
     so the arrays compare element-for-element).  ``backend=None`` follows
-    the representation passed in; the parallel backend shards the triangle
+    the representation passed in; the disk backend spools the triangle
+    incidence to scratch files; the parallel backend shards the triangle
     listing and peels in bulk rounds over ``workers`` processes."""
     backend = resolve_backend(graph, backend)
+    if backend == "disk":
+        disk, converted = _ensure_disk(graph)
+        try:
+            from repro.external.engine import disk_truss_peel
+
+            return disk_truss_peel(disk)
+        finally:
+            if converted:
+                disk.close()
     if backend == "csr-parallel":
         count = _resolve_parallel_workers(workers)
         if count > 1:
@@ -173,15 +247,25 @@ def truss_peel(graph: Graph | CSRGraph, backend: str | None = None,
     return peel(build_view(as_object(graph), 2, 3))
 
 
-def nucleus34_peel(graph: Graph | CSRGraph, backend: str | None = None,
+def nucleus34_peel(graph: AnyGraph, backend: str | None = None,
                    workers: int | None = None) -> PeelingResult:
     """(3,4) peel — λ₄ per lexicographic triangle id.
 
     The CSR backend replays a materialised triangle→K₄ incidence; the
     object backend runs the generic Set-λ over :class:`TriangleView`; the
+    disk backend replays the same incidence spooled to scratch files; the
     parallel backend shards the K₄ listing and peels in bulk rounds.
     ``backend=None`` follows the representation passed in."""
     backend = resolve_backend(graph, backend)
+    if backend == "disk":
+        disk, converted = _ensure_disk(graph)
+        try:
+            from repro.external.engine import disk_nucleus34_peel
+
+            return disk_nucleus34_peel(disk)
+        finally:
+            if converted:
+                disk.close()
     if backend == "csr-parallel":
         count = _resolve_parallel_workers(workers)
         if count > 1:
@@ -194,7 +278,37 @@ def nucleus34_peel(graph: Graph | CSRGraph, backend: str | None = None,
     return peel(build_view(as_object(graph), 3, 4))
 
 
-def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
+def _disk_decompose(graph: AnyGraph, r: int, s: int,
+                    algorithm: str) -> Decomposition:
+    """Run :func:`repro.external.engine.disk_decomposition`, converting to a
+    temporary ``.diskcsr`` directory when needed.  A converted run re-points
+    the result at the caller's graph (and rebuilds the view over it) before
+    removing the scratch directory, so the result never references deleted
+    memmap files."""
+    from repro.external.engine import disk_decomposition
+
+    disk, converted = _ensure_disk(graph)
+    try:
+        result = disk_decomposition(disk, r, s, algorithm=algorithm)
+        if not converted:
+            return result
+        if (r, s) == (3, 4):
+            from repro.core.views import CSRTriangleView
+
+            view: Any = CSRTriangleView(
+                as_csr(graph),
+                _enumeration=(result.view._vertices, result.view._degrees))
+        else:
+            view = build_view(graph, r, s)
+        return Decomposition(graph, r, s, result.algorithm, result.lam,
+                             result.hierarchy, view, result.peel_seconds,
+                             result.post_seconds, fnd_stats=result.fnd_stats)
+    finally:
+        if converted:
+            disk.close()
+
+
+def decompose(graph: AnyGraph, r: int = 1, s: int = 2,
               algorithm: str = "fnd",
               backend: str | None = None,
               workers: int | None = None) -> Decomposition:
@@ -209,7 +323,11 @@ def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
     over ``workers`` processes — sharded incidence set-up, bulk peel, and
     level-wise parallel hierarchy construction, with the condensed tree
     still node-for-node identical to the sequential engine; ``workers``
-    is ignored by the other backends.  The returned :class:`Decomposition` carries the graph
+    is ignored by the other backends.  The disk backend streams the flat
+    arrays (and, for (2,3)/(3,4), a spooled incidence) from files through
+    windowed block reads — λ and the condensed hierarchy are identical to
+    the CSR engine while peak memory stays bounded by the window cache.
+    The returned :class:`Decomposition` carries the graph
     exactly as it was passed in, with one exception: running the object
     engine on a :class:`CSRGraph` input converts, since that engine's
     views and traversals need the object representation.
@@ -218,6 +336,8 @@ def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
     if backend == "object":
         return nucleus_decomposition(as_object(graph), r, s,
                                      algorithm=algorithm)
+    if backend == "disk":
+        return _disk_decompose(graph, r, s, algorithm)
     parallel_workers = 0
     if backend == "csr-parallel":
         count = _resolve_parallel_workers(workers)
@@ -257,7 +377,7 @@ def decompose(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
                                  view=build_view(csr, r, s))
 
 
-def build_query_index(graph: Graph | CSRGraph, r: int = 1, s: int = 2,
+def build_query_index(graph: AnyGraph, r: int = 1, s: int = 2,
                       algorithm: str = "fnd",
                       backend: str | None = None,
                       workers: int | None = None) -> "FlatHierarchyIndex":

@@ -7,6 +7,7 @@ Examples::
     repro-nucleus dataset stanford3 --size small --r 1 --s 2
     repro-nucleus densest graph.txt --r 2 --s 3 --top 5
     repro-nucleus query graph.txt --r 2 --s 3 --save-index graph.npz
+    repro-nucleus build-index graph.txt graph.npz --r 2 --s 3
     repro-nucleus query graph.npz --vertices 0,5,9 --k 2
     repro-nucleus serve graph.npz --port 8765 --workers 4
     repro-nucleus serve web=web.npz social=social.npz --coalesce-window 2
@@ -48,9 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--algorithm", choices=ALGORITHMS, default="fnd")
         p.add_argument("--backend", choices=BACKENDS, default=None,
                        help="graph engine: 'object' (set/list adjacency), "
-                            "'csr' (flat-array peeling) or 'csr-parallel' "
+                            "'csr' (flat-array peeling), 'csr-parallel' "
                             "(shared-memory workers: sharded set-up, bulk "
-                            "peel and parallel hierarchy construction); "
+                            "peel and parallel hierarchy construction) or "
+                            "'disk' (out-of-core: memmap'd CSR files, "
+                            "spooled incidence, memory bounded by the "
+                            "block cache); "
                             "default: follow the input representation (auto)")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for the csr-parallel backend "
@@ -100,6 +104,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of its k-level communities")
     query.add_argument("--cells", action="store_true",
                        help="also print the cell ids of each community")
+
+    build_index = sub.add_parser(
+        "build-index",
+        help="out-of-core build: stream an edge file into .diskcsr CSR "
+             "files, decompose on the disk backend, and persist the flat "
+             ".npz query index — without ever holding the graph in RAM")
+    build_index.add_argument("path", help="edge-list file (one 'u v' per line)")
+    build_index.add_argument("output", help="destination .npz index path")
+    build_index.add_argument("--r", type=int, default=1)
+    build_index.add_argument("--s", type=int, default=2)
+    build_index.add_argument("--chunk-edges", type=int, default=None,
+                             metavar="N",
+                             help="edges sorted per in-memory chunk during "
+                                  "the external-sort build (default 2**20); "
+                                  "the peak build memory knob")
+    build_index.add_argument("--csr-dir", metavar="DIR", default=None,
+                             help="keep the built .diskcsr files in DIR for "
+                                  "later backend='disk' runs (default: a "
+                                  "temporary directory, removed after the "
+                                  "index is saved)")
+    build_index.add_argument("--no-stats", action="store_true",
+                             help="skip precomputing per-node profile "
+                                  "statistics in the saved index")
 
     serve = sub.add_parser(
         "serve", help="serve one or many persisted .npz indexes over TCP "
@@ -251,6 +278,20 @@ def _run(args: argparse.Namespace) -> int:
         return 0
     if args.command == "query":
         return _run_query(args)
+    if args.command == "build-index":
+        from repro.backends import build_query_index
+        from repro.external.build import build_diskcsr
+
+        disk = build_diskcsr(args.path, directory=args.csr_dir,
+                             chunk_edges=args.chunk_edges)
+        try:
+            print(f"built  : {disk!r}")
+            index = build_query_index(disk, args.r, args.s, backend="disk")
+            index.save(args.output, stats=not args.no_stats)
+        finally:
+            disk.close()
+        print(f"saved  : {args.output}")
+        return 0
     if args.command == "serve":
         from repro.serve.server import ServerConfig, run_server
 

@@ -119,7 +119,8 @@ def csr_truss_peel(csr: CSRGraph, use_numpy: bool | None = None) -> PeelingResul
     λ output is identical either way.
     """
     if use_numpy is None:
-        use_numpy = HAVE_NUMPY and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
+        use_numpy = (HAVE_NUMPY and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
+                     and isinstance(csr, CSRGraph))
     if use_numpy:
         return _truss_peel_replay(csr)
     return _truss_peel_scan(csr)
@@ -141,7 +142,8 @@ def truss_incidence(csr: CSRGraph,
     """
     m = csr.m
     if use_numpy is None:
-        use_numpy = HAVE_NUMPY and m >= _NUMPY_MIN_TRIANGLE_EDGES
+        use_numpy = (HAVE_NUMPY and m >= _NUMPY_MIN_TRIANGLE_EDGES
+                     and isinstance(csr, CSRGraph))
     if use_numpy:
         sup, ptr, (comp1, comp2) = _truss_incidence_numpy(csr)
         return sup.tolist(), ptr.tolist(), comp1.tolist(), comp2.tolist()
@@ -385,7 +387,7 @@ def nucleus34_incidence(
     """
     if use_numpy is None:
         use_numpy = (HAVE_NUMPY and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
-                     and csr.n < _MAX_KEYED_N)
+                     and csr.n < _MAX_KEYED_N and isinstance(csr, CSRGraph))
     if use_numpy:
         triangles, sup, ptr, comps = _nucleus34_incidence_numpy(csr)
         return (triangles, sup.tolist(), ptr.tolist(),

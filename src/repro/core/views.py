@@ -382,7 +382,9 @@ def build_view(graph: Graph | CSRGraph, r: int, s: int) -> CellView:
     """
     if not 1 <= r < s:
         raise InvalidParameterError(f"need 1 <= r < s, got r={r} s={s}")
-    csr = isinstance(graph, CSRGraph)
+    # anything exposing the flat-array contract (CSRGraph, DiskCSRGraph)
+    # gets the merge-intersection views
+    csr = isinstance(graph, CSRGraph) or hasattr(graph, "hot_arrays")
     if (r, s) == (1, 2):
         return VertexView(graph)
     if (r, s) == (2, 3):

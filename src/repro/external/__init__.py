@@ -1,7 +1,16 @@
-"""Semi-external-memory substrate and IO-metered decompositions."""
+"""Out-of-core substrate: disk-backed CSR graphs, the external-sort
+builder, the disk peeling engine, and IO-metered decompositions.
+
+The heavy pieces (``diskcsr``/``build``/``engine`` need numpy) import
+lazily so the IO-stats plumbing stays importable everywhere.
+"""
 
 from repro.external.disk import DiskAdjacency, DiskVertexView, IOStats
-from repro.external.semi import SemiExternalResult, semi_external_core_decomposition
+from repro.external.semi import (
+    SemiExternalResult,
+    semi_external_core_decomposition,
+    semi_external_decomposition,
+)
 
 __all__ = [
     "DiskAdjacency",
@@ -9,4 +18,5 @@ __all__ = [
     "IOStats",
     "SemiExternalResult",
     "semi_external_core_decomposition",
+    "semi_external_decomposition",
 ]

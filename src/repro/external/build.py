@@ -1,0 +1,362 @@
+"""Out-of-core construction of ``.diskcsr`` directories.
+
+The builder turns an edge *stream* — an iterable of endpoint pairs, or an
+edge-list file parsed line by line — into the five flat CSR arrays without
+ever materialising the graph in RAM:
+
+1. **Chunk.** Up to ``chunk_edges`` pairs are buffered, normalised to
+   ``lo < hi``, packed into int64 keys (``lo << 32 | hi``), sorted and
+   deduplicated (``np.unique``), and spilled as one sorted *run* file.
+2. **Merge.** The runs are k-way merged (``heapq.merge`` over block-buffered
+   readers) with inline cross-run dedup into a single sorted unique key
+   file; degrees accumulate block-wise via ``np.bincount``.  A single run
+   skips the Python merge entirely and streams numpy blocks.
+3. **Scatter.** ``indptr`` is the degree cumsum; a second block-wise pass
+   over the merged keys writes ``indices``/``eids``/``esrc``/``etgt``
+   through write-mode memmaps with a persistent per-vertex cursor.  Keys
+   are globally sorted, so every adjacency run comes out ascending and the
+   edge-id order is lexicographic — **byte-identical** to the arrays
+   :class:`~repro.graph.csr.CSRGraph` builds in RAM (the parity tests
+   assert this array-for-array).
+
+Peak memory is O(n + chunk) — the degree/cursor vectors plus one chunk
+buffer — independent of |E|.  ``meta.json`` is written last, so a build
+that dies mid-way leaves a directory that
+:class:`~repro.external.diskcsr.DiskCSRGraph` refuses to open.
+
+File parsing mirrors :func:`repro.graph.io.load_edge_list` +
+:func:`~repro.graph.io.relabel_edges` exactly (comment prefixes, first-seen
+dense relabelling, silent self-loop drop, :class:`GraphFormatError` on bad
+lines), so ``build_diskcsr(path)`` and ``CSRGraph`` built via
+``load_edge_list(path)`` agree on every array.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import GraphFormatError, InvalidGraphError, InvalidParameterError
+from repro.external.diskcsr import (
+    DEFAULT_BLOCK_INTS,
+    DEFAULT_CACHE_BLOCKS,
+    DISKCSR_FORMAT,
+    DiskCSRGraph,
+    diskcsr_array_specs,
+)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = ["DEFAULT_CHUNK_EDGES", "build_diskcsr"]
+
+#: edges buffered per sort chunk (~16 MiB of int64 keys at the default)
+DEFAULT_CHUNK_EDGES = 1 << 20
+
+#: int64 keys per block in the merge/scatter streaming passes
+_MERGE_BLOCK = 1 << 16
+
+_COMMENT_PREFIXES = ("#", "%")
+
+_KEY_BITS = 32
+_KEY_MASK = (1 << _KEY_BITS) - 1
+
+
+def _parse_edge_file(path: Path, ids: dict) -> Iterator[tuple[int, int]]:
+    """Stream dense endpoint pairs from an edge-list file.
+
+    Mirrors ``load_edge_list`` + ``relabel_edges``: raw tokens get dense
+    first-seen ids (accumulated into ``ids``, which the caller reads for
+    ``n`` after exhaustion), self loops are dropped silently, malformed
+    lines raise :class:`GraphFormatError`.  Duplicate edges pass through —
+    the external sort deduplicates them.
+    """
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v', got {line!r}")
+            raw_u, raw_v = parts[0], parts[1]
+            if raw_u == raw_v:
+                continue
+            u = ids.setdefault(raw_u, len(ids))
+            v = ids.setdefault(raw_v, len(ids))
+            yield u, v
+
+
+def _key_blocks(path: Path, count: int) -> Iterator:
+    """Yield the int64 key file at ``path`` as numpy blocks."""
+    with open(path, "rb") as handle:
+        done = 0
+        while done < count:
+            take = min(_MERGE_BLOCK, count - done)
+            block = np.fromfile(handle, dtype=np.int64, count=take)
+            if len(block) != take:
+                raise GraphFormatError(
+                    f"{path}: truncated sort run ({done + len(block)} of "
+                    f"{count} keys)")
+            done += take
+            yield block
+
+
+def _key_values(path: Path, count: int) -> Iterator[int]:
+    for block in _key_blocks(path, count):
+        yield from block.tolist()
+
+
+class _ChunkSorter:
+    """Buffer endpoint pairs; spill sorted unique key runs to disk."""
+
+    def __init__(self, workdir: Path, chunk_edges: int):
+        self.workdir = workdir
+        self.chunk_edges = chunk_edges
+        self.buf_u: list[int] = []
+        self.buf_v: list[int] = []
+        self.runs: list[tuple[Path, int]] = []
+
+    def add(self, u: int, v: int) -> None:
+        self.buf_u.append(u)
+        self.buf_v.append(v)
+        if len(self.buf_u) >= self.chunk_edges:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self.buf_u:
+            return
+        us = np.array(self.buf_u, dtype=np.int64)
+        vs = np.array(self.buf_v, dtype=np.int64)
+        self.buf_u.clear()
+        self.buf_v.clear()
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        keys = np.unique((lo << _KEY_BITS) | hi)
+        path = self.workdir / f"run-{len(self.runs):05d}.bin"
+        keys.tofile(path)
+        self.runs.append((path, len(keys)))
+
+
+def _merge_runs(runs: list[tuple[Path, int]], out_path: Path,
+                n: int) -> tuple[int, "np.ndarray"]:
+    """K-way merge the sorted runs into one unique key file.
+
+    Returns ``(m, degrees)``; degrees accumulate block-wise so the merge
+    itself stays O(n + block) in memory.
+    """
+    deg = np.zeros(n, dtype=np.int64)
+    m = 0
+
+    def tally(block) -> None:
+        nonlocal m, deg
+        m += len(block)
+        deg += np.bincount(block >> _KEY_BITS, minlength=n)
+        deg += np.bincount(block & _KEY_MASK, minlength=n)
+
+    if len(runs) == 1 and runs[0][0] == out_path:
+        # a single run is already sorted and unique, and the caller has
+        # renamed it into place: only the degree tally remains
+        for block in _key_blocks(out_path, runs[0][1]):
+            tally(block)
+        return m, deg
+
+    def absorb(block, out_handle) -> None:
+        block.tofile(out_handle)
+        tally(block)
+
+    with open(out_path, "wb") as out_handle:
+        streams = [_key_values(path, count) for path, count in runs]
+        buf: list[int] = []
+        last = None
+        for key in heapq.merge(*streams):
+            if key == last:
+                continue
+            last = key
+            buf.append(key)
+            if len(buf) >= _MERGE_BLOCK:
+                absorb(np.array(buf, dtype=np.int64), out_handle)
+                buf.clear()
+        if buf:
+            absorb(np.array(buf, dtype=np.int64), out_handle)
+    return m, deg
+
+
+class _OutputArray:
+    """A write-mode ``.npy`` output: memmapped, or eager when empty
+    (``np.memmap`` rejects zero-length maps)."""
+
+    def __init__(self, path: Path, dtype, count: int):
+        self.count = count
+        if count == 0:
+            np.save(path, np.empty(0, dtype=dtype))
+            self.mm = None
+        else:
+            self.mm = np.lib.format.open_memmap(
+                str(path), mode="w+", dtype=dtype, shape=(count,))
+
+    def write(self, positions, values) -> None:
+        if self.mm is not None:
+            self.mm[positions] = values
+
+    def close(self) -> None:
+        if self.mm is not None:
+            self.mm.flush()
+            del self.mm
+            self.mm = None
+
+
+def _scatter(key_path: Path, m: int, n: int, indptr,
+             directory: Path) -> None:
+    """Second pass: merged keys → ``indices``/``eids``/``esrc``/``etgt``."""
+    specs = diskcsr_array_specs(n, m)
+    outs = {key: _OutputArray(directory / f"{key}.npy", *specs[key])
+            for key in ("indices", "eids", "esrc", "etgt")}
+    cursor = indptr[:-1].copy()
+    eid_base = 0
+    for block in _key_blocks(key_path, m):
+        k = len(block)
+        lo = block >> _KEY_BITS
+        hi = block & _KEY_MASK
+        eids = np.arange(eid_base, eid_base + k, dtype=np.int64)
+        outs["esrc"].write(slice(eid_base, eid_base + k), lo.astype(np.int32))
+        outs["etgt"].write(slice(eid_base, eid_base + k), hi.astype(np.int32))
+        # each edge occupies one slot in both endpoint rows; the global
+        # (lo, hi) key order makes every per-vertex run come out ascending
+        # (neighbours below v arrive while v is still a hi endpoint)
+        owners = np.stack([lo, hi], axis=1).ravel()
+        targets = np.stack([hi, lo], axis=1).ravel()
+        slot_eids = np.repeat(eids, 2)
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        change = np.empty(len(sorted_owners), dtype=bool)
+        if len(change):
+            change[0] = True
+            change[1:] = sorted_owners[1:] != sorted_owners[:-1]
+        starts = np.flatnonzero(change)
+        group = np.cumsum(change) - 1
+        within = np.arange(len(sorted_owners), dtype=np.int64) - starts[group]
+        pos = cursor[sorted_owners] + within
+        outs["indices"].write(pos, targets[order].astype(np.int32))
+        outs["eids"].write(pos, slot_eids[order].astype(np.int32))
+        uniq = sorted_owners[starts]
+        counts = np.diff(np.append(starts, len(sorted_owners)))
+        cursor[uniq] += counts
+        eid_base += k
+    for out in outs.values():
+        out.close()
+
+
+def build_diskcsr(source, directory: str | Path | None = None, *,
+                  n: int | None = None, name: str = "",
+                  chunk_edges: int | None = None,
+                  block_ints: int = DEFAULT_BLOCK_INTS,
+                  cache_blocks: int = DEFAULT_CACHE_BLOCKS) -> DiskCSRGraph:
+    """Build a ``.diskcsr`` directory out-of-core and open it.
+
+    ``source`` is either a path to an edge-list file (parsed with the
+    exact :func:`~repro.graph.io.load_edge_list` semantics) or an iterable
+    of ``(u, v)`` integer pairs (validated with the exact
+    :class:`~repro.graph.csr.CSRGraph` semantics: self loops and
+    out-of-range endpoints raise :class:`InvalidGraphError`).  ``n`` may
+    be omitted — it is then inferred (dense relabel size for files,
+    ``max + 1`` for pairs).
+
+    When ``directory`` is ``None`` the graph is built into a temporary
+    directory it owns and removes on ``close()``; otherwise the directory
+    persists for reopening in later processes.
+    """
+    if np is None:
+        raise InvalidParameterError(
+            "build_diskcsr requires numpy (the external sort and the "
+            "memmapped outputs are array-native)")
+    if chunk_edges is None:
+        chunk_edges = DEFAULT_CHUNK_EDGES
+    if chunk_edges < 1:
+        raise InvalidParameterError(
+            f"chunk_edges must be positive, got {chunk_edges}")
+    if directory is None:
+        directory = Path(tempfile.mkdtemp(prefix="repro-diskcsr-"))
+        owns = True
+    else:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        owns = False
+    # no marker until the build finishes: a stale meta.json must not make
+    # a half-written rebuild look openable
+    (directory / "meta.json").unlink(missing_ok=True)
+    workdir = Path(tempfile.mkdtemp(prefix="sort-", dir=str(directory)))
+    try:
+        sorter = _ChunkSorter(workdir, chunk_edges)
+        from_file = isinstance(source, (str, Path))
+        if from_file:
+            path = Path(source)
+            ids: dict = {}
+            if not name:
+                name = path.stem
+            for u, v in _parse_edge_file(path, ids):
+                sorter.add(u, v)
+            inferred = len(ids)
+        else:
+            max_id = -1
+            for u, v in source:
+                u = int(u)
+                v = int(v)
+                if u == v:
+                    raise InvalidGraphError(
+                        f"self loop on vertex {u} is not allowed")
+                if u < 0 or v < 0:
+                    raise InvalidGraphError(
+                        f"edge ({u}, {v}) has a negative endpoint")
+                if n is not None and (u >= n or v >= n):
+                    raise InvalidGraphError(
+                        f"edge ({u}, {v}) out of range for n={n}")
+                if u > max_id:
+                    max_id = u
+                if v > max_id:
+                    max_id = v
+                sorter.add(u, v)
+            inferred = max_id + 1
+        sorter.flush()
+        if n is None:
+            n = inferred
+        elif inferred > n:
+            raise InvalidGraphError(
+                f"edge list uses {inferred} vertices but n={n}")
+        if n >= 1 << (_KEY_BITS - 1):
+            raise InvalidGraphError(
+                f"n={n} exceeds the int32 vertex-id range")
+
+        key_path = workdir / "keys.bin"
+        if len(sorter.runs) == 1:
+            # a single run is already the merged unique key sequence
+            sorter.runs[0][0].rename(key_path)
+            sorter.runs = [(key_path, sorter.runs[0][1])]
+        m, deg = _merge_runs(sorter.runs, key_path, n)
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        indptr_out = _OutputArray(directory / "indptr.npy", np.int64, n + 1)
+        indptr_out.write(slice(0, n + 1), indptr)
+        indptr_out.close()
+        _scatter(key_path, m, n, indptr, directory)
+
+        meta = {"format": DISKCSR_FORMAT, "n": int(n), "m": int(m),
+                "name": name}
+        (directory / "meta.json").write_text(json.dumps(meta))
+    except BaseException:
+        if owns:
+            shutil.rmtree(directory, ignore_errors=True)
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+        raise
+    shutil.rmtree(workdir, ignore_errors=True)
+    return DiskCSRGraph(directory, block_ints=block_ints,
+                        cache_blocks=cache_blocks, _owns_directory=owns)

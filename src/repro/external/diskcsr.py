@@ -1,0 +1,472 @@
+"""Disk-backed CSR storage: the flat-array layout, memory-mapped in windows.
+
+:class:`~repro.graph.csr.CSRGraph` keeps ``indptr``/``indices``/``eids``
+(plus the edge-endpoint columns ``esrc``/``etgt``) in RAM.  This module
+stores the *same five arrays* as ``.npy`` files inside a ``.diskcsr``
+directory and serves them through :class:`BlockedArray` — fixed-size
+``np.memmap`` windows behind a small LRU cache — so the peak *address
+space* of a decomposition is bounded by the window-cache size, not by the
+graph.  Only the O(|V|) ``indptr`` (and, per the semi-external model, the
+O(#cells) peeling state) lives in memory.
+
+The point of the layout discipline: :class:`DiskCSRGraph` duck-types the
+read surface the direct engines actually touch (``n``/``m``/``degrees``/
+``hot_arrays``/``endpoints``), so ``csr_fnd_core``, ``csr_core_peel`` and
+the CSR cell views run **unchanged** over disk-resident arrays — the
+ROADMAP's "storage-backend swap, not an algorithm rewrite".  Every access
+is metered on :attr:`DiskCSRGraph.io` (an
+:class:`~repro.external.disk.IOStats`): ``reads`` counts physical fetches
+(range fetches and window misses), ``ints_read`` counts ids served, so the
+§3.1 per-phase IO accounting extends beyond (1,2).
+
+Directory format (``meta.json`` is written last and doubles as the
+valid-build marker)::
+
+    graph.diskcsr/
+        meta.json     {"format": 1, "n": ..., "m": ..., "name": ...}
+        indptr.npy    int64, n + 1
+        indices.npy   int32, 2m   (concatenated sorted adjacency runs)
+        eids.npy      int32, 2m   (edge id aligned with indices)
+        esrc.npy      int32, m    (lexicographic edge endpoints, lo)
+        etgt.npy      int32, m    (lexicographic edge endpoints, hi)
+
+Malformed directories (missing files, foreign dtypes, truncated payloads)
+raise :class:`~repro.errors.GraphFormatError` at open time, matching the
+flat-index loader's contract.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import GraphFormatError, InvalidGraphError, InvalidParameterError
+from repro.external.disk import IOStats
+
+try:  # the disk CSR is array-native; there is no object fallback
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "DISKCSR_FORMAT",
+    "BlockedArray",
+    "DiskCSRGraph",
+    "as_diskcsr",
+    "diskcsr_array_specs",
+]
+
+#: on-disk schema version of a ``.diskcsr`` directory
+DISKCSR_FORMAT = 1
+
+_META_NAME = "meta.json"
+
+#: int32 elements per memmap window (1 MiB) — small enough that a handful
+#: of cached windows never threatens an address-space cap, large enough
+#: that sequential scans amortise the mmap/munmap churn
+DEFAULT_BLOCK_INTS = 1 << 18
+
+#: windows kept alive per array; peak mapped bytes per array is
+#: ``cache_blocks * block_ints * itemsize``
+DEFAULT_CACHE_BLOCKS = 8
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise InvalidParameterError(
+            "DiskCSRGraph requires numpy (np.memmap backs the on-disk "
+            "arrays; use DiskAdjacency for the object-engine substrate)")
+
+
+def diskcsr_array_specs(n: int, m: int) -> dict:
+    """``name -> (dtype, length)`` of the five on-disk arrays."""
+    return {
+        "indptr": (np.int64, n + 1),
+        "indices": (np.int32, 2 * m),
+        "eids": (np.int32, 2 * m),
+        "esrc": (np.int32, m),
+        "etgt": (np.int32, m),
+    }
+
+
+def _npy_payload(path: Path, dtype, count: int) -> int:
+    """Validate the ``.npy`` header at ``path``; return the data offset.
+
+    Raises :class:`GraphFormatError` on a missing file, a foreign magic /
+    dtype / shape, or a payload shorter than the header promises (the
+    truncated-file case a killed build leaves behind).
+    """
+    if not path.is_file():
+        raise GraphFormatError(f"{path}: missing disk-CSR array file")
+    with open(path, "rb") as handle:
+        try:
+            version = np.lib.format.read_magic(handle)
+            reader = getattr(
+                np.lib.format,
+                f"read_array_header_{version[0]}_{version[1]}", None)
+            if reader is None:  # pragma: no cover - future .npy versions
+                raise ValueError(f"unsupported .npy version {version}")
+            shape, fortran, found = reader(handle)
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{path}: not a valid .npy file: {exc}") from exc
+        offset = handle.tell()
+    expected = np.dtype(dtype)
+    if found != expected:
+        raise GraphFormatError(
+            f"{path}: expected dtype {expected}, found {found}")
+    if fortran or shape != (count,):
+        raise GraphFormatError(
+            f"{path}: expected a C-order array of shape ({count},), "
+            f"found shape {shape}")
+    need = offset + count * expected.itemsize
+    have = path.stat().st_size
+    if have < need:
+        raise GraphFormatError(
+            f"{path}: truncated payload ({have} bytes on disk, "
+            f"{need} required)")
+    return offset
+
+
+class BlockedArray:
+    """Windowed reads over one on-disk array, with metered IO.
+
+    Supports ``len`` plus scalar ``[]`` (returns a plain ``int``, so the
+    sequential engine loops and ``bisect`` run on it unchanged) and
+    :meth:`fetch` for contiguous ranges as lists.  At most
+    ``cache_blocks`` windows of ``block_ints`` elements are mapped at any
+    time — the address-space bound the out-of-core CI job enforces.
+
+    Accounting on the shared :class:`~repro.external.disk.IOStats`:
+    ``ints_read`` counts every element served; ``reads`` counts physical
+    fetches — one per :meth:`fetch` call, one per window miss on scalar
+    access.
+    """
+
+    __slots__ = ("_path", "_dtype", "_offset", "_count", "_itemsize",
+                 "_io", "_block", "_cache", "_cache_cap")
+
+    def __init__(self, path: str | Path, dtype, count: int, io: IOStats,
+                 offset: int | None = None,
+                 block_ints: int = DEFAULT_BLOCK_INTS,
+                 cache_blocks: int = DEFAULT_CACHE_BLOCKS):
+        _require_numpy()
+        self._path = Path(path)
+        self._dtype = np.dtype(dtype)
+        self._count = count
+        self._itemsize = self._dtype.itemsize
+        self._offset = (_npy_payload(self._path, self._dtype, count)
+                        if offset is None else offset)
+        self._io = io
+        self._block = max(1, block_ints)
+        self._cache: OrderedDict[int, object] = OrderedDict()
+        self._cache_cap = max(1, cache_blocks)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _window(self, bid: int):
+        """Map (or revisit) window ``bid``; eviction drops the oldest map."""
+        start = bid * self._block
+        window = np.memmap(
+            self._path, dtype=self._dtype, mode="r",
+            offset=self._offset + start * self._itemsize,
+            shape=(min(self._block, self._count - start),))
+        self._cache[bid] = window
+        while len(self._cache) > self._cache_cap:
+            self._cache.popitem(last=False)
+        return window
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._count:
+            raise IndexError(
+                f"index {index} out of range for {self._count} elements")
+        io = self._io
+        io.ints_read += 1
+        bid = index // self._block
+        window = self._cache.get(bid)
+        if window is None:
+            io.reads += 1
+            window = self._window(bid)
+        else:
+            self._cache.move_to_end(bid)
+        return int(window[index - bid * self._block])
+
+    def fetch(self, lo: int, hi: int) -> list[int]:
+        """``[lo, hi)`` as a plain list: one metered fetch, any length."""
+        if not 0 <= lo <= hi <= self._count:
+            raise IndexError(
+                f"range [{lo}, {hi}) out of bounds for {self._count} elements")
+        if lo == hi:
+            return []
+        io = self._io
+        io.reads += 1
+        io.ints_read += hi - lo
+        out: list[int] = []
+        bid = lo // self._block
+        while lo < hi:
+            stop = min(hi, (bid + 1) * self._block)
+            window = self._cache.get(bid)
+            if window is None:
+                window = self._window(bid)
+            else:
+                self._cache.move_to_end(bid)
+            base = bid * self._block
+            out.extend(window[lo - base:stop - base].tolist())
+            lo = stop
+            bid += 1
+        return out
+
+    def drop_cache(self) -> None:
+        """Unmap every cached window."""
+        self._cache.clear()
+
+
+class DiskCSRGraph:
+    """The CSR read surface over a ``.diskcsr`` directory.
+
+    ``indptr`` is loaded into a plain list (O(|V|), as the semi-external
+    model allows); the four bulk arrays stay on disk behind
+    :class:`BlockedArray` windows.  ``hot_arrays()`` therefore hands the
+    direct peels ``(list, BlockedArray, BlockedArray)`` — same indexing
+    contract, bounded residency.  All reads are metered on :attr:`io`.
+
+    The ``esrc``/``etgt`` *properties* return whole-file read-only
+    memmaps: they exist for reporting/index-build paths (e.g. the flat
+    query index's vertex map reads them via the buffer protocol) and are
+    page-cache backed, not window-bounded — the decomposition loops never
+    touch them.
+    """
+
+    def __init__(self, directory: str | Path,
+                 block_ints: int = DEFAULT_BLOCK_INTS,
+                 cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+                 _owns_directory: bool = False):
+        _require_numpy()
+        self.directory = Path(directory)
+        self._owns_directory = _owns_directory
+        meta_path = self.directory / _META_NAME
+        if not meta_path.is_file():
+            raise GraphFormatError(
+                f"{self.directory}: not a .diskcsr directory ({_META_NAME} "
+                "missing — an interrupted build leaves no marker)")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{meta_path}: malformed metadata: {exc}") from exc
+        if not isinstance(meta, dict) or meta.get("format") != DISKCSR_FORMAT:
+            raise GraphFormatError(
+                f"{meta_path}: unsupported disk-CSR format "
+                f"{meta.get('format') if isinstance(meta, dict) else meta!r} "
+                f"(this build reads format {DISKCSR_FORMAT})")
+        try:
+            n = int(meta["n"])
+            m = int(meta["m"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphFormatError(
+                f"{meta_path}: metadata must carry integer 'n' and 'm': "
+                f"{exc}") from exc
+        if n < 0 or m < 0:
+            raise GraphFormatError(
+                f"{meta_path}: negative sizes n={n} m={m}")
+        self._n = n
+        self._m = m
+        self.name = str(meta.get("name", ""))
+        self.io = IOStats()
+        specs = diskcsr_array_specs(n, m)
+
+        dtype, count = specs["indptr"]
+        indptr_path = self.directory / "indptr.npy"
+        offset = _npy_payload(indptr_path, dtype, count)
+        with open(indptr_path, "rb") as handle:
+            handle.seek(offset)
+            indptr = np.fromfile(handle, dtype=dtype, count=count)
+        if len(indptr) != count or (count and int(indptr[-1]) != 2 * m):
+            raise GraphFormatError(
+                f"{indptr_path}: inconsistent indptr (expected to end at "
+                f"{2 * m})")
+        self._indptr: list[int] = indptr.tolist()
+
+        def blocked(key: str) -> BlockedArray:
+            dtype, count = specs[key]
+            return BlockedArray(self.directory / f"{key}.npy", dtype, count,
+                                self.io, block_ints=block_ints,
+                                cache_blocks=cache_blocks)
+
+        self._indices = blocked("indices")
+        self._eids = blocked("eids")
+        self._esrc = blocked("esrc")
+        self._etgt = blocked("etgt")
+        self._esrc_map = None
+        self._etgt_map = None
+        self._closed = False
+
+    # -- basic accessors (Graph/CSRGraph-compatible read surface) --------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def indptr(self) -> list[int]:
+        """The in-memory row-pointer list (O(|V|))."""
+        return self._indptr
+
+    def degree(self, v: int) -> int:
+        return self._indptr[v + 1] - self._indptr[v]
+
+    def degrees(self) -> list[int]:
+        indptr = self._indptr
+        return [indptr[v + 1] - indptr[v] for v in range(self._n)]
+
+    def neighbors(self, v: int) -> list[int]:
+        """Sorted neighbours of ``v``, fetched from disk (counted)."""
+        if not 0 <= v < self._n:
+            raise InvalidGraphError(f"vertex {v} out of range")
+        return self._indices.fetch(self._indptr[v], self._indptr[v + 1])
+
+    def neighbor_set(self, v: int) -> set[int]:
+        return set(self.neighbors(v))
+
+    def vertices(self) -> range:
+        return range(self._n)
+
+    def hot_arrays(self):
+        """``(indptr, indices, eids)`` with the engine indexing contract:
+        the row pointers as a list, the bulk arrays as windowed
+        :class:`BlockedArray` readers."""
+        return self._indptr, self._indices, self._eids
+
+    def endpoints(self, eid: int) -> tuple[int, int]:
+        return self._esrc[eid], self._etgt[eid]
+
+    def edges(self):
+        """Iterate edges as sorted pairs, lexicographically, block-wise."""
+        step = DEFAULT_BLOCK_INTS
+        for lo in range(0, self._m, step):
+            hi = min(self._m, lo + step)
+            src = self._esrc.fetch(lo, hi)
+            tgt = self._etgt.fetch(lo, hi)
+            yield from zip(src, tgt, strict=True)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not 0 <= u < self._n:
+            return False
+        row = self.neighbors(u)
+        from bisect import bisect_left
+        p = bisect_left(row, v)
+        return p < len(row) and row[p] == v
+
+    def edge_id(self, u: int, v: int) -> int | None:
+        if not 0 <= u < self._n:
+            return None
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        row = self._indices.fetch(lo, hi)
+        from bisect import bisect_left
+        p = bisect_left(row, v)
+        if p < len(row) and row[p] == v:
+            return self._eids[lo + p]
+        return None
+
+    def common_neighbors(self, u: int, v: int) -> list[int]:
+        a = self.neighbors(u)
+        b = self.neighbors(v)
+        out: list[int] = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            x, y = a[i], b[j]
+            if x < y:
+                i += 1
+            elif y < x:
+                j += 1
+            else:
+                out.append(x)
+                i += 1
+                j += 1
+        return out
+
+    def common_neighbor_count(self, u: int, v: int) -> int:
+        return len(self.common_neighbors(u, v))
+
+    # -- reporting surface (whole-file maps, page-cache backed) ----------
+    def _full_map(self, key: str):
+        dtype, count = diskcsr_array_specs(self._n, self._m)[key]
+        if count == 0:
+            return np.empty(0, dtype=dtype)
+        return np.lib.format.open_memmap(
+            str(self.directory / f"{key}.npy"), mode="r")
+
+    @property
+    def esrc(self):
+        """Edge sources (lo endpoints) as a read-only whole-file memmap."""
+        if self._esrc_map is None:
+            self._esrc_map = self._full_map("esrc")
+        return self._esrc_map
+
+    @property
+    def etgt(self):
+        """Edge targets (hi endpoints) as a read-only whole-file memmap."""
+        if self._etgt_map is None:
+            self._etgt_map = self._full_map("etgt")
+        return self._etgt_map
+
+    def to_object(self):
+        """Materialise as an object :class:`~repro.graph.adjacency.Graph`
+        (reporting path: RAM-resident by definition)."""
+        from repro.graph.adjacency import Graph
+
+        return Graph(self._n, list(self.edges()), name=self.name)
+
+    def subgraph(self, vertices, relabel: bool = True):
+        return self.to_object().subgraph(vertices, relabel=relabel)
+
+    def edge_subgraph(self, edge_ids, relabel: bool = False):
+        return self.to_object().edge_subgraph(edge_ids, relabel=relabel)
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Drop every cached window; remove the directory if owned."""
+        if self._closed:
+            return
+        self._closed = True
+        for reader in (self._indices, self._eids, self._esrc, self._etgt):
+            reader.drop_cache()
+        self._esrc_map = None
+        self._etgt_map = None
+        if self._owns_directory:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "DiskCSRGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (f"<DiskCSRGraph{label} n={self._n} m={self._m} "
+                f"dir={str(self.directory)!r} reads={self.io.reads}>")
+
+
+def as_diskcsr(graph, directory: str | Path | None = None,
+               chunk_edges: int | None = None, name: str | None = None):
+    """``graph`` as a :class:`DiskCSRGraph`.
+
+    A disk graph passes through unchanged (the caller keeps ownership);
+    any other representation is spooled through the out-of-core builder
+    (:func:`repro.external.build.build_diskcsr`) into ``directory`` — or a
+    temporary directory the returned graph owns and removes on ``close()``.
+    """
+    if isinstance(graph, DiskCSRGraph):
+        return graph
+    from repro.external.build import build_diskcsr
+
+    return build_diskcsr(
+        graph.edges(), directory=directory, n=graph.n,
+        name=graph.name if name is None else name, chunk_edges=chunk_edges)

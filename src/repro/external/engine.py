@@ -1,0 +1,397 @@
+"""Disk-backed decomposition engine: the CSR algorithms over windowed IO.
+
+The direct CSR loops only ever touch a graph through ``n``/``m``/
+``degrees()``/``hot_arrays()`` with scalar indexing, so
+:func:`~repro.core.csr_fnd.csr_fnd_core` and
+:func:`~repro.core.csr_peel.csr_core_peel` run **unchanged** on a
+:class:`~repro.external.diskcsr.DiskCSRGraph` — λ and hierarchy are
+identical to the in-RAM backend by construction, every access metered.
+What this module adds is the part that would otherwise blow the memory
+budget: the (2,3)/(3,4) *incidence*, which is Θ(s·|K_s|) and can dwarf the
+graph itself.  The builders here enumerate triangles / K₄s with the same
+merge-scan order as :mod:`repro.core.csr_peel`'s reference builders, but
+**spool the cliques to a scratch file** and cursor-scatter them into
+on-disk companion arrays (write-mode memmaps, re-opened as windowed
+:class:`~repro.external.diskcsr.BlockedArray` readers).  RAM stays at the
+semi-external budget — O(#cells) peeling state plus O(|V|) pointers — for
+every supported (r, s), and the shared extended-peel loop
+(:func:`~repro.core.csr_fnd._incidence_fnd`) replays the incidence slot
+for slot.
+
+Per-phase IO lands on ``disk.io`` with ``start``/``peel``/``post``
+snapshots, extending the §3.1 accounting beyond (1,2): FND performs *zero*
+post-peel IO at every (r, s) because BuildHierarchy works entirely on the
+in-memory sub-nucleus forest.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from bisect import bisect_left
+from pathlib import Path
+
+from repro.core.csr_fnd import CSR_FND_RS, _incidence_fnd, csr_fnd_core
+from repro.core.csr_peel import bucket_order, csr_core_peel
+from repro.core.decomposition import ALGORITHMS, Decomposition
+from repro.core.dft import dft_hierarchy
+from repro.core.fnd import FndInstrumentation
+from repro.core.hypo import hypo_traversal
+from repro.core.lcps import lcps_hierarchy
+from repro.core.peeling import PeelingResult, peel
+from repro.core.traversal import naive_hierarchy
+from repro.core.views import CSREdgeView, CSRTriangleView, VertexView
+from repro.errors import InvalidParameterError, UnknownAlgorithmError
+from repro.external.diskcsr import BlockedArray, DiskCSRGraph
+from repro.graph.csr import csr_triangles
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "disk_core_peel",
+    "disk_decomposition",
+    "disk_fnd_decomposition",
+    "disk_nucleus34_peel",
+    "disk_truss_peel",
+]
+
+#: clique records buffered before a spool flush
+_SPOOL_FLUSH = 1 << 16
+
+
+class _CliqueSpool:
+    """Fixed-width int32 clique records streamed to a scratch file.
+
+    Accumulates the per-cell membership counts (``sup``) block-wise as a
+    side effect, so one enumeration pass yields both the degrees and the
+    spooled occurrence list the scatter pass replays.
+    """
+
+    def __init__(self, path: Path, width: int, size: int):
+        self.path = path
+        self.width = width
+        self.size = size
+        self.sup = np.zeros(size, dtype=np.int64)
+        self.count = 0
+        self._buf: list[int] = []
+        self._handle = open(path, "wb")
+
+    def add(self, *cells: int) -> None:
+        self._buf.extend(cells)
+        self.count += 1
+        if self.count % _SPOOL_FLUSH == 0:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buf:
+            block = np.array(self._buf, dtype=np.int32)
+            block.tofile(self._handle)
+            self.sup += np.bincount(block, minlength=self.size)
+            self._buf.clear()
+
+    def finish(self) -> None:
+        self._flush()
+        self._handle.close()
+
+    def blocks(self):
+        """Replay the spool as ``(records, width)`` int32 blocks."""
+        with open(self.path, "rb") as handle:
+            remaining = self.count
+            while remaining:
+                take = min(_SPOOL_FLUSH, remaining)
+                block = np.fromfile(handle, dtype=np.int32,
+                                    count=take * self.width)
+                yield block.reshape(take, self.width)
+                remaining -= take
+
+
+def _scatter_spool(spool: _CliqueSpool, ptr, directory: Path,
+                   io) -> tuple:
+    """Cursor-scatter the spooled cliques into on-disk companion arrays.
+
+    Record-major owner order plus a stable argsort reproduces the
+    sequential cursor fill of the in-RAM incidence builders slot for slot
+    (same discipline as ``fill_incidence``).  Returns the ``width - 1``
+    companion columns re-opened as metered :class:`BlockedArray` readers.
+    """
+    width = spool.width
+    total = int(ptr[-1])
+    paths = [directory / f"comp{k}.npy" for k in range(width - 1)]
+    if total == 0:
+        for path in paths:
+            np.save(path, np.empty(0, dtype=np.int32))
+        return tuple(BlockedArray(path, np.int32, 0, io) for path in paths)
+    mms = [np.lib.format.open_memmap(str(path), mode="w+", dtype=np.int32,
+                                     shape=(total,)) for path in paths]
+    # companion column k of the occurrence owned by record column j is the
+    # k-th of the other record columns, in record order — matching the
+    # (ea→eb,ec / a→b,c,d …) layout of the reference cursor fills
+    companion_cols = [[c for c in range(width) if c != j]
+                      for j in range(width)]
+    cursor = ptr[:-1].astype(np.int64).copy()
+    for block in spool.blocks():
+        owners = block.ravel()
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        change = np.empty(len(sorted_owners), dtype=bool)
+        change[0] = True
+        change[1:] = sorted_owners[1:] != sorted_owners[:-1]
+        starts = np.flatnonzero(change)
+        group = np.cumsum(change) - 1
+        within = np.arange(len(sorted_owners), dtype=np.int64) - starts[group]
+        pos = cursor[sorted_owners] + within
+        for k, mm in enumerate(mms):
+            vals = np.stack([block[:, companion_cols[j][k]]
+                             for j in range(width)], axis=1).ravel()
+            mm[pos] = vals[order]
+        uniq = sorted_owners[starts]
+        counts = np.diff(np.append(starts, len(sorted_owners)))
+        cursor[uniq] += counts
+    for mm in mms:
+        mm.flush()
+    del mms
+    return tuple(BlockedArray(path, np.int32, total, io) for path in paths)
+
+
+def _cell_pointers(sup):
+    """Degree cumsum as ``(ptr_numpy, ptr_list)``."""
+    ptr = np.zeros(len(sup) + 1, dtype=np.int64)
+    np.cumsum(sup, out=ptr[1:])
+    return ptr, ptr.tolist()
+
+
+def _disk_truss_incidence(disk: DiskCSRGraph, workdir: Path):
+    """Streamed edge→triangle incidence: ``(sup, ptr, comps)``.
+
+    Same enumeration order as the reference
+    :func:`~repro.core.csr_peel.truss_incidence` fallback (ascending lowest
+    vertex, merge scan of the two suffix runs), but each triple goes to the
+    spool instead of a RAM list.  Row fetches are metered on ``disk.io``.
+    """
+    indptr, _, _ = disk.hot_arrays()
+    indices = disk._indices
+    eids = disk._eids
+    spool = _CliqueSpool(workdir / "triangles.bin", 3, disk.m)
+    for u in range(disk.n):
+        lo, hi = indptr[u], indptr[u + 1]
+        row = indices.fetch(lo, hi)
+        row_e = eids.fetch(lo, hi)
+        for pu in range(bisect_left(row, u), len(row)):
+            v = row[pu]
+            e_uv = row_e[pu]
+            vrow = indices.fetch(indptr[v], indptr[v + 1])
+            vrow_e = eids.fetch(indptr[v], indptr[v + 1])
+            i = pu + 1
+            j = bisect_left(vrow, v)
+            row_len = len(row)
+            vrow_len = len(vrow)
+            while i < row_len and j < vrow_len:
+                a = row[i]
+                b = vrow[j]
+                if a < b:
+                    i += 1
+                elif b < a:
+                    j += 1
+                else:
+                    spool.add(e_uv, row_e[i], vrow_e[j])
+                    i += 1
+                    j += 1
+    spool.finish()
+    ptr, ptr_list = _cell_pointers(spool.sup)
+    comps = _scatter_spool(spool, ptr, workdir, disk.io)
+    return spool.sup.tolist(), ptr_list, comps
+
+
+def _disk_nucleus34_incidence(disk: DiskCSRGraph, workdir: Path):
+    """Streamed triangle→K₄ incidence: ``(triangles, sup, ptr, comps)``.
+
+    The triangle list is cell-scale (it *is* the cell table for (3,4), the
+    semi-external model's in-memory side); K₄ discovery then runs entirely
+    on that list — runs sharing their lowest edge, one id-map probe per
+    candidate pair, exactly the reference
+    :func:`~repro.graph.csr.csr_k4_triangle_ids` enumeration — with the
+    quads spooled to disk instead of held in RAM.
+    """
+    n = disk.n
+    triangles = list(csr_triangles(disk))
+    num_tris = len(triangles)
+    tri_id = {(a * n + b) * n + c: tid
+              for tid, (a, b, c) in enumerate(triangles)}
+    get = tri_id.get
+    spool = _CliqueSpool(workdir / "quads.bin", 4, num_tris)
+    base = 0
+    while base < num_tris:
+        u, v, _w = triangles[base]
+        end = base + 1
+        while end < num_tris:
+            tu, tv, _x = triangles[end]
+            if tu != u or tv != v:
+                break
+            end += 1
+        for i in range(base, end - 1):
+            w = triangles[i][2]
+            uw = (u * n + w) * n
+            vw = (v * n + w) * n
+            for j in range(i + 1, end):
+                x = triangles[j][2]
+                t_uwx = get(uw + x)
+                if t_uwx is not None:
+                    spool.add(i, j, t_uwx, tri_id[vw + x])
+        base = end
+    spool.finish()
+    ptr, ptr_list = _cell_pointers(spool.sup)
+    comps = _scatter_spool(spool, ptr, workdir, disk.io)
+    return triangles, spool.sup.tolist(), ptr_list, comps
+
+
+def _incidence_replay_peel(sup: list[int], ptr: list[int],
+                           comps: tuple) -> PeelingResult:
+    """Replay peel over a (possibly disk-resident) incidence.
+
+    The generic form of ``_truss_peel_replay``/``csr_nucleus34_peel``: an
+    s-clique is spent once any companion is processed, otherwise every
+    companion above the current level gets the O(1) block-swap decrement.
+    """
+    t = len(sup)
+    bins, vert, pos = bucket_order(sup)
+    processed = bytearray(t)
+    max_lambda = 0
+    for i in range(t):
+        u = vert[i]
+        k = sup[u]
+        if k > max_lambda:
+            max_lambda = k
+        for slot in range(ptr[u], ptr[u + 1]):
+            cells = [arr[slot] for arr in comps]
+            if any(processed[c] for c in cells):
+                continue
+            for v in cells:
+                d = sup[v]
+                if d > k:
+                    first = bins[d]
+                    other = vert[first]
+                    if other != v:
+                        swap = pos[v]
+                        vert[first] = v
+                        vert[swap] = other
+                        pos[v] = first
+                        pos[other] = swap
+                    bins[d] = first + 1
+                    sup[v] = d - 1
+        processed[u] = 1
+    return PeelingResult(lam=sup, max_lambda=max_lambda, order=vert)
+
+
+def _workdir(disk: DiskCSRGraph) -> tempfile.TemporaryDirectory:
+    """Scratch space for the incidence, preferably beside the graph."""
+    try:
+        return tempfile.TemporaryDirectory(prefix="incidence-",
+                                           dir=str(disk.directory))
+    except OSError:  # read-only graph directory: fall back to system tmp
+        return tempfile.TemporaryDirectory(prefix="repro-incidence-")
+
+
+def disk_core_peel(disk: DiskCSRGraph) -> PeelingResult:
+    """(1,2) peel on disk: the in-RAM loop over windowed arrays."""
+    return csr_core_peel(disk)
+
+
+def disk_truss_peel(disk: DiskCSRGraph) -> PeelingResult:
+    """(2,3) peel on disk: streamed incidence + generic replay."""
+    with _workdir(disk) as tmp:
+        sup, ptr, comps = _disk_truss_incidence(disk, Path(tmp))
+        return _incidence_replay_peel(sup, ptr, comps)
+
+
+def disk_nucleus34_peel(disk: DiskCSRGraph) -> PeelingResult:
+    """(3,4) peel on disk: streamed incidence + generic replay."""
+    with _workdir(disk) as tmp:
+        _, sup, ptr, comps = _disk_nucleus34_incidence(disk, Path(tmp))
+        return _incidence_replay_peel(sup, ptr, comps)
+
+
+def disk_fnd_decomposition(disk: DiskCSRGraph, r: int, s: int,
+                           instrumentation: FndInstrumentation | None = None):
+    """Direct FND on disk for the evaluated (r, s): ``(peeling, hierarchy,
+    view)``, output identical to the in-RAM CSR path."""
+    if (r, s) == (1, 2):
+        peeling, hierarchy = csr_fnd_core(disk, instrumentation)
+        return peeling, hierarchy, VertexView(disk)
+    if (r, s) == (2, 3):
+        with _workdir(disk) as tmp:
+            sup, ptr, comps = _disk_truss_incidence(disk, Path(tmp))
+            peeling, hierarchy = _incidence_fnd(2, 3, sup, ptr, comps,
+                                                instrumentation)
+        return peeling, hierarchy, CSREdgeView(disk)
+    if (r, s) == (3, 4):
+        with _workdir(disk) as tmp:
+            triangles, sup, ptr, comps = _disk_nucleus34_incidence(
+                disk, Path(tmp))
+            degrees = list(sup)  # the peel settles sup into λ in place
+            peeling, hierarchy = _incidence_fnd(3, 4, sup, ptr, comps,
+                                                instrumentation)
+        view = CSRTriangleView(disk, _enumeration=(triangles, degrees))
+        return peeling, hierarchy, view
+    raise InvalidParameterError(
+        f"no disk FND for (r, s) = ({r}, {s}); supported: {CSR_FND_RS}")
+
+
+def disk_decomposition(disk: DiskCSRGraph, r: int, s: int,
+                       algorithm: str = "fnd",
+                       instrumentation: FndInstrumentation | None = None,
+                       ) -> Decomposition:
+    """Full decomposition on the disk backend, with per-phase IO snapshots.
+
+    FND covers all of :data:`~repro.core.csr_fnd.CSR_FND_RS`; the
+    traversal algorithms (``naive``/``dft``/``lcps``/``hypo``) run (1,2),
+    where their post-peel passes re-read the on-disk adjacency — the IO
+    the §3.1 accounting exists to expose.  Snapshots ``start``/``peel``/
+    ``post`` land on ``disk.io``.
+    """
+    if algorithm not in ALGORITHMS:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    disk.io.snapshot("start")
+    if algorithm == "fnd":
+        if (r, s) not in CSR_FND_RS:
+            raise InvalidParameterError(
+                f"no disk FND for (r, s) = ({r}, {s}); "
+                f"supported: {CSR_FND_RS}")
+        stats = (FndInstrumentation() if instrumentation is None
+                 else instrumentation)
+        start = time.perf_counter()
+        peeling, hierarchy, view = disk_fnd_decomposition(disk, r, s, stats)
+        total = time.perf_counter() - start
+        # FND's single fused pass does everything: zero post-peel IO
+        disk.io.snapshot("peel")
+        disk.io.snapshot("post")
+        post_s = min(stats.build_seconds, total)
+        return Decomposition(disk, r, s, "fnd", peeling.lam, hierarchy,
+                             view, total - post_s, post_s, fnd_stats=stats)
+    if (r, s) != (1, 2):
+        raise InvalidParameterError(
+            f"the disk backend runs {algorithm!r} for (1, 2) only; "
+            f"use algorithm='fnd' for any of {CSR_FND_RS}")
+    view = VertexView(disk)
+    start = time.perf_counter()
+    peeling = peel(view)
+    peel_s = time.perf_counter() - start
+    disk.io.snapshot("peel")
+
+    start = time.perf_counter()
+    if algorithm == "naive":
+        hierarchy = naive_hierarchy(view, peeling)
+    elif algorithm == "dft":
+        hierarchy = dft_hierarchy(view, peeling)
+    elif algorithm == "lcps":
+        hierarchy = lcps_hierarchy(disk, peeling)
+    else:  # hypo
+        hypo_traversal(view, peeling)
+        hierarchy = None
+    post_s = time.perf_counter() - start
+    disk.io.snapshot("post")
+    return Decomposition(disk, 1, 2, algorithm, peeling.lam, hierarchy,
+                         view, peel_s, post_s)

@@ -1,36 +1,44 @@
-"""Semi-external k-core decomposition with per-phase IO measurement.
+"""Semi-external nucleus decomposition with per-phase IO measurement.
 
-Runs the library's (1,2) algorithms against :class:`DiskAdjacency` and
-reports IO per phase, producing the evidence for the paper's §3.1 claim:
-hierarchy construction by traversal costs another full pass (or maxλ
-passes, for Naive) over the on-disk adjacency, while FND needs none.
+Runs the library's algorithms with the flat CSR arrays on disk
+(:class:`~repro.external.diskcsr.DiskCSRGraph`, served through windowed
+block reads) and reports IO per phase, producing the evidence for the
+paper's §3.1 claim: hierarchy construction by traversal costs another
+full pass (or maxλ passes, for Naive) over the on-disk adjacency, while
+FND needs none.  The runs route through :func:`repro.backends.decompose`
+with ``backend="disk"`` — the same engine the CLI's ``--backend disk``
+uses — so the measured IO is the engine's real IO, not a model of it.
+
+Unlike the retired object-adjacency substrate, this accounting covers
+all three evaluated (r, s) pairs: (2,3) and (3,4) spool their incidence
+to scratch files during the peel phase, and FND still finishes with zero
+post-peel IO.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.dft import dft_hierarchy
-from repro.core.fnd import fnd_decomposition
+from repro.backends import decompose
 from repro.core.hierarchy import Hierarchy
-from repro.core.hypo import hypo_traversal
-from repro.core.lcps import lcps_hierarchy
-from repro.core.peeling import peel
-from repro.core.traversal import naive_hierarchy
-from repro.errors import UnknownAlgorithmError
-from repro.external.disk import DiskAdjacency, DiskVertexView
 from repro.graph.adjacency import Graph
 
-__all__ = ["SemiExternalResult", "semi_external_core_decomposition"]
+__all__ = [
+    "SemiExternalResult",
+    "semi_external_core_decomposition",
+    "semi_external_decomposition",
+]
 
 
 @dataclass
 class SemiExternalResult:
     """Outcome of a semi-external run.
 
-    ``peel_reads``/``post_reads`` count neighbourhood fetches per phase;
-    ``peel_ints``/``post_ints`` count vertex ids transferred.  One "pass"
-    over the graph costs |V| reads / 2|E| ints.
+    ``peel_reads``/``post_reads`` count block fetches per phase;
+    ``peel_ints``/``post_ints`` count cell ids transferred.  One "pass"
+    over the graph costs 2|E| ints (for (2,3)/(3,4) the peel phase also
+    streams the spooled incidence, so its int count is incidence-scale
+    rather than adjacency-scale — the post counts stay comparable).
     """
 
     algorithm: str
@@ -40,6 +48,8 @@ class SemiExternalResult:
     peel_ints: int
     post_reads: int
     post_ints: int
+    r: int = 1
+    s: int = 2
 
     def passes(self, ints_per_pass: int) -> tuple[float, float]:
         """(peel, post) phases expressed in full-graph passes."""
@@ -49,37 +59,41 @@ class SemiExternalResult:
                 self.post_ints / ints_per_pass)
 
 
-def semi_external_core_decomposition(graph: Graph, algorithm: str = "fnd",
-                                     directory=None) -> SemiExternalResult:
-    """Decompose with adjacency on disk; returns per-phase IO counts."""
-    with DiskAdjacency(graph, directory=directory) as disk:
-        view = DiskVertexView(disk)
-        disk.io.snapshot("start")
-        if algorithm == "fnd":
-            peeling, hierarchy = fnd_decomposition(view)
-            disk.io.snapshot("peel")   # FND's single pass does everything
-            disk.io.snapshot("post")
-            lam = peeling.lam
-        elif algorithm in ("naive", "dft", "lcps", "hypo"):
-            peeling = peel(view)
-            disk.io.snapshot("peel")
-            if algorithm == "naive":
-                hierarchy = naive_hierarchy(view, peeling)
-            elif algorithm == "dft":
-                hierarchy = dft_hierarchy(view, peeling)
-            elif algorithm == "lcps":
-                hierarchy = lcps_hierarchy(disk, peeling)  # type: ignore[arg-type]
-            else:
-                hypo_traversal(view, peeling)
-                hierarchy = None
-            disk.io.snapshot("post")
-            lam = peeling.lam
-        else:
-            raise UnknownAlgorithmError(
-                f"unknown algorithm {algorithm!r} for semi-external runs")
+def semi_external_decomposition(graph: Graph, r: int = 1, s: int = 2,
+                                algorithm: str = "fnd", directory=None,
+                                chunk_edges: int | None = None,
+                                ) -> SemiExternalResult:
+    """Decompose with the CSR arrays on disk; returns per-phase IO counts.
+
+    ``graph`` is built into a ``.diskcsr`` directory (a temporary one,
+    removed afterwards, unless ``directory`` names a persistent location)
+    through the out-of-core builder, then decomposed on the disk backend.
+    FND covers (1,2)/(2,3)/(3,4); the traversal algorithms
+    (``naive``/``dft``/``lcps``/``hypo``) run (1,2), where their post-peel
+    passes re-read the on-disk adjacency — the IO this accounting exists
+    to expose.
+    """
+    from repro.external.diskcsr import as_diskcsr
+
+    disk = as_diskcsr(graph, directory=directory, chunk_edges=chunk_edges)
+    try:
+        # build IO (the external sort) is not the measured phase: reset
+        # before the engine snapshots start/peel/post on disk.io
+        result = decompose(disk, r, s, algorithm=algorithm, backend="disk")
         peel_reads, peel_ints = disk.io.phase_delta("start", "peel")
         post_reads, post_ints = disk.io.phase_delta("peel", "post")
+    finally:
+        disk.close()
     return SemiExternalResult(
-        algorithm=algorithm, hierarchy=hierarchy, lam=lam,
+        algorithm=algorithm, hierarchy=result.hierarchy, lam=result.lam,
         peel_reads=peel_reads, peel_ints=peel_ints,
-        post_reads=post_reads, post_ints=post_ints)
+        post_reads=post_reads, post_ints=post_ints, r=r, s=s)
+
+
+def semi_external_core_decomposition(graph: Graph, algorithm: str = "fnd",
+                                     directory=None) -> SemiExternalResult:
+    """(1,2) semi-external run — thin wrapper over
+    :func:`semi_external_decomposition` kept for the original k-core
+    entry point."""
+    return semi_external_decomposition(graph, 1, 2, algorithm=algorithm,
+                                       directory=directory)

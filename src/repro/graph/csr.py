@@ -447,7 +447,10 @@ def csr_edge_support(csr: CSRGraph, use_numpy: bool | None = None) -> list[int]:
     three edge ids with zero hash lookups.
     """
     if use_numpy is None:
-        use_numpy = _np is not None and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
+        # the vectorised listing needs the real typed arrays; duck-typed
+        # CSR layouts (the disk backend) take the scalar fallback
+        use_numpy = (_np is not None and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
+                     and isinstance(csr, CSRGraph))
     if use_numpy:
         if _np is None:
             raise InvalidGraphError("numpy fast path requested but numpy is missing")
@@ -797,7 +800,7 @@ def csr_k4_triangle_ids(
     n = csr.n
     if use_numpy is None:
         use_numpy = (_np is not None and csr.m >= _NUMPY_MIN_TRIANGLE_EDGES
-                     and n < _MAX_KEYED_N)
+                     and n < _MAX_KEYED_N and isinstance(csr, CSRGraph))
     if use_numpy:
         if _np is None:
             raise InvalidGraphError("numpy fast path requested but numpy is missing")

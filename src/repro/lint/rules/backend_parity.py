@@ -17,9 +17,12 @@ from typing import Iterator
 from repro.lint.registry import Module, Rule, dotted_name, register
 
 #: layers allowed to touch engines directly: the engines themselves and
-#: the dispatch layer.
+#: the dispatch layer.  ``external/engine.py`` is the disk engine (the
+#: ``backend="disk"`` implementation behind :mod:`repro.backends`) — the
+#: rest of ``repro/external/`` routes through the dispatch layer like any
+#: other caller.
 _ENGINE_LAYERS = ("repro/core/", "repro/parallel/", "repro/backends.py",
-                  "repro/lint/")
+                  "repro/external/engine.py", "repro/lint/")
 _ENGINE_ENTRY_POINTS = {
     "nucleus_decomposition",
     "csr_core_peel", "csr_truss_peel", "csr_nucleus34_peel",

@@ -290,11 +290,15 @@ class TestBackends:
         monkeypatch.setenv("REPRO_FORCE_SHARDING", "1")
         graph = generators.powerlaw_cluster(120, 5, 0.6, seed=4)
         r, s = rs
+        # the disk backend runs traversal algorithms for (1,2) only (the
+        # spooled incidence is consumed by the peel); FND covers all (r,s)
+        under_test = [b for b in BACKENDS
+                      if b != "disk" or algorithm == "fnd" or rs == (1, 2)]
         results = {b: decompose(graph, r, s, algorithm=algorithm, backend=b,
                                 workers=2 if b == "csr-parallel" else None)
-                   for b in BACKENDS}
+                   for b in under_test}
         obj = results["object"]
-        for backend in BACKENDS[1:]:
+        for backend in under_test[1:]:
             other = results[backend]
             assert obj.lam == other.lam, backend
             assert obj.hierarchy.canonical_nuclei() == \

@@ -9,6 +9,7 @@ from repro.external import (
     DiskAdjacency,
     DiskVertexView,
     semi_external_core_decomposition,
+    semi_external_decomposition,
 )
 from repro.graph import generators
 from repro.graph.adjacency import Graph
@@ -112,6 +113,60 @@ class TestPaperIoClaim:
         peel_passes, post_passes = result.passes(2 * g.m)
         assert peel_passes >= 0.9
         assert post_passes >= 0.9
+
+    def test_zero_ints_per_pass(self):
+        result = semi_external_core_decomposition(Graph(2, []), "fnd")
+        assert result.passes(0) == (0.0, 0.0)
+
+
+class TestHigherOrderIoClaim:
+    """§3.1 extended: FND's zero post-peel IO holds for (2,3)/(3,4) too,
+    where the disk engine spools the incidence during the peel phase."""
+
+    def graph(self):
+        g = generators.powerlaw_cluster(120, 5, 0.6, seed=21)
+        return generators.edge_dropout(g, 0.3, seed=22)
+
+    @pytest.mark.parametrize("rs", [(1, 2), (2, 3), (3, 4)])
+    def test_fnd_post_io_is_zero(self, rs):
+        r, s = rs
+        result = semi_external_decomposition(self.graph(), r, s, "fnd")
+        assert (result.r, result.s) == (r, s)
+        assert result.post_ints == 0
+        assert result.post_reads == 0
+        assert result.peel_ints > 0
+
+    @pytest.mark.parametrize("rs", [(2, 3), (3, 4)])
+    def test_matches_in_memory_engine(self, rs):
+        from repro.backends import decompose
+
+        r, s = rs
+        g = self.graph()
+        result = semi_external_decomposition(g, r, s, "fnd")
+        ref = decompose(g, r, s, algorithm="fnd", backend="csr")
+        assert result.lam == ref.lam
+        assert result.hierarchy.canonical_nuclei() == \
+            ref.hierarchy.canonical_nuclei()
+
+    def test_core_wrapper_is_12(self):
+        g = self.graph()
+        via_wrapper = semi_external_core_decomposition(g, "fnd")
+        direct = semi_external_decomposition(g, 1, 2, "fnd")
+        assert (via_wrapper.r, via_wrapper.s) == (1, 2)
+        assert via_wrapper.lam == direct.lam
+
+    def test_traversal_rejected_beyond_12(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            semi_external_decomposition(self.graph(), 2, 3, "dft")
+
+    def test_persistent_directory(self, tmp_path):
+        target = tmp_path / "semi.diskcsr"
+        result = semi_external_decomposition(self.graph(), 2, 3, "fnd",
+                                             directory=target)
+        assert result.post_ints == 0
+        assert (target / "meta.json").exists()  # kept for later runs
 
 
 @given(small_graphs(max_n=10))
