@@ -32,6 +32,15 @@ throughput — again dimensionless, so no rescale — and route-for-route
 answer parity against direct in-process index calls must have been
 asserted.
 
+The fresh run also records the scenario-variant section
+(``bench_backends.run_variant_smoke``): the weighted, uncertain and
+temporal-sweep decompositions on the object reference engine vs the
+generic flat peel kernel (``repro.core.generic_peel``), with elementwise
+λ parity asserted inside the smoke.  When the baseline carries the
+section, every workload it records must be present and each ``gated``
+row's object-over-kernel speedup must stay at or above
+``--min-variant-speedup`` (default 2x; dimensionless, so no rescale).
+
 The fresh run also records the disk-backend section
 (``bench_backends.run_disk_smoke``): the out-of-core external-sort build
 plus full FND decompositions on the windowed disk engine at
@@ -86,7 +95,7 @@ from pathlib import Path
 
 from bench_backends import (
     run_disk_smoke, run_parallel_smoke, run_query_smoke, run_serving_smoke,
-    run_smoke)
+    run_smoke, run_variant_smoke)
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -111,6 +120,10 @@ _SERVING_ROW_KEYS = ("coalesced", "uncoalesced", "coalesce_qps_speedup")
 #: fresh run (the dimensionless slowdown ratio is the gated one)
 _DISK_ROW_KEYS = ("build_seconds", "disk_seconds", "csr_seconds",
                   "disk_vs_csr")
+
+#: per-workload fields of the scenario-variant section; all must exist in
+#: a fresh run (the dimensionless kernel speedup is the gated one)
+_VARIANT_ROW_KEYS = ("object_seconds", "kernel_seconds", "speedup")
 
 
 def check(fresh: dict, baseline: dict, threshold: float,
@@ -307,6 +320,55 @@ def check_disk(fresh: dict, baseline: dict, threshold: float) -> list[str]:
     return failures
 
 
+def check_variants(fresh: dict, baseline: dict,
+                   min_variant_speedup: float) -> list[str]:
+    """Failure messages for the scenario-variant gate (empty = pass).
+
+    The gated quantity is each ``gated`` workload's object-over-kernel
+    speedup — both timings come from the same fresh run, so the ratio is
+    dimensionless and no calibration rescale applies.  Elementwise λ
+    parity between the object reference and the generic-peel kernel is
+    asserted inside the smoke run itself.  Ungated rows (weighted — the
+    object reference is already a tight heap peel) are checked for
+    presence only.
+    """
+    base = baseline.get("variants")
+    if base is None:
+        return []
+    fresh_variants = fresh.get("variants")
+    if fresh_variants is None:
+        return ["variants: baseline records a scenario-variant section but "
+                "the fresh run has none — the smoke run no longer produces "
+                "it"]
+    failures: list[str] = []
+    if fresh_variants.get("parity") != "ok":
+        failures.append(
+            "variants: the fresh run did not assert object-vs-kernel "
+            "lambda parity")
+    for name, base_row in base["workloads"].items():
+        row = fresh_variants.get("workloads", {}).get(name)
+        if row is None:
+            failures.append(
+                f"variants/{name}: baseline workload missing from fresh run "
+                f"— renamed or dropped workloads must update the baseline "
+                f"explicitly (--update)")
+            continue
+        missing = [key for key in _VARIANT_ROW_KEYS
+                   if key in base_row and key not in row]
+        if missing:
+            failures.append(
+                f"variants/{name}: baseline field(s) {', '.join(missing)} "
+                f"missing from fresh run")
+            continue
+        if base_row.get("gated") and row["speedup"] < min_variant_speedup:
+            failures.append(
+                f"variants/{name}: generic-kernel speedup "
+                f"{row['speedup']:.2f}x fell below {min_variant_speedup}x "
+                f"the object reference (baseline recorded "
+                f"{base_row['speedup']:.2f}x)")
+    return failures
+
+
 def check_scaling(fresh: dict, baseline: dict,
                   threshold: float) -> list[str]:
     """Failure messages for the worker-scaling gate (empty = pass).
@@ -419,6 +481,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-coalesce-speedup", type=float, default=2.0,
                         help="min required coalesced-over-uncoalesced "
                              "serving throughput (default 2)")
+    parser.add_argument("--min-variant-speedup", type=float, default=2.0,
+                        help="min required generic-kernel speedup over the "
+                             "object reference on gated scenario-variant "
+                             "rows (default 2)")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per workload (best-of); use "
@@ -476,6 +542,12 @@ def main(argv: list[str] | None = None) -> int:
               f"flat {row['flat_seconds'] * 1000:.1f}ms  "
               f"speedup {row['batch_speedup']:.0f}x  "
               f"load/recompute {row['load_vs_recompute']:.3f}")
+    fresh["variants"] = run_variant_smoke("quick", repeats=args.repeats)
+    for name, row in fresh["variants"]["workloads"].items():
+        print(f"variant/{name:14s} object {row['object_seconds']:.3f}s  "
+              f"kernel {row['kernel_seconds']:.3f}s  "
+              f"speedup {row['speedup']:.2f}x"
+              f"{'  [gated]' if row['gated'] else ''}")
     fresh["disk"] = run_disk_smoke("quick", repeats=args.repeats)
     for name, row in fresh["disk"]["workloads"].items():
         print(f"disk/{name:10s} build {row['build_seconds']:.3f}s  "
@@ -509,6 +581,7 @@ def main(argv: list[str] | None = None) -> int:
     failures += check_queries(fresh, baseline, args.min_query_speedup,
                               args.max_load_ratio)
     failures += check_serving(fresh, baseline, args.min_coalesce_speedup)
+    failures += check_variants(fresh, baseline, args.min_variant_speedup)
     failures += check_disk(fresh, baseline, args.threshold)
     if failures:
         for message in failures:

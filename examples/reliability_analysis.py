@@ -57,10 +57,11 @@ def main() -> None:
             if rng.random() < p:
                 events.append((e[0], e[1], t))
     print(f"\ntemporal stream: {len(events)} observations over 5 rounds")
+    temporal = repro.TemporalGraph(truth.n, events)
     for h in (1, 3, 5):
-        lam_h = repro.temporal_core_numbers(truth.n, events, h=h)
-        cores_h = repro.temporal_k_core(truth.n, events,
-                                        k=max(lam_h), h=h) if max(lam_h) else []
+        lam_h = repro.temporal_core_numbers(temporal, h=h)
+        cores_h = repro.temporal_k_core(temporal, max(lam_h),
+                                        h=h) if max(lam_h) else []
         print(f"  h={h}: max (k,h)-core level {max(lam_h)}, "
               f"top cores {[len(c) for c in cores_h]}")
 

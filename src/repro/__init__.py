@@ -61,8 +61,17 @@ from repro.export import (
 )
 from repro.flatindex import FlatHierarchyIndex
 from repro.external import semi_external_core_decomposition
-from repro.kcore.temporal import temporal_core_numbers, temporal_k_core
-from repro.kcore.uncertain import uncertain_core_numbers, uncertain_k_core
+from repro.api import VARIANTS, decompose
+from repro.kcore.temporal import (
+    temporal_core_numbers,
+    temporal_core_profile,
+    temporal_k_core,
+)
+from repro.kcore.uncertain import (
+    eta_degree,
+    uncertain_core_numbers,
+    uncertain_k_core,
+)
 from repro.kcore.variants import (
     directed_core_numbers,
     weighted_core_numbers,
@@ -80,7 +89,9 @@ from repro.errors import (
 )
 from repro.graph import (
     CSRGraph,
+    DirectedGraph,
     Graph,
+    TemporalGraph,
     connected_components,
     load_edge_list,
     load_graph,
@@ -108,13 +119,18 @@ from repro.ktruss import (
     truss_numbers,
 )
 
-__version__ = "0.5.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "__version__",
+    # unified front door (plain + every scenario variant)
+    "decompose",
+    "VARIANTS",
     # graph substrate
     "Graph",
     "CSRGraph",
+    "DirectedGraph",
+    "TemporalGraph",
     "backends",
     "BACKENDS",
     "generators",
@@ -169,8 +185,10 @@ __all__ = [
     "directed_core_numbers",
     "uncertain_core_numbers",
     "uncertain_k_core",
+    "eta_degree",
     "temporal_core_numbers",
     "temporal_k_core",
+    "temporal_core_profile",
     "hierarchy_to_json",
     "hierarchy_from_json",
     "save_hierarchy",

@@ -77,10 +77,15 @@ __all__ = [
     "build_query_index",
     "core_peel",
     "decompose",
+    "directed_core_peel",
     "load_query_index",
     "nucleus34_peel",
     "resolve_backend",
+    "temporal_core_peel",
+    "temporal_core_sweep",
     "truss_peel",
+    "uncertain_core_peel",
+    "weighted_core_peel",
 ]
 
 BACKENDS = ("object", "csr", "csr-parallel", "disk")
@@ -276,6 +281,174 @@ def nucleus34_peel(graph: AnyGraph, backend: str | None = None,
     if backend == "csr":
         return csr_nucleus34_peel(as_csr(graph))
     return peel(build_view(as_object(graph), 3, 4))
+
+
+def _variant_kernel_backend(backend: str | None, workers: int | None,
+                            graph_kind: str) -> str:
+    """Resolve the backend for the flat-native variant graphs
+    (:class:`~repro.graph.directed.DirectedGraph`,
+    :class:`~repro.graph.temporal.TemporalGraph`).
+
+    Their native representation *is* the flat arrays, so ``backend=None``
+    and ``"csr"`` run the generic kernel; ``"object"`` forces the
+    set/heap reference engine; ``"csr-parallel"`` validates ``workers``
+    and degrades to the sequential kernel (the variant peels are
+    sequential); ``"disk"`` has no representation for these graphs.
+    """
+    if backend is None:
+        return "kernel"
+    _check(backend)
+    if backend == "object":
+        return "object"
+    if backend == "disk":
+        raise InvalidParameterError(
+            f"backend 'disk' is not available for {graph_kind} graphs")
+    if backend == "csr-parallel":
+        _resolve_parallel_workers(workers)
+    return "kernel"
+
+
+def weighted_core_peel(graph: AnyGraph, weights: Any,
+                       backend: str | None = None,
+                       workers: int | None = None) -> PeelingResult:
+    """Weighted-degree peel — λʷ per vertex plus removal order.
+
+    The object backend runs the reference heap peel over adjacency sets;
+    the CSR and disk backends run the generic flat kernel
+    (:mod:`repro.core.generic_peel`) with float heap buckets over the
+    flat arrays (windowed memmap reads on disk).  ``csr-parallel``
+    validates ``workers`` and degrades to the sequential kernel.
+    ``weights`` is a mapping keyed by endpoint pair or a sequence indexed
+    by lexicographic edge id — the same on every backend.
+    """
+    from repro.kcore import variants as _variants
+    from repro.kcore.params import edge_values
+
+    wlist = edge_values(graph, weights, kind="weight", lo=0.0)
+    backend = resolve_backend(graph, backend)
+    if backend == "csr-parallel":
+        _resolve_parallel_workers(workers)
+        backend = "csr"
+    if backend == "object":
+        return _variants._object_weighted_core(as_object(graph), wlist)
+    if backend == "disk":
+        disk, converted = _ensure_disk(graph)
+        try:
+            return _variants._kernel_weighted_core(disk, wlist)
+        finally:
+            if converted:
+                disk.close()
+    return _variants._kernel_weighted_core(as_csr(graph), wlist)
+
+
+def uncertain_core_peel(graph: AnyGraph, probabilities: Any,
+                        eta: float = 0.5,
+                        backend: str | None = None,
+                        workers: int | None = None) -> PeelingResult:
+    """(k, η)-core peel — η-core number per vertex plus removal order.
+
+    The object backend recomputes η-degrees through adjacency sets and an
+    edge-index lookup per incident edge; the CSR and disk backends run
+    the generic kernel with lazy int buckets and a capped downward
+    η-degree search over the flat arrays.  ``csr-parallel`` validates
+    ``workers`` and degrades to the sequential kernel.
+    """
+    from repro.kcore import uncertain as _uncertain
+    from repro.kcore.params import edge_values, require_fraction
+
+    require_fraction("eta", eta)
+    plist = edge_values(graph, probabilities, kind="probability",
+                        plural="probabilities", lo=0.0, hi=1.0)
+    backend = resolve_backend(graph, backend)
+    if backend == "csr-parallel":
+        _resolve_parallel_workers(workers)
+        backend = "csr"
+    if backend == "object":
+        return _uncertain._object_uncertain_core(as_object(graph), plist, eta)
+    if backend == "disk":
+        disk, converted = _ensure_disk(graph)
+        try:
+            return _uncertain._kernel_uncertain_core(disk, plist, eta)
+        finally:
+            if converted:
+                disk.close()
+    return _uncertain._kernel_uncertain_core(as_csr(graph), plist, eta)
+
+
+def directed_core_peel(graph: Any, backend: str | None = None,
+                       workers: int | None = None
+                       ) -> tuple[PeelingResult, PeelingResult]:
+    """D-core peels — independent ``(in, out)`` peeling results.
+
+    Takes a :class:`~repro.graph.directed.DirectedGraph`; ``backend=None``
+    runs the generic kernel over its flat successor/predecessor arrays,
+    ``backend="object"`` the set-based reference engine.
+    """
+    from repro.graph.directed import DirectedGraph
+    from repro.kcore import variants as _variants
+
+    if not isinstance(graph, DirectedGraph):
+        raise InvalidParameterError(
+            "directed_core_peel needs a DirectedGraph "
+            "(DirectedGraph(n, arcs))")
+    mode = _variant_kernel_backend(backend, workers, "directed")
+    if mode == "object":
+        return _variants._object_directed_core(graph)
+    return _variants._kernel_directed_core(graph)
+
+
+def _require_temporal(graph: Any) -> None:
+    from repro.graph.temporal import TemporalGraph
+
+    if not isinstance(graph, TemporalGraph):
+        raise InvalidParameterError(
+            "temporal core dispatch needs a TemporalGraph "
+            "(TemporalGraph(n, events))")
+
+
+def temporal_core_peel(graph: Any, h: int = 1,
+                       backend: str | None = None,
+                       workers: int | None = None) -> PeelingResult:
+    """(·, h)-core peel of a :class:`~repro.graph.temporal.TemporalGraph`.
+
+    ``backend=None`` runs the generic kernel over the cached CSR of the
+    distinct interacting pairs, skipping edges below the ``h`` threshold
+    in the decrement rule — no per-threshold graph rebuild;
+    ``backend="object"`` peels the materialised h-thresholded object
+    graph through the reference Set-λ engine.
+    """
+    from repro.kcore import temporal as _temporal
+    from repro.kcore.params import require_count
+
+    _require_temporal(graph)
+    require_count("interaction threshold h", h)
+    mode = _variant_kernel_backend(backend, workers, "temporal")
+    if mode == "object":
+        return peel(build_view(graph.threshold(h), 1, 2))
+    return _temporal._kernel_temporal_core(graph, h)
+
+
+def temporal_core_sweep(graph: Any, backend: str | None = None,
+                        workers: int | None = None
+                        ) -> dict[int, PeelingResult]:
+    """Peeling results for every ``h`` from 1 to the max interaction count.
+
+    The kernel backend builds the pair CSR **once** and re-peels it per
+    threshold (the rebuild-free sweep behind
+    ``temporal_core_profile``); the object backend materialises a
+    thresholded graph per ``h`` — the reference the parity suite checks
+    against.
+    """
+    from repro.kcore import temporal as _temporal
+
+    _require_temporal(graph)
+    mode = _variant_kernel_backend(backend, workers, "temporal")
+    top = max(graph.max_count, 1)
+    if mode == "object":
+        return {h: peel(build_view(graph.threshold(h), 1, 2))
+                for h in range(1, top + 1)}
+    return {h: _temporal._kernel_temporal_core(graph, h)
+            for h in range(1, top + 1)}
 
 
 def _disk_decompose(graph: AnyGraph, r: int, s: int,

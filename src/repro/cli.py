@@ -66,6 +66,26 @@ def build_parser() -> argparse.ArgumentParser:
     decompose = sub.add_parser("decompose", help="decompose a graph file")
     decompose.add_argument("path")
     add_decomposition_arguments(decompose)
+    decompose.add_argument(
+        "--variant", default="plain",
+        choices=["plain", "weighted", "directed", "uncertain", "temporal",
+                 "temporal-profile"],
+        help="scenario variant: 'weighted'/'uncertain' read per-edge "
+             "values from --edge-values; 'directed' treats each file "
+             "line as an arc; 'temporal'/'temporal-profile' treat each "
+             "line as a timestamped interaction 'u v [t]' "
+             "(default: the plain (r,s) nucleus decomposition)")
+    decompose.add_argument(
+        "--edge-values", metavar="PATH", default=None,
+        help="file with one weight/probability per line, in "
+             "lexicographic edge-id order (variants weighted/uncertain)")
+    decompose.add_argument(
+        "--eta", type=float, default=0.5,
+        help="tail-probability threshold for --variant uncertain "
+             "(default 0.5)")
+    decompose.add_argument(
+        "--h", type=int, default=1, dest="h",
+        help="interaction threshold for --variant temporal (default 1)")
 
     dataset = sub.add_parser("dataset", help="decompose a built-in stand-in dataset")
     dataset.add_argument("name", choices=dataset_names())
@@ -199,6 +219,82 @@ def _print_decomposition(graph: Graph, r: int, s: int, algorithm: str,
         print("hierarchy  : (hypo baseline builds none)")
 
 
+def _read_floats(path: str) -> list[float]:
+    with open(path) as handle:
+        return [float(line) for line in handle if line.strip()]
+
+
+def _read_int_rows(path: str) -> list[list[int]]:
+    rows = []
+    with open(path) as handle:
+        for line in handle:
+            fields = line.split()
+            if fields and not fields[0].startswith("#"):
+                rows.append([int(tok) for tok in fields])
+    return rows
+
+
+def _run_variant(args: argparse.Namespace) -> int:
+    from repro.api import decompose as unified_decompose
+
+    variant = args.variant
+    shown = args.backend or "auto"
+    if variant in ("weighted", "uncertain"):
+        if not args.edge_values:
+            raise ReproError(
+                f"--variant {variant} needs --edge-values FILE "
+                "(one value per line, edge-id order)")
+        graph = load_graph(args.path)
+        values = _read_floats(args.edge_values)
+        params = ({"weights": values} if variant == "weighted"
+                  else {"probabilities": values, "eta": args.eta})
+        lam = unified_decompose(graph, 1, 2, variant=variant,
+                                backend=args.backend, workers=args.workers,
+                                **params)
+        print(f"graph      : {graph!r}")
+        print(f"variant    : {variant} (backend {shown})")
+        if variant == "uncertain":
+            print(f"eta        : {args.eta}")
+        print(f"max lambda : {max(lam, default=0)}")
+        return 0
+    if variant == "directed":
+        rows = _read_int_rows(args.path)
+        arcs = [(u, v) for u, v, *_rest in rows]
+        n = max((max(u, v) for u, v in arcs), default=-1) + 1
+        from repro.graph.directed import DirectedGraph
+
+        graph = DirectedGraph(n, arcs)
+        in_core, out_core = unified_decompose(
+            graph, 1, 2, variant="directed",
+            backend=args.backend, workers=args.workers)
+        print(f"graph      : {graph!r}")
+        print(f"variant    : directed (backend {shown})")
+        print(f"max in-core : {max(in_core, default=0)}")
+        print(f"max out-core: {max(out_core, default=0)}")
+        return 0
+    # temporal / temporal-profile: lines are 'u v [t]' interaction events
+    rows = _read_int_rows(args.path)
+    events = [(row[0], row[1], row[2] if len(row) > 2 else i)
+              for i, row in enumerate(rows)]
+    n = max((max(u, v) for u, v, _t in events), default=-1) + 1
+    from repro.graph.temporal import TemporalGraph
+
+    graph = TemporalGraph(n, events)
+    print(f"graph      : {graph!r}")
+    print(f"variant    : {variant} (backend {shown})")
+    if variant == "temporal":
+        lam = unified_decompose(graph, 1, 2, variant="temporal", h=args.h,
+                                backend=args.backend, workers=args.workers)
+        print(f"h          : {args.h}")
+        print(f"max lambda : {max(lam, default=0)}")
+        return 0
+    profile = unified_decompose(graph, 1, 2, variant="temporal-profile",
+                                backend=args.backend, workers=args.workers)
+    for h in sorted(profile):
+        print(f"h={h}: max lambda {max(profile[h], default=0)}")
+    return 0
+
+
 def _run_query(args: argparse.Namespace) -> int:
     from repro.backends import build_query_index, load_query_index
 
@@ -258,6 +354,8 @@ def _run(args: argparse.Namespace) -> int:
         print(f"triangles: {triangle_count(graph)}")
         return 0
     if args.command == "decompose":
+        if args.variant != "plain":
+            return _run_variant(args)
         _print_decomposition(load_graph(args.path), args.r, args.s,
                              args.algorithm, args.tree, args.max_nodes,
                              backend=args.backend, workers=args.workers)

@@ -2,6 +2,8 @@
 
 from repro.graph.adjacency import EdgeIndex, Graph, normalize_edge
 from repro.graph.csr import CSRGraph
+from repro.graph.directed import DirectedGraph
+from repro.graph.temporal import TemporalGraph
 from repro.graph.components import (
     bfs_order,
     connected_components,
@@ -20,6 +22,8 @@ from repro.graph.io import (
 __all__ = [
     "Graph",
     "CSRGraph",
+    "DirectedGraph",
+    "TemporalGraph",
     "EdgeIndex",
     "normalize_edge",
     "bfs_order",

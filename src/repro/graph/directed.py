@@ -1,0 +1,96 @@
+"""Directed graph substrate for the D-core variant.
+
+The D-core literature defines (in, out) core numbers over a simple
+directed graph; :class:`DirectedGraph` is that substrate in the flat
+layout the generic peel kernel consumes — successor and predecessor
+adjacency as CSR ``(indptr, indices)`` array pairs.  Duplicate arcs
+collapse and self-loops are dropped, matching the set-based reference
+engine.  This is the graph-first handle the redesigned
+``directed_core_numbers(graph)`` entry point takes (the old
+``(n, arcs)`` spelling survives as a deprecation shim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidGraphError
+
+__all__ = ["DirectedGraph"]
+
+
+class DirectedGraph:
+    """Simple directed graph over vertices ``0..n-1`` in flat CSR arrays."""
+
+    __slots__ = ("n", "name", "_arcs", "_sptr", "_sidx", "_pptr", "_pidx")
+
+    def __init__(self, n: int, arcs: Iterable[tuple[int, int]],
+                 name: str = "directed"):
+        if n < 0:
+            raise InvalidGraphError(f"vertex count must be >= 0, got {n}")
+        self.n = n
+        self.name = name
+        seen: set[tuple[int, int]] = set()
+        for u, v in arcs:
+            if u == v:
+                continue
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidGraphError(
+                    f"arc ({u}, {v}) out of range for n={n}")
+            seen.add((u, v))
+        ordered = sorted(seen)
+        self._arcs = ordered
+        out_deg = [0] * n
+        in_deg = [0] * n
+        for u, v in ordered:
+            out_deg[u] += 1
+            in_deg[v] += 1
+        self._sptr = _prefix(out_deg)
+        self._pptr = _prefix(in_deg)
+        sidx = [0] * len(ordered)
+        pidx = [0] * len(ordered)
+        scur = self._sptr[:n]
+        pcur = self._pptr[:n]
+        for u, v in ordered:
+            sidx[scur[u]] = v
+            scur[u] += 1
+            pidx[pcur[v]] = u
+            pcur[v] += 1
+        self._sidx = sidx
+        self._pidx = pidx
+
+    @property
+    def m(self) -> int:
+        """Number of distinct arcs."""
+        return len(self._arcs)
+
+    def arcs(self) -> Iterator[tuple[int, int]]:
+        """Distinct arcs in lexicographic order."""
+        return iter(self._arcs)
+
+    def succ_arrays(self) -> tuple[list[int], list[int]]:
+        """Successor adjacency as ``(indptr, indices)`` flat arrays."""
+        return self._sptr, self._sidx
+
+    def pred_arrays(self) -> tuple[list[int], list[int]]:
+        """Predecessor adjacency as ``(indptr, indices)`` flat arrays."""
+        return self._pptr, self._pidx
+
+    def out_degrees(self) -> list[int]:
+        sptr = self._sptr
+        return [sptr[v + 1] - sptr[v] for v in range(self.n)]
+
+    def in_degrees(self) -> list[int]:
+        pptr = self._pptr
+        return [pptr[v + 1] - pptr[v] for v in range(self.n)]
+
+    def __repr__(self) -> str:
+        return (f"DirectedGraph(name={self.name!r}, n={self.n}, "
+                f"m={self.m})")
+
+
+def _prefix(degrees: list[int]) -> list[int]:
+    out = [0] * (len(degrees) + 1)
+    for v, d in enumerate(degrees):
+        out[v + 1] = out[v] + d
+    return out

@@ -1,0 +1,92 @@
+"""Temporal graph substrate for the (k, h)-core variant.
+
+A temporal graph is a multiset of timestamped interactions; the
+(k, h)-core machinery only ever consumes the *interaction count* per
+unordered vertex pair.  :class:`TemporalGraph` captures exactly that —
+counts are tallied once at construction, and :meth:`csr` lazily builds
+**one** CSR graph over the distinct pairs with a count aligned to every
+edge id, which the threshold sweep reuses for every ``h`` instead of
+rebuilding a graph per threshold.  This is the graph-first handle the
+redesigned ``temporal_core_numbers(graph, h=...)`` entry point takes
+(the old ``(n, events, h)`` spelling survives as a deprecation shim).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidGraphError, InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+
+__all__ = ["TemporalGraph"]
+
+
+class TemporalGraph:
+    """Timestamped interaction multigraph over vertices ``0..n-1``.
+
+    Only the per-pair interaction counts are retained (self-interactions
+    dropped), which is the sufficient statistic for every (k, h)-core
+    quantity.
+    """
+
+    __slots__ = ("n", "name", "_counts", "_pairs", "_flat")
+
+    def __init__(self, n: int, events: Iterable[tuple[int, int, int]],
+                 name: str = "temporal"):
+        if n < 0:
+            raise InvalidGraphError(f"vertex count must be >= 0, got {n}")
+        self.n = n
+        self.name = name
+        counts: Counter[tuple[int, int]] = Counter()
+        for u, v, _t in events:
+            if u == v:
+                continue
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidGraphError(
+                    f"event ({u}, {v}) out of range for n={n}")
+            counts[(u, v) if u < v else (v, u)] += 1
+        self._counts = dict(counts)
+        self._pairs = sorted(self._counts)
+        self._flat: tuple[CSRGraph, list[int]] | None = None
+
+    @property
+    def m(self) -> int:
+        """Number of distinct interacting pairs."""
+        return len(self._pairs)
+
+    @property
+    def max_count(self) -> int:
+        """Largest interaction count of any pair (0 on event-free graphs)."""
+        return max(self._counts.values(), default=0)
+
+    def interaction_counts(self) -> dict[tuple[int, int], int]:
+        """Interaction count per unordered pair (a fresh dict)."""
+        return dict(self._counts)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Distinct interacting pairs in lexicographic (edge-id) order."""
+        return iter(self._pairs)
+
+    def threshold(self, h: int) -> Graph:
+        """Static graph keeping pairs with at least ``h`` interactions."""
+        if h < 1:
+            raise InvalidParameterError(
+                f"interaction threshold h must be >= 1, got {h}")
+        edges = [pair for pair in self._pairs if self._counts[pair] >= h]
+        return Graph(self.n, edges, name=f"{self.name}_h{h}")
+
+    def csr(self) -> tuple[CSRGraph, list[int]]:
+        """``(csr, counts)`` — one CSR over the distinct pairs plus the
+        interaction count per lexicographic edge id, built once and
+        cached so a threshold sweep reuses a single build."""
+        if self._flat is None:
+            csr = CSRGraph(self.n, self._pairs, name=self.name)
+            counts = [self._counts[pair] for pair in self._pairs]
+            self._flat = (csr, counts)
+        return self._flat
+
+    def __repr__(self) -> str:
+        return (f"TemporalGraph(name={self.name!r}, n={self.n}, "
+                f"pairs={self.m}, max_count={self.max_count})")

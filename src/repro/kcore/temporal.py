@@ -10,16 +10,30 @@ adaptations" whose connectivity story is identical to the classic case.
 :func:`temporal_core_numbers` gives the λ values at one ``h``;
 :func:`temporal_core_profile` sweeps all meaningful h values, yielding the
 (k, h) lattice the temporal-core papers tabulate.
+
+Entry points are graph-first over
+:class:`~repro.graph.temporal.TemporalGraph` and route through
+:func:`repro.backends.temporal_core_peel`: the object engine materialises
+the thresholded graph and peels it through the reference Set-λ engine,
+while the generic-kernel engine builds **one** CSR over the distinct
+interacting pairs and skips sub-threshold edges in the decrement rule —
+the profile sweep reuses that single build for every ``h``.  The legacy
+``(n, events, ...)`` spellings survive as deprecation shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from typing import Iterable
 
-from repro.errors import InvalidGraphError
+from repro.backends import temporal_core_peel, temporal_core_sweep
+from repro.core.generic_peel import generic_peel
+from repro.core.peeling import PeelingResult
+from repro.errors import InvalidParameterError
 from repro.graph.adjacency import Graph
-from repro.kcore.core import core_numbers, k_core
+from repro.graph.temporal import TemporalGraph
+from repro.kcore.core import k_core
 
 __all__ = [
     "interaction_counts",
@@ -45,36 +59,107 @@ def threshold_graph(n: int, events: Iterable[tuple[int, int, int]],
                     h: int) -> Graph:
     """Static graph keeping pairs with at least ``h`` interactions."""
     if h < 1:
-        raise InvalidGraphError(f"interaction threshold must be >= 1, got {h}")
+        raise InvalidParameterError(
+            f"interaction threshold h must be >= 1, got {h}")
     counts = interaction_counts(events)
     edges = [pair for pair, c in counts.items() if c >= h]
     return Graph(n, edges, name=f"temporal_h{h}")
 
 
-def temporal_core_numbers(n: int, events: Iterable[tuple[int, int, int]],
-                          h: int = 1) -> list[int]:
-    """(·, h)-core numbers: λ of every vertex in the h-thresholded graph."""
-    return core_numbers(threshold_graph(n, list(events), h))
+def _kernel_temporal_core(graph: TemporalGraph, h: int) -> PeelingResult:
+    """(·, h)-core peel on the generic kernel: a unit rule over the cached
+    pair CSR that skips edges below the interaction threshold."""
+    csr, counts = graph.csr()
+    indptr, indices, eids = csr.hot_arrays()
+    n = graph.n
+    deg = [0] * n
+    for v in range(n):
+        d = 0
+        for p in range(indptr[v], indptr[v + 1]):
+            if counts[eids[p]] >= h:
+                d += 1
+        deg[v] = d
+
+    def interacts(v: int, peeled: bytearray) -> Iterable[int]:
+        for p in range(indptr[v], indptr[v + 1]):
+            if counts[eids[p]] >= h:
+                yield indices[p]
+
+    return generic_peel(deg, unit_rule=interacts)
 
 
-def temporal_k_core(n: int, events: Iterable[tuple[int, int, int]],
-                    k: int, h: int = 1) -> list[list[int]]:
-    """*Connected* (k, h)-cores, each as a sorted vertex list."""
-    graph = threshold_graph(n, list(events), h)
-    return k_core(graph, k)
+def _as_temporal(graph, events, fname: str) -> TemporalGraph:
+    """Graph-first coercion with the legacy ``(n, events)`` shim."""
+    if isinstance(graph, int):
+        warnings.warn(
+            f"{fname}(n, events, ...) is deprecated; pass "
+            "TemporalGraph(n, events) instead", DeprecationWarning,
+            stacklevel=3)
+        if events is None:
+            raise InvalidParameterError(
+                f"{fname}(n, ...) needs an event list")
+        return TemporalGraph(graph, events)
+    if events is not None:
+        raise InvalidParameterError(
+            "events are part of the graph; pass TemporalGraph(n, events)")
+    return graph
 
 
-def temporal_core_profile(n: int, events: Iterable[tuple[int, int, int]]
+def temporal_core_numbers(graph, events=None, h: int = 1,
+                          backend: str | None = None,
+                          workers: int | None = None) -> list[int]:
+    """(·, h)-core numbers: λ of every vertex in the h-thresholded graph.
+
+    Takes a :class:`~repro.graph.temporal.TemporalGraph`; pass ``h`` by
+    keyword.  The legacy ``temporal_core_numbers(n, events, h)`` spelling
+    still works but emits a :class:`DeprecationWarning`.
+    """
+    temporal = _as_temporal(graph, events, "temporal_core_numbers")
+    return temporal_core_peel(temporal, h=h, backend=backend,
+                              workers=workers).lam
+
+
+def temporal_k_core(graph, events_or_k=None, k: int | None = None,
+                    h: int = 1,
+                    backend: str | None = None,
+                    workers: int | None = None) -> list[list[int]]:
+    """*Connected* (k, h)-cores, each as a sorted vertex list.
+
+    Graph-first form: ``temporal_k_core(temporal_graph, k, h=...)``.  The
+    legacy ``temporal_k_core(n, events, k, h)`` spelling still works but
+    emits a :class:`DeprecationWarning`.
+    """
+    if isinstance(graph, int):
+        temporal = _as_temporal(graph, events_or_k, "temporal_k_core")
+        level = k
+        if level is None:
+            raise InvalidParameterError(
+                "temporal_k_core(n, events, ...) needs k")
+    else:
+        if k is not None:
+            raise InvalidParameterError(
+                "pass k second: temporal_k_core(graph, k, h=...)")
+        temporal = _as_temporal(graph, None, "temporal_k_core")
+        level = events_or_k
+        if level is None:
+            raise InvalidParameterError("temporal_k_core() needs k")
+    lam = temporal_core_numbers(temporal, h=h, backend=backend,
+                                workers=workers)
+    return k_core(temporal.threshold(h), level, lam)
+
+
+def temporal_core_profile(graph, events=None,
+                          backend: str | None = None,
+                          workers: int | None = None
                           ) -> dict[int, list[int]]:
     """λ per vertex for every h from 1 to the max interaction count.
 
     The profile is monotone: raising h can only lower core numbers — a
-    property the tests assert.
+    property the tests assert.  On the kernel engine the whole sweep
+    reuses one CSR build (:func:`repro.backends.temporal_core_sweep`);
+    the legacy ``temporal_core_profile(n, events)`` spelling still works
+    but emits a :class:`DeprecationWarning`.
     """
-    event_list = list(events)
-    counts = interaction_counts(event_list)
-    if not counts:
-        return {1: [0] * n}
-    max_h = max(counts.values())
-    return {h: temporal_core_numbers(n, event_list, h)
-            for h in range(1, max_h + 1)}
+    temporal = _as_temporal(graph, events, "temporal_core_profile")
+    sweep = temporal_core_sweep(temporal, backend=backend, workers=workers)
+    return {h: result.lam for h, result in sweep.items()}

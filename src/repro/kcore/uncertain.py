@@ -11,43 +11,27 @@ standard O(d²) dynamic program over the incident edges that survive the
 peeling so far.  As with every decomposition in this library, the
 connectivity-aware extraction (:func:`uncertain_k_core`) is included —
 the step the paper's survey notes the uncertain adaptation leaves out.
+
+Peeling routes through :func:`repro.backends.uncertain_core_peel`: the
+object engine is the reference (full upward η-degree search per
+recompute); the generic-kernel engine walks the flat CSR arrays and
+searches *downward* from the previous η-degree — removals never raise an
+η-degree, so most recomputes settle after a single tail evaluation.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Mapping, Sequence
+from typing import Iterable
 
-from repro.errors import InvalidParameterError
+from repro.backends import as_object, uncertain_core_peel
+from repro.core.generic_peel import generic_peel
+from repro.core.peeling import PeelingResult
 from repro.graph.adjacency import Graph
+from repro.kcore.params import EdgeValues, edge_values, require_fraction
 
 __all__ = ["eta_degree", "uncertain_core_numbers", "uncertain_k_core"]
-
-
-def _normalise(graph: Graph,
-               probabilities: Mapping[tuple[int, int], float] | Sequence[float]
-               ) -> list[float]:
-    index = graph.edge_index
-    if isinstance(probabilities, Mapping):
-        out = []
-        for eid in range(len(index)):
-            u, v = index.endpoints(eid)
-            if (u, v) in probabilities:
-                out.append(float(probabilities[(u, v)]))
-            elif (v, u) in probabilities:
-                out.append(float(probabilities[(v, u)]))
-            else:
-                raise InvalidParameterError(
-                    f"missing probability for edge ({u},{v})")
-    else:
-        out = [float(p) for p in probabilities]
-        if len(out) != len(index):
-            raise InvalidParameterError(
-                f"expected {len(index)} probabilities, got {len(out)}")
-    if any(not 0.0 <= p <= 1.0 for p in out):
-        raise InvalidParameterError("probabilities must lie in [0, 1]")
-    return out
 
 
 def _tail_at_least(probs: list[float], k: int) -> float:
@@ -75,16 +59,23 @@ def eta_degree(probs: list[float], eta: float) -> int:
     return k
 
 
-def uncertain_core_numbers(graph: Graph,
-                           probabilities: Mapping[tuple[int, int], float] | Sequence[float],
-                           eta: float = 0.5) -> list[int]:
-    """η-core number of every vertex (peeling by η-degree).
+def _eta_degree_capped(probs: list[float], eta: float, cap: int) -> int:
+    """Largest k <= cap with P[deg >= k] >= eta.
 
-    With all probabilities 1 this reduces exactly to classic core numbers.
+    Removing an incident edge never raises an η-degree, so a recompute is
+    bounded by the previous value and searched downward — usually one
+    tail evaluation instead of the upward walk from zero.
     """
-    if not 0.0 < eta <= 1.0:
-        raise InvalidParameterError(f"eta must be in (0, 1], got {eta}")
-    plist = _normalise(graph, probabilities)
+    k = min(cap, len(probs))
+    while k > 0 and _tail_at_least(probs, k) < eta:
+        k -= 1
+    return k
+
+
+def _object_uncertain_core(graph: Graph, plist: list[float],
+                           eta: float) -> PeelingResult:
+    """Reference η-degree peel on the object engine (heap over adjacency
+    sets, full upward η-degree search per recompute)."""
     index = graph.edge_index
     alive = [True] * graph.n
 
@@ -94,6 +85,7 @@ def uncertain_core_numbers(graph: Graph,
 
     degree = [eta_degree(incident_probs(v), eta) for v in graph.vertices()]
     lam = [0] * graph.n
+    order: list[int] = []
     heap = [(degree[v], v) for v in graph.vertices()]
     heapq.heapify(heap)
     current = 0
@@ -102,20 +94,63 @@ def uncertain_core_numbers(graph: Graph,
         if not alive[v] or d != degree[v]:
             continue
         alive[v] = False
+        order.append(v)
         current = max(current, d)
         lam[v] = current
         for w in graph.neighbors(v):
             if alive[w]:
                 degree[w] = eta_degree(incident_probs(w), eta)
                 heapq.heappush(heap, (degree[w], w))
-    return lam
+    return PeelingResult(lam=lam, max_lambda=current, order=order)
 
 
-def uncertain_k_core(graph: Graph, k: int,
-                     probabilities: Mapping[tuple[int, int], float] | Sequence[float],
+def _kernel_uncertain_core(csr, plist: list[float],
+                           eta: float) -> PeelingResult:
+    """η-degree peel on the generic flat kernel: a revalue rule with the
+    capped downward tail search, lazy int buckets."""
+    indptr, indices, eids = csr.hot_arrays()
+    n = csr.n
+
+    def live_probs(v: int, peeled) -> list[float]:
+        return [plist[eids[p]] for p in range(indptr[v], indptr[v + 1])
+                if not peeled[indices[p]]]
+
+    nobody = bytearray(n)
+    values = [eta_degree(live_probs(v, nobody), eta) for v in range(n)]
+
+    def reweigh(v: int, k, peeled: bytearray,
+                current: list) -> Iterable[tuple[int, int]]:
+        for p in range(indptr[v], indptr[v + 1]):
+            w = indices[p]
+            if not peeled[w]:
+                yield w, _eta_degree_capped(live_probs(w, peeled), eta,
+                                            current[w])
+
+    return generic_peel(values, revalue_rule=reweigh, bucket="bucket")
+
+
+def uncertain_core_numbers(graph, probabilities: EdgeValues,
+                           eta: float = 0.5,
+                           backend: str | None = None,
+                           workers: int | None = None) -> list[int]:
+    """η-core number of every vertex (peeling by η-degree).
+
+    With all probabilities 1 this reduces exactly to classic core numbers.
+    Routed through :func:`repro.backends.uncertain_core_peel`;
+    ``probabilities`` is a mapping keyed by endpoint pair or a sequence
+    indexed by edge id.
+    """
+    return uncertain_core_peel(graph, probabilities, eta=eta,
+                               backend=backend, workers=workers).lam
+
+
+def uncertain_k_core(graph, k: int,
+                     probabilities: EdgeValues,
                      eta: float = 0.5,
                      lam: list[int] | None = None,
-                     connectivity_threshold: float = 0.0) -> list[list[int]]:
+                     connectivity_threshold: float = 0.0,
+                     backend: str | None = None,
+                     workers: int | None = None) -> list[list[int]]:
     """*Connected* (k, η)-cores, each as a sorted vertex list.
 
     The uncertain-core literature never defines connectivity (exactly the
@@ -123,12 +158,18 @@ def uncertain_k_core(graph: Graph, k: int,
     traversal crosses an edge only if its existence probability is at
     least ``connectivity_threshold`` (0.0 = structural connectivity over
     all edges; raise it to demand reliable connections).
+    ``backend=``/``workers=`` select the engine computing λ when ``lam``
+    is not supplied.
     """
-    plist = _normalise(graph, probabilities)
-    index = graph.edge_index
+    require_fraction("eta", eta)
+    obj = as_object(graph)
+    plist = edge_values(obj, probabilities, kind="probability",
+                        plural="probabilities", lo=0.0, hi=1.0)
+    index = obj.edge_index
     if lam is None:
-        lam = uncertain_core_numbers(graph, plist, eta)
-    keep = {v for v in graph.vertices() if lam[v] >= k}
+        lam = uncertain_core_numbers(graph, plist, eta,
+                                     backend=backend, workers=workers)
+    keep = {v for v in obj.vertices() if lam[v] >= k}
     seen: set[int] = set()
     out: list[list[int]] = []
     for start in sorted(keep):
@@ -139,7 +180,7 @@ def uncertain_k_core(graph: Graph, k: int,
         queue = deque([start])
         while queue:
             u = queue.popleft()
-            for w in graph.neighbors(u):
+            for w in obj.neighbors(u):
                 if (w in keep and w not in seen
                         and plist[index.id_of(u, w)] >= connectivity_threshold):
                     seen.add(w)

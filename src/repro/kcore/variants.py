@@ -10,18 +10,35 @@ plus the connectivity-aware extraction the paper argues they need:
   edge weights); λʷ(v) is the largest w such that v survives when vertices
   of weighted degree < w are iteratively removed;
 * :func:`weighted_k_core` — the *connected* weighted cores at threshold w;
-* :func:`directed_core_numbers` — (in, out) D-core numbers of a directed
-  edge list, via independent in-degree and out-degree peelings.
+* :func:`directed_core_numbers` — (in, out) D-core numbers of a
+  :class:`~repro.graph.directed.DirectedGraph`, via independent in-degree
+  and out-degree peelings.
+
+Both decompositions route through :mod:`repro.backends` with the standard
+``backend=``/``workers=`` dispatch: the object engine is the set/heap
+reference implementation, everything else runs on the generic flat peel
+kernel (:mod:`repro.core.generic_peel`) — weighted degrees through float
+heap buckets, D-cores through the unit-decrement block-swap layout.
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 from collections import deque
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable
 
-from repro.errors import InvalidGraphError, InvalidParameterError
+from repro.backends import (
+    as_object,
+    directed_core_peel,
+    weighted_core_peel,
+)
+from repro.core.generic_peel import generic_peel
+from repro.core.peeling import PeelingResult
+from repro.errors import InvalidParameterError
 from repro.graph.adjacency import Graph
+from repro.graph.directed import DirectedGraph
+from repro.kcore.params import EdgeValues
 
 __all__ = [
     "weighted_core_numbers",
@@ -30,42 +47,9 @@ __all__ = [
 ]
 
 
-def _edge_weights(graph: Graph,
-                  weights: Mapping[tuple[int, int], float] | Sequence[float]
-                  ) -> list[float]:
-    """Normalise weights to a per-edge-id list."""
-    index = graph.edge_index
-    if isinstance(weights, Mapping):
-        out = []
-        for eid in range(len(index)):
-            u, v = index.endpoints(eid)
-            if (u, v) in weights:
-                out.append(float(weights[(u, v)]))
-            elif (v, u) in weights:
-                out.append(float(weights[(v, u)]))
-            else:
-                raise InvalidParameterError(f"missing weight for edge ({u},{v})")
-        return out
-    out = [float(w) for w in weights]
-    if len(out) != len(index):
-        raise InvalidParameterError(
-            f"expected {len(index)} weights, got {len(out)}")
-    return out
-
-
-def weighted_core_numbers(graph: Graph,
-                          weights: Mapping[tuple[int, int], float] | Sequence[float]
-                          ) -> list[float]:
-    """Weighted core number λʷ of every vertex.
-
-    Generalised peeling: repeatedly remove the vertex of minimum weighted
-    degree; λʷ(v) is the running maximum of the minimum at removal time
-    (exactly the Matula–Beck recurrence with real-valued degrees, so a heap
-    replaces the bucket queue).
-    """
-    wlist = _edge_weights(graph, weights)
-    if any(w < 0 for w in wlist):
-        raise InvalidParameterError("edge weights must be non-negative")
+def _object_weighted_core(graph: Graph, wlist: list[float]) -> PeelingResult:
+    """Reference weighted-degree peel on the object engine (heap over
+    adjacency sets, one edge-index lookup per decrement)."""
     index = graph.edge_index
     wdeg = [0.0] * graph.n
     for eid in range(len(index)):
@@ -75,36 +59,79 @@ def weighted_core_numbers(graph: Graph,
 
     lam = [0.0] * graph.n
     removed = [False] * graph.n
+    order: list[int] = []
     heap = [(wdeg[v], v) for v in graph.vertices()]
     heapq.heapify(heap)
     current = 0.0
-    seen = 0
-    while heap and seen < graph.n:
+    while heap:
         degree, v = heapq.heappop(heap)
         if removed[v] or degree != wdeg[v]:
             continue
         removed[v] = True
-        seen += 1
+        order.append(v)
         current = max(current, degree)
         lam[v] = current
         for u in graph.neighbors(v):
             if not removed[u]:
                 wdeg[u] -= wlist[index.id_of(u, v)]
                 heapq.heappush(heap, (wdeg[u], u))
-    return lam
+    return PeelingResult(lam=lam, max_lambda=current, order=order)
 
 
-def weighted_k_core(graph: Graph, threshold: float,
-                    weights: Mapping[tuple[int, int], float] | Sequence[float],
-                    lam: list[float] | None = None) -> list[list[int]]:
+def _kernel_weighted_core(csr, wlist: list[float]) -> PeelingResult:
+    """Weighted-degree peel on the generic flat kernel: a revalue rule
+    subtracting the aligned edge weight, float heap buckets."""
+    indptr, indices, eids = csr.hot_arrays()
+    n = csr.n
+    wdeg = [0.0] * n
+    for v in range(n):
+        total = 0.0
+        for p in range(indptr[v], indptr[v + 1]):
+            total += wlist[eids[p]]
+        wdeg[v] = total
+
+    def lighten(v: int, k, peeled: bytearray, current: list):
+        for p in range(indptr[v], indptr[v + 1]):
+            w = indices[p]
+            if not peeled[w]:
+                yield w, current[w] - wlist[eids[p]]
+
+    return generic_peel(wdeg, revalue_rule=lighten, bucket="heap")
+
+
+def weighted_core_numbers(graph, weights: EdgeValues,
+                          backend: str | None = None,
+                          workers: int | None = None) -> list[float]:
+    """Weighted core number λʷ of every vertex.
+
+    Generalised peeling: repeatedly remove the vertex of minimum weighted
+    degree; λʷ(v) is the running maximum of the minimum at removal time
+    (exactly the Matula–Beck recurrence with real-valued degrees, so heap
+    buckets replace the unit-decrement bucket queue).  Routed through
+    :func:`repro.backends.weighted_core_peel`; ``weights`` is a mapping
+    keyed by endpoint pair or a sequence indexed by edge id.
+    """
+    return weighted_core_peel(graph, weights, backend=backend,
+                              workers=workers).lam
+
+
+def weighted_k_core(graph, threshold: float,
+                    weights: EdgeValues,
+                    lam: list[float] | None = None,
+                    backend: str | None = None,
+                    workers: int | None = None) -> list[list[int]]:
     """*Connected* weighted cores: components of {v : λʷ(v) >= threshold}.
 
     The connectivity step the paper's survey says weighted adaptations
-    leave out.
+    leave out.  ``backend=``/``workers=`` select the engine computing λʷ
+    when ``lam`` is not supplied; the component extraction itself runs on
+    the object representation.
     """
+    obj = as_object(graph)
     if lam is None:
-        lam = weighted_core_numbers(graph, weights)
-    keep = {v for v in graph.vertices() if lam[v] >= threshold}
+        lam = weighted_core_numbers(graph, weights, backend=backend,
+                                    workers=workers)
+    keep = {v for v in obj.vertices() if lam[v] >= threshold}
     seen: set[int] = set()
     out: list[list[int]] = []
     for start in sorted(keep):
@@ -115,7 +142,7 @@ def weighted_k_core(graph: Graph, threshold: float,
         queue = deque([start])
         while queue:
             u = queue.popleft()
-            for w in graph.neighbors(u):
+            for w in obj.neighbors(u):
                 if w in keep and w not in seen:
                     seen.add(w)
                     component.append(w)
@@ -124,31 +151,22 @@ def weighted_k_core(graph: Graph, threshold: float,
     return out
 
 
-def directed_core_numbers(n: int, arcs: Iterable[tuple[int, int]]
-                          ) -> tuple[list[int], list[int]]:
-    """D-core style (in, out) core numbers of a directed graph.
-
-    Peels by in-degree and by out-degree independently, returning one
-    number per vertex for each direction.  The paper notes that even the
-    *semantics* of connectivity is unresolved for directed cores, so no
-    hierarchy is attempted — this mirrors what the D-core literature
-    actually defines.
-    """
+def _object_directed_core(graph: DirectedGraph
+                          ) -> tuple[PeelingResult, PeelingResult]:
+    """Reference D-core peels on per-vertex predecessor/successor sets."""
+    n = graph.n
     preds: list[set[int]] = [set() for _ in range(n)]
     succs: list[set[int]] = [set() for _ in range(n)]
-    for u, v in arcs:
-        if u == v:
-            continue
-        if not (0 <= u < n and 0 <= v < n):
-            raise InvalidGraphError(f"arc ({u}, {v}) out of range for n={n}")
+    for u, v in graph.arcs():
         succs[u].add(v)
         preds[v].add(u)
 
     def peel_direction(degree_sets: list[set[int]],
-                       other_sets: list[set[int]]) -> list[int]:
+                       other_sets: list[set[int]]) -> PeelingResult:
         degree = [len(s) for s in degree_sets]
         lam = [0] * n
         removed = [False] * n
+        order: list[int] = []
         heap = [(degree[v], v) for v in range(n)]
         heapq.heapify(heap)
         current = 0
@@ -157,6 +175,7 @@ def directed_core_numbers(n: int, arcs: Iterable[tuple[int, int]]
             if removed[v] or d != degree[v]:
                 continue
             removed[v] = True
+            order.append(v)
             current = max(current, d)
             lam[v] = current
             # removing v lowers the peeled degree of vertices it feeds
@@ -164,9 +183,61 @@ def directed_core_numbers(n: int, arcs: Iterable[tuple[int, int]]
                 if not removed[w]:
                     degree[w] -= 1
                     heapq.heappush(heap, (degree[w], w))
-        return lam
+        return PeelingResult(lam=lam, max_lambda=current, order=order)
 
     # in-degree peeling: removing v decrements in-degree of v's successors
-    in_core = peel_direction(preds, succs)
-    out_core = peel_direction(succs, preds)
-    return in_core, out_core
+    in_result = peel_direction(preds, succs)
+    out_result = peel_direction(succs, preds)
+    return in_result, out_result
+
+
+def _kernel_directed_core(graph: DirectedGraph
+                          ) -> tuple[PeelingResult, PeelingResult]:
+    """D-core peels on the generic kernel: two unit-rule peels over the
+    flat successor/predecessor arrays."""
+    sptr, sidx = graph.succ_arrays()
+    pptr, pidx = graph.pred_arrays()
+
+    def feeds(v: int, peeled: bytearray) -> Iterable[int]:
+        return (sidx[p] for p in range(sptr[v], sptr[v + 1]))
+
+    def fed_by(v: int, peeled: bytearray) -> Iterable[int]:
+        return (pidx[p] for p in range(pptr[v], pptr[v + 1]))
+
+    # in-degree peeling: removing v decrements in-degree of v's successors
+    in_result = generic_peel(graph.in_degrees(), unit_rule=feeds)
+    out_result = generic_peel(graph.out_degrees(), unit_rule=fed_by)
+    return in_result, out_result
+
+
+def directed_core_numbers(graph, arcs=None,
+                          backend: str | None = None,
+                          workers: int | None = None
+                          ) -> tuple[list[int], list[int]]:
+    """D-core style (in, out) core numbers of a directed graph.
+
+    Peels by in-degree and by out-degree independently, returning one
+    number per vertex for each direction.  The paper notes that even the
+    *semantics* of connectivity is unresolved for directed cores, so no
+    hierarchy is attempted — this mirrors what the D-core literature
+    actually defines.
+
+    Takes a :class:`~repro.graph.directed.DirectedGraph`.  The legacy
+    ``directed_core_numbers(n, arcs)`` spelling still works but emits a
+    :class:`DeprecationWarning`.
+    """
+    if isinstance(graph, int):
+        warnings.warn(
+            "directed_core_numbers(n, arcs) is deprecated; pass "
+            "DirectedGraph(n, arcs) instead", DeprecationWarning,
+            stacklevel=2)
+        if arcs is None:
+            raise InvalidParameterError(
+                "directed_core_numbers(n, ...) needs an arc list")
+        graph = DirectedGraph(graph, arcs)
+    elif arcs is not None:
+        raise InvalidParameterError(
+            "arcs are part of the graph; pass DirectedGraph(n, arcs)")
+    in_result, out_result = directed_core_peel(graph, backend=backend,
+                                               workers=workers)
+    return in_result.lam, out_result.lam

@@ -23,6 +23,12 @@ from repro.lint.registry import Module, Rule, dotted_name, register
 #: other caller.
 _ENGINE_LAYERS = ("repro/core/", "repro/parallel/", "repro/backends.py",
                   "repro/external/engine.py", "repro/lint/")
+#: scenario-variant modules: they *implement* their object-reference and
+#: generic-kernel engines locally (so direct engine calls are allowed),
+#: but they are dispatch surface — every public graph-first entry point
+#: must accept ``backend=`` and ``workers=`` together.
+_VARIANT_LAYERS = ("repro/kcore/variants.py", "repro/kcore/uncertain.py",
+                   "repro/kcore/temporal.py")
 _ENGINE_ENTRY_POINTS = {
     "nucleus_decomposition",
     "csr_core_peel", "csr_truss_peel", "csr_nucleus34_peel",
@@ -30,6 +36,8 @@ _ENGINE_ENTRY_POINTS = {
     "parallel_core_peel", "parallel_truss_peel", "parallel_nucleus34_peel",
     "parallel_fnd_decomposition",
     "bulk_core_peel", "bulk_truss_peel", "bulk_nucleus34_peel",
+    "generic_peel",
+    "kernel_core_peel", "kernel_truss_peel", "kernel_nucleus34_peel",
 }
 
 
@@ -47,8 +55,13 @@ class BackendParity(Rule):
             # signatures (parallel_*_peel) are the implementation, not the
             # public surface
             return
+        variant_layer = module.relpath.startswith(_VARIANT_LAYERS)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
+                if variant_layer:
+                    # variant modules house their own engines; their
+                    # kernel/reference calls are the implementation
+                    continue
                 callee = dotted_name(node.func).rsplit(".", 1)[-1]
                 if callee in _ENGINE_ENTRY_POINTS:
                     yield (node,
@@ -62,6 +75,16 @@ class BackendParity(Rule):
                 params = {arg.arg for arg in
                           [*node.args.posonlyargs, *node.args.args,
                            *node.args.kwonlyargs]}
+                positional = [*node.args.posonlyargs, *node.args.args]
+                if (variant_layer and positional
+                        and positional[0].arg == "graph"
+                        and not {"backend", "workers"} <= params):
+                    yield (node,
+                           f"variant entry point {node.name}() must accept "
+                           "backend= and workers= together; the variant "
+                           "modules are dispatch surface (route through "
+                           "repro.backends)")
+                    continue
                 if ("backend" in params) != ("workers" in params):
                     missing = "workers" if "backend" in params else "backend"
                     yield (node,

@@ -130,3 +130,66 @@ class TestQueryCommand:
         path.write_bytes(b"not a zip")
         assert main(["query", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestVariantCommands:
+    @pytest.fixture
+    def values_file(self, tmp_path):
+        def write(values):
+            path = tmp_path / "values.txt"
+            path.write_text("".join(f"{v}\n" for v in values))
+            return str(path)
+        return write
+
+    def test_weighted(self, graph_file, values_file, capsys):
+        weights = values_file([1.5] * figure2_graph().m)
+        assert main(["decompose", graph_file, "--variant", "weighted",
+                     "--edge-values", weights]) == 0
+        out = capsys.readouterr().out
+        assert "variant    : weighted" in out
+        assert "max lambda" in out
+
+    def test_uncertain(self, graph_file, values_file, capsys):
+        probs = values_file([0.9] * figure2_graph().m)
+        assert main(["decompose", graph_file, "--variant", "uncertain",
+                     "--edge-values", probs, "--eta", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "variant    : uncertain" in out
+        assert "eta        : 0.7" in out
+
+    def test_weighted_without_values_is_friendly(self, graph_file, capsys):
+        assert main(["decompose", graph_file,
+                     "--variant", "weighted"]) == 2
+        assert "--edge-values" in capsys.readouterr().err
+
+    def test_directed(self, tmp_path, capsys):
+        path = tmp_path / "arcs.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        assert main(["decompose", str(path), "--variant", "directed"]) == 0
+        out = capsys.readouterr().out
+        assert "max in-core : 1" in out
+        assert "max out-core: 1" in out
+
+    def test_temporal(self, tmp_path, capsys):
+        path = tmp_path / "events.txt"
+        path.write_text("0 1 0\n0 1 1\n1 2 0\n0 2 0\n")
+        assert main(["decompose", str(path), "--variant", "temporal",
+                     "--h", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "h          : 2" in out
+        assert "max lambda : 1" in out
+
+    def test_temporal_profile(self, tmp_path, capsys):
+        path = tmp_path / "events.txt"
+        path.write_text("0 1 0\n0 1 1\n1 2 0\n0 2 0\n")
+        assert main(["decompose", str(path),
+                     "--variant", "temporal-profile"]) == 0
+        out = capsys.readouterr().out
+        assert "h=1: max lambda 2" in out
+        assert "h=2: max lambda 1" in out
+
+    def test_variant_backend_object(self, graph_file, values_file, capsys):
+        weights = values_file([1.0] * figure2_graph().m)
+        assert main(["decompose", graph_file, "--variant", "weighted",
+                     "--edge-values", weights, "--backend", "object"]) == 0
+        assert "(backend object)" in capsys.readouterr().out

@@ -18,6 +18,7 @@ REPO = Path(__file__).resolve().parents[1]
 PARALLEL = "src/repro/parallel/fixture.py"
 SERVE = "src/repro/serve/fixture.py"
 ANALYSIS = "src/repro/analysis/fixture.py"
+VARIANT = "src/repro/kcore/temporal.py"
 
 
 def codes(source: str, path: str) -> list[str]:
@@ -206,6 +207,36 @@ class TestBackendParity:
         src = ("def parallel_core_peel(csr, workers):\n"
                "    return csr\n")
         assert codes(src, PARALLEL) == []
+
+    def test_fires_on_generic_kernel_call_outside_engines(self):
+        src = ("from repro.core.generic_peel import generic_peel\n"
+               "def custom(g, degrees):\n"
+               "    return generic_peel(degrees)\n")
+        assert codes(src, ANALYSIS) == ["RL005"]
+
+    def test_variant_layer_may_call_engines(self):
+        src = ("from repro.core.generic_peel import generic_peel\n"
+               "def _kernel_engine(csr, rule):\n"
+               "    return generic_peel([], unit_rule=rule)\n")
+        assert codes(src, VARIANT) == []
+
+    def test_fires_on_variant_entry_point_missing_dispatch(self):
+        src = ("def fancy_core_numbers(graph, h=1):\n"
+               "    return graph.n\n")
+        assert codes(src, VARIANT) == ["RL005"]
+
+    def test_quiet_on_dispatching_variant_entry_point(self):
+        src = ("def fancy_core_numbers(graph, h=1, backend=None,\n"
+               "                       workers=None):\n"
+               "    return graph.n\n")
+        assert codes(src, VARIANT) == []
+
+    def test_variant_helpers_and_non_graph_functions_exempt(self):
+        src = ("def _object_engine(graph, wlist):\n"
+               "    return wlist\n"
+               "def interaction_counts(events):\n"
+               "    return {}\n")
+        assert codes(src, VARIANT) == []
 
 
 # ---------------------------------------------------------------------------

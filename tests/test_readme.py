@@ -44,18 +44,20 @@ class TestBeyondPaperSnippet:
             [float(x) for x in repro.core_numbers(g)]
         assert isinstance(repro.weighted_k_core(g, 2.0, weights), list)
 
-        arcs = list(g.edges())
-        in_core, out_core = repro.directed_core_numbers(g.n, arcs)
+        dg = repro.DirectedGraph(g.n, list(g.edges()))
+        in_core, out_core = repro.directed_core_numbers(dg)
         assert len(in_core) == len(out_core) == g.n
 
         lam = repro.uncertain_core_numbers(g, [1.0] * g.m, eta=0.9)
         assert lam == repro.core_numbers(g)
         assert isinstance(repro.uncertain_k_core(g, 1, [1.0] * g.m), list)
 
-        events = [(u, v, 0) for u, v in g.edges()]
-        assert repro.temporal_core_numbers(g.n, events, h=1) == \
-            repro.core_numbers(g)
-        assert isinstance(repro.temporal_k_core(g.n, events, k=2, h=1), list)
+        tg = repro.TemporalGraph(g.n, [(u, v, 0) for u, v in g.edges()])
+        assert repro.temporal_core_numbers(tg, h=1) == repro.core_numbers(g)
+        assert isinstance(repro.temporal_k_core(tg, 2, h=1), list)
+
+        assert repro.decompose(g, variant="weighted", weights=weights) == \
+            repro.weighted_core_numbers(g, weights)
 
         result = repro.nucleus_decomposition(g, 1, 2, algorithm="fnd")
         hub = max(g.vertices(), key=g.degree)

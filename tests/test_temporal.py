@@ -3,7 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import InvalidGraphError
+from repro.errors import InvalidGraphError, InvalidParameterError
+from repro.graph.temporal import TemporalGraph
 from repro.kcore import core_numbers
 from repro.kcore.temporal import (
     interaction_counts,
@@ -23,6 +24,10 @@ def triangle_events():
             [(0, 2, t) for t in range(1)])       # 1
 
 
+def triangle():
+    return TemporalGraph(3, triangle_events())
+
+
 class TestInteractionCounts:
     def test_counts(self):
         counts = interaction_counts(triangle_events())
@@ -33,6 +38,40 @@ class TestInteractionCounts:
 
     def test_self_interactions_dropped(self):
         assert interaction_counts([(2, 2, 0)]) == {}
+
+
+class TestTemporalGraph:
+    def test_counts_and_shape(self):
+        g = triangle()
+        assert g.n == 3
+        assert g.m == 3
+        assert g.max_count == 5
+        assert g.interaction_counts() == {(0, 1): 5, (1, 2): 3, (0, 2): 1}
+
+    def test_out_of_range_event(self):
+        with pytest.raises(InvalidGraphError):
+            TemporalGraph(2, [(0, 5, 0)])
+
+    def test_threshold_materialises_static_graph(self):
+        g = triangle().threshold(2)
+        assert g.m == 2
+        assert not g.has_edge(0, 2)
+
+    def test_threshold_invalid_h(self):
+        with pytest.raises(InvalidParameterError):
+            triangle().threshold(0)
+
+    def test_csr_is_cached(self):
+        g = triangle()
+        csr_a, counts_a = g.csr()
+        csr_b, counts_b = g.csr()
+        assert csr_a is csr_b and counts_a is counts_b
+        assert sorted(counts_a) == [1, 3, 5]
+
+    def test_empty(self):
+        g = TemporalGraph(4, [])
+        assert g.m == 0
+        assert g.max_count == 0
 
 
 class TestThresholdGraph:
@@ -46,46 +85,93 @@ class TestThresholdGraph:
         assert not g.has_edge(0, 2)
 
     def test_invalid_h(self):
-        with pytest.raises(InvalidGraphError):
+        with pytest.raises(InvalidParameterError):
             threshold_graph(3, [], 0)
 
 
 class TestTemporalCores:
     def test_h1_is_static_core(self):
-        lam = temporal_core_numbers(3, triangle_events(), h=1)
+        lam = temporal_core_numbers(triangle(), h=1)
         assert lam == [2, 2, 2]
 
     def test_h2_breaks_triangle(self):
-        lam = temporal_core_numbers(3, triangle_events(), h=2)
+        lam = temporal_core_numbers(triangle(), h=2)
         assert lam == [1, 1, 1]  # a path remains
 
     def test_h_above_everything(self):
-        lam = temporal_core_numbers(3, triangle_events(), h=6)
+        lam = temporal_core_numbers(triangle(), h=6)
         assert lam == [0, 0, 0]
+
+    def test_invalid_h(self):
+        with pytest.raises(InvalidParameterError):
+            temporal_core_numbers(triangle(), h=0)
+
+    def test_requires_temporal_graph(self):
+        with pytest.raises(InvalidParameterError):
+            temporal_core_numbers(triangle().threshold(1))
 
     def test_connected_temporal_cores(self):
         events = triangle_events() + [(3, 4, 0), (3, 4, 1),
                                       (4, 5, 0), (4, 5, 1), (3, 5, 0), (3, 5, 1)]
-        cores = temporal_k_core(6, events, k=2, h=1)
+        g = TemporalGraph(6, events)
+        cores = temporal_k_core(g, 2, h=1)
         assert cores == [[0, 1, 2], [3, 4, 5]]
-        assert temporal_k_core(6, events, k=2, h=2) == [[3, 4, 5]]
+        assert temporal_k_core(g, 2, h=2) == [[3, 4, 5]]
+
+    def test_object_backend_matches_kernel(self):
+        g = triangle()
+        for h in (1, 2, 5):
+            assert temporal_core_numbers(g, h=h, backend="object") == \
+                temporal_core_numbers(g, h=h, backend="csr")
+
+    def test_disk_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            temporal_core_numbers(triangle(), backend="disk")
 
 
 class TestProfile:
     def test_profile_levels(self):
-        profile = temporal_core_profile(3, triangle_events())
+        profile = temporal_core_profile(triangle())
         assert sorted(profile) == [1, 2, 3, 4, 5]
         assert profile[1] == [2, 2, 2]
         assert profile[5] == [1, 1, 0]
 
     def test_empty_events(self):
-        assert temporal_core_profile(4, []) == {1: [0, 0, 0, 0]}
+        assert temporal_core_profile(TemporalGraph(4, [])) == {1: [0, 0, 0, 0]}
 
     def test_profile_monotone_in_h(self):
-        profile = temporal_core_profile(3, triangle_events())
+        profile = temporal_core_profile(triangle())
         hs = sorted(profile)
         for h_low, h_high in zip(hs, hs[1:]):
             assert all(a >= b for a, b in zip(profile[h_low], profile[h_high]))
+
+    def test_object_backend_matches_kernel(self):
+        g = triangle()
+        assert temporal_core_profile(g, backend="object") == \
+            temporal_core_profile(g)
+
+
+class TestDeprecatedForms:
+    """The pre-0.8 ``(n, events, ...)`` signatures still work, loudly."""
+
+    def test_core_numbers_shim(self):
+        with pytest.warns(DeprecationWarning, match="TemporalGraph"):
+            lam = temporal_core_numbers(3, triangle_events(), h=2)
+        assert lam == temporal_core_numbers(triangle(), h=2)
+
+    def test_k_core_shim(self):
+        with pytest.warns(DeprecationWarning, match="TemporalGraph"):
+            cores = temporal_k_core(3, triangle_events(), k=1, h=2)
+        assert cores == temporal_k_core(triangle(), 1, h=2)
+
+    def test_profile_shim(self):
+        with pytest.warns(DeprecationWarning, match="TemporalGraph"):
+            profile = temporal_core_profile(3, triangle_events())
+        assert profile == temporal_core_profile(triangle())
+
+    def test_events_with_graph_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            temporal_core_numbers(triangle(), triangle_events())
 
 
 @given(small_graphs(max_n=10), st.integers(1, 3))
@@ -93,6 +179,18 @@ class TestProfile:
 def test_replicated_events_shift_threshold(g, copies):
     """Each edge repeated `copies` times: h <= copies gives the static core."""
     events = [(u, v, t) for u, v in g.edges() for t in range(copies)]
-    lam = temporal_core_numbers(g.n, events, h=copies)
+    tg = TemporalGraph(g.n, events)
+    lam = temporal_core_numbers(tg, h=copies)
     assert lam == core_numbers(g)
-    assert temporal_core_numbers(g.n, events, h=copies + 1) == [0] * g.n
+    assert temporal_core_numbers(tg, h=copies + 1) == [0] * g.n
+
+
+@given(small_graphs(max_n=10), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_kernel_matches_object_reference(g, copies):
+    """λ parity: the generic-peel kernel equals the per-h object rebuild."""
+    events = [(u, v, t) for u, v in g.edges() for t in range(1 + (u + v) % copies)]
+    tg = TemporalGraph(g.n, events)
+    for h in range(1, max(tg.max_count, 1) + 1):
+        assert temporal_core_numbers(tg, h=h, backend="csr") == \
+            temporal_core_numbers(tg, h=h, backend="object")

@@ -118,6 +118,26 @@ class TestUncertainCores:
         assert reliable == [[0, 1, 2], [3, 4, 5]]
 
 
+class TestBackendParity:
+    def test_backends_agree(self, social):
+        # dyadic probabilities keep the tail DP exact on every engine
+        probs = [(0.25, 0.5, 0.75, 1.0)[i % 4] for i in range(social.m)]
+        reference = uncertain_core_numbers(social, probs, eta=0.5,
+                                           backend="object")
+        for backend in ("csr", "csr-parallel", "disk"):
+            assert uncertain_core_numbers(social, probs, eta=0.5,
+                                          backend=backend) == reference
+
+
+@given(small_graphs(max_n=9), st.sampled_from([0.25, 0.5, 0.75]))
+@settings(max_examples=25, deadline=None)
+def test_kernel_matches_object_random(g, eta):
+    """λ parity: capped-downward η-degree kernel vs the object reference."""
+    probs = [(0.25, 0.5, 0.75, 1.0)[(u + v) % 4] for u, v in g.edges()]
+    assert uncertain_core_numbers(g, probs, eta=eta, backend="csr") == \
+        uncertain_core_numbers(g, probs, eta=eta, backend="object")
+
+
 @given(small_graphs(max_n=9))
 @settings(max_examples=25, deadline=None)
 def test_certain_probabilities_match_classic_random(g):
