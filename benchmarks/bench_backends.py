@@ -44,6 +44,12 @@ Three modes:
   every workload; ``check_regression.py`` gates the recorded
   ``disk_vs_csr`` slowdown (dimensionless, so portable) against the
   committed baseline.
+* **lint runtime** (``run_lint_smoke``, part of the default standalone
+  run): times ``repro-lint`` over the shipped ``src`` tree — the full
+  pass (per-file rules plus the whole-project analysis layer) against
+  the per-file rules alone — and asserts zero findings.
+  ``check_regression.py`` gates the dimensionless ``project_overhead``
+  ratio (the project layer may cost at most ~3× the per-file pass).
 * **worker scaling** (``--parallel``, combinable with the above): times
   the ``csr-parallel`` backend at several worker counts (``--workers``,
   default 1 2 4) against the sequential CSR engine on the
@@ -883,6 +889,47 @@ def run_serving_smoke(mode: str = "quick", repeats: int = 2) -> dict:
     return results
 
 
+def run_lint_smoke(repeats: int = 3) -> dict:
+    """Time ``repro-lint`` over the shipped ``src`` tree.
+
+    Two timed passes: the full run (all rules — the per-file set plus
+    the whole-project layer, which parses every module once and builds
+    the import graph, symbol table, call resolution and function
+    summaries) and the per-file rules alone.  The recorded
+    ``project_overhead`` ratio is dimensionless, so the committed
+    baseline gates it portably: growing the project analysis may not
+    silently turn the CI lint gate into a multiple of the per-file
+    cost.  The full pass must also come back clean — the
+    self-application gate, asserted here so a dirty tree fails the
+    bench job too.
+    """
+    import repro
+    from repro.lint import ProjectRule, all_rules, lint_paths
+
+    src = Path(repro.__file__).resolve().parents[1]
+    rules = all_rules()
+    per_file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+
+    full_seconds, outcome = _best_of(repeats, lint_paths, [src])
+    violations, errors = outcome
+    if errors:
+        raise AssertionError(f"repro-lint could not read src: {errors}")
+    if violations:
+        raise AssertionError(
+            f"repro-lint found {len(violations)} violation(s) in the "
+            f"shipped tree; the bench gate requires a clean src")
+    per_file_seconds, _ = _best_of(repeats, lint_paths, [src],
+                                   per_file_rules)
+    return {
+        "rules": len(rules),
+        "per_file_rules": len(per_file_rules),
+        "findings": len(violations),
+        "full_seconds": round(full_seconds, 6),
+        "per_file_seconds": round(per_file_seconds, 6),
+        "project_overhead": round(full_seconds / per_file_seconds, 3),
+    }
+
+
 def run_parallel_smoke(mode: str = "quick",
                        workers: tuple[int, ...] = (1, 2, 4),
                        repeats: int = 3) -> dict:
@@ -1072,6 +1119,13 @@ def main(argv: list[str] | None = None) -> int:
                   f"p99 {coalesced['p99_ms']:.1f}ms)  "
                   f"uncoalesced {uncoalesced['qps']:.0f} qps  "
                   f"speedup {row['coalesce_qps_speedup']:.2f}x")
+        lint = run_lint_smoke(repeats=args.repeats)
+        results["lint"] = lint
+        print(f"repro-lint src ({lint['rules']} rules, "
+              f"{lint['findings']} findings): "
+              f"full {lint['full_seconds']:.3f}s  "
+              f"per-file {lint['per_file_seconds']:.3f}s  "
+              f"project overhead {lint['project_overhead']:.2f}x")
     if args.parallel or args.parallel_only:
         parallel = run_parallel_smoke(mode, workers=tuple(args.workers),
                                       repeats=args.repeats)

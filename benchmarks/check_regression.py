@@ -94,8 +94,8 @@ import sys
 from pathlib import Path
 
 from bench_backends import (
-    run_disk_smoke, run_parallel_smoke, run_query_smoke, run_serving_smoke,
-    run_smoke, run_variant_smoke)
+    run_disk_smoke, run_lint_smoke, run_parallel_smoke, run_query_smoke,
+    run_serving_smoke, run_smoke, run_variant_smoke)
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -124,6 +124,11 @@ _DISK_ROW_KEYS = ("build_seconds", "disk_seconds", "csr_seconds",
 #: per-workload fields of the scenario-variant section; all must exist in
 #: a fresh run (the dimensionless kernel speedup is the gated one)
 _VARIANT_ROW_KEYS = ("object_seconds", "kernel_seconds", "speedup")
+
+#: fields of the lint-runtime section; all must exist in a fresh run (the
+#: dimensionless project-over-per-file overhead is the gated one)
+_LINT_KEYS = ("rules", "findings", "full_seconds", "per_file_seconds",
+              "project_overhead")
 
 
 def check(fresh: dict, baseline: dict, threshold: float,
@@ -369,6 +374,45 @@ def check_variants(fresh: dict, baseline: dict,
     return failures
 
 
+def check_lint(fresh: dict, baseline: dict,
+               max_overhead: float) -> list[str]:
+    """Failure messages for the lint-runtime gate (empty = pass).
+
+    The gated quantity is the whole-project pass's wall time over the
+    per-file rules alone — both timings come from the same fresh run,
+    so the ratio is dimensionless and no calibration rescale applies.
+    The budget keeps the PR 10 project layer (parse-once + import
+    graph + summaries + call resolution) from silently turning the CI
+    lint gate into a multiple of the per-file cost.  Cleanliness of the
+    shipped tree is asserted inside the smoke run itself.
+    """
+    base = baseline.get("lint")
+    if base is None:
+        return []
+    fresh_lint = fresh.get("lint")
+    if fresh_lint is None:
+        return ["lint: baseline records a lint-runtime section but the "
+                "fresh run has none — the smoke run no longer produces it"]
+    failures: list[str] = []
+    missing = [key for key in _LINT_KEYS
+               if key in base and key not in fresh_lint]
+    if missing:
+        return [f"lint: baseline field(s) {', '.join(missing)} missing "
+                f"from fresh run"]
+    if fresh_lint["rules"] < base["rules"]:
+        failures.append(
+            f"lint: fresh run registered {fresh_lint['rules']} rules, "
+            f"baseline records {base['rules']} — rules must not be "
+            f"dropped silently (--update after intentional removals)")
+    if fresh_lint["project_overhead"] > max_overhead:
+        failures.append(
+            f"lint: the whole-project pass costs "
+            f"{fresh_lint['project_overhead']:.2f}x the per-file rules, "
+            f"over the {max_overhead}x budget (baseline recorded "
+            f"{base['project_overhead']:.2f}x)")
+    return failures
+
+
 def check_scaling(fresh: dict, baseline: dict,
                   threshold: float) -> list[str]:
     """Failure messages for the worker-scaling gate (empty = pass).
@@ -485,6 +529,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="min required generic-kernel speedup over the "
                              "object reference on gated scenario-variant "
                              "rows (default 2)")
+    parser.add_argument("--max-lint-overhead", type=float, default=3.0,
+                        help="max allowed cost of the whole-project "
+                             "repro-lint pass as a multiple of the per-file "
+                             "rules alone (default 3)")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per workload (best-of); use "
@@ -561,6 +609,11 @@ def main(argv: list[str] | None = None) -> int:
               f"(batch~{row['coalesced']['mean_batch']:.0f})  "
               f"uncoalesced {row['uncoalesced']['qps']:.0f} qps  "
               f"speedup {row['coalesce_qps_speedup']:.2f}x")
+    fresh["lint"] = run_lint_smoke(repeats=args.repeats)
+    lint = fresh["lint"]
+    print(f"lint/src       full {lint['full_seconds']:.3f}s  "
+          f"per-file {lint['per_file_seconds']:.3f}s  "
+          f"project overhead {lint['project_overhead']:.2f}x")
     if args.update or (baseline is not None and "parallel" in baseline):
         # keep the worker-scaling section in lockstep with the baseline
         # (its λ/hierarchy parity asserts run as a side effect).  The
@@ -583,6 +636,7 @@ def main(argv: list[str] | None = None) -> int:
     failures += check_serving(fresh, baseline, args.min_coalesce_speedup)
     failures += check_variants(fresh, baseline, args.min_variant_speedup)
     failures += check_disk(fresh, baseline, args.threshold)
+    failures += check_lint(fresh, baseline, args.max_lint_overhead)
     if failures:
         for message in failures:
             print(f"REGRESSION: {message}", file=sys.stderr)

@@ -301,8 +301,12 @@ def _variant_kernel_backend(backend: str | None, workers: int | None,
     if backend == "object":
         return "object"
     if backend == "disk":
+        graph_cls = ("DirectedGraph" if graph_kind == "directed"
+                     else "TemporalGraph")
+        supported = tuple(name for name in BACKENDS if name != "disk")
         raise InvalidParameterError(
-            f"backend 'disk' is not available for {graph_kind} graphs")
+            f"backend 'disk' is not supported for {graph_kind} graphs "
+            f"({graph_cls}); choose from {supported}")
     if backend == "csr-parallel":
         _resolve_parallel_workers(workers)
     return "kernel"

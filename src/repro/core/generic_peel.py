@@ -90,6 +90,7 @@ def generic_peel(values: Iterable[Union[int, float]], *,
                 "unit decrement rules run on the flat bucket layout; "
                 f"bucket {bucket!r} applies to revalue rules")
         return _peel_flat(values, unit_rule)
+    assert revalue_rule is not None  # the XOR guard above ensures it
     if bucket == "flat":
         raise InvalidParameterError(
             "revalue rules need a lazy queue (bucket 'heap' or 'bucket'); "
@@ -102,7 +103,8 @@ def generic_peel(values: Iterable[Union[int, float]], *,
 def _int_values(values: Iterable[Union[int, float]]) -> list[int]:
     """Cell values coerced to non-negative python ints (bucket indices)."""
     try:
-        vals = [operator.index(v) for v in values]
+        # floats intentionally reach index() and raise the TypeError below
+        vals = [operator.index(v) for v in values]  # type: ignore[arg-type]
     except TypeError:
         raise InvalidParameterError(
             "integer cell values required for this bucket kind; use "
@@ -173,7 +175,9 @@ def _peel_heap(values: Iterable[Union[int, float]],
                 continue
             current[other] = value
             heapq.heappush(heap, (value, other))
-    return PeelingResult(lam=lam, max_lambda=running, order=order)
+    # revalue rules may settle float λ; PeelingResult declares the int case
+    return PeelingResult(lam=lam, max_lambda=running,  # type: ignore[arg-type]
+                         order=order)
 
 
 def _peel_lazy_bucket(values: Iterable[Union[int, float]],

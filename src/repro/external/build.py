@@ -38,7 +38,7 @@ import json
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Any, BinaryIO, Iterable, Iterator
 
 from repro.errors import GraphFormatError, InvalidGraphError, InvalidParameterError
 from repro.external.diskcsr import (
@@ -155,7 +155,7 @@ def _merge_runs(runs: list[tuple[Path, int]], out_path: Path,
     deg = np.zeros(n, dtype=np.int64)
     m = 0
 
-    def tally(block) -> None:
+    def tally(block: np.ndarray) -> None:
         nonlocal m, deg
         m += len(block)
         deg += np.bincount(block >> _KEY_BITS, minlength=n)
@@ -168,7 +168,7 @@ def _merge_runs(runs: list[tuple[Path, int]], out_path: Path,
             tally(block)
         return m, deg
 
-    def absorb(block, out_handle) -> None:
+    def absorb(block: np.ndarray, out_handle: BinaryIO) -> None:
         block.tofile(out_handle)
         tally(block)
 
@@ -193,8 +193,9 @@ class _OutputArray:
     """A write-mode ``.npy`` output: memmapped, or eager when empty
     (``np.memmap`` rejects zero-length maps)."""
 
-    def __init__(self, path: Path, dtype, count: int):
+    def __init__(self, path: Path, dtype: Any, count: int):
         self.count = count
+        self.mm: np.memmap | None
         if count == 0:
             np.save(path, np.empty(0, dtype=dtype))
             self.mm = None
@@ -202,7 +203,8 @@ class _OutputArray:
             self.mm = np.lib.format.open_memmap(
                 str(path), mode="w+", dtype=dtype, shape=(count,))
 
-    def write(self, positions, values) -> None:
+    def write(self, positions: slice | np.ndarray,
+              values: np.ndarray) -> None:
         if self.mm is not None:
             self.mm[positions] = values
 
@@ -213,7 +215,7 @@ class _OutputArray:
             self.mm = None
 
 
-def _scatter(key_path: Path, m: int, n: int, indptr,
+def _scatter(key_path: Path, m: int, n: int, indptr: np.ndarray,
              directory: Path) -> None:
     """Second pass: merged keys → ``indices``/``eids``/``esrc``/``etgt``."""
     specs = diskcsr_array_specs(n, m)
@@ -254,7 +256,8 @@ def _scatter(key_path: Path, m: int, n: int, indptr,
         out.close()
 
 
-def build_diskcsr(source, directory: str | Path | None = None, *,
+def build_diskcsr(source: str | Path | Iterable[tuple[int, int]],
+                  directory: str | Path | None = None, *,
                   n: int | None = None, name: str = "",
                   chunk_edges: int | None = None,
                   block_ints: int = DEFAULT_BLOCK_INTS,
@@ -295,8 +298,7 @@ def build_diskcsr(source, directory: str | Path | None = None, *,
     workdir = Path(tempfile.mkdtemp(prefix="sort-", dir=str(directory)))
     try:
         sorter = _ChunkSorter(workdir, chunk_edges)
-        from_file = isinstance(source, (str, Path))
-        if from_file:
+        if isinstance(source, (str, Path)):
             path = Path(source)
             ids: dict = {}
             if not name:

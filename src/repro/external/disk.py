@@ -25,6 +25,7 @@ import struct
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 from repro.core.views import CellView
 from repro.errors import InvalidGraphError
@@ -126,7 +127,7 @@ class DiskAdjacency:
     def __enter__(self) -> "DiskAdjacency":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -155,7 +156,7 @@ class DiskVertexView(CellView):
     def initial_degrees(self) -> list[int]:
         return self.disk.degrees()
 
-    def cofaces(self, cell: int):
+    def cofaces(self, cell: int) -> Iterator[tuple[int, ...]]:
         for w in self.disk.neighbors(cell):
             yield (w,)
 

@@ -41,9 +41,13 @@ import json
 import shutil
 from collections import OrderedDict
 from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.errors import GraphFormatError, InvalidGraphError, InvalidParameterError
 from repro.external.disk import IOStats
+
+if TYPE_CHECKING:
+    from repro.graph.adjacency import Graph
 
 try:  # the disk CSR is array-native; there is no object fallback
     import numpy as np
@@ -91,7 +95,7 @@ def diskcsr_array_specs(n: int, m: int) -> dict:
     }
 
 
-def _npy_payload(path: Path, dtype, count: int) -> int:
+def _npy_payload(path: Path, dtype: Any, count: int) -> int:
     """Validate the ``.npy`` header at ``path``; return the data offset.
 
     Raises :class:`GraphFormatError` on a missing file, a foreign magic /
@@ -148,7 +152,7 @@ class BlockedArray:
     __slots__ = ("_path", "_dtype", "_offset", "_count", "_itemsize",
                  "_io", "_block", "_cache", "_cache_cap")
 
-    def __init__(self, path: str | Path, dtype, count: int, io: IOStats,
+    def __init__(self, path: str | Path, dtype: Any, count: int, io: IOStats,
                  offset: int | None = None,
                  block_ints: int = DEFAULT_BLOCK_INTS,
                  cache_blocks: int = DEFAULT_CACHE_BLOCKS):
@@ -161,13 +165,13 @@ class BlockedArray:
                         if offset is None else offset)
         self._io = io
         self._block = max(1, block_ints)
-        self._cache: OrderedDict[int, object] = OrderedDict()
+        self._cache: OrderedDict[int, np.memmap] = OrderedDict()
         self._cache_cap = max(1, cache_blocks)
 
     def __len__(self) -> int:
         return self._count
 
-    def _window(self, bid: int):
+    def _window(self, bid: int) -> np.memmap:
         """Map (or revisit) window ``bid``; eviction drops the oldest map."""
         start = bid * self._block
         window = np.memmap(
@@ -300,8 +304,8 @@ class DiskCSRGraph:
         self._eids = blocked("eids")
         self._esrc = blocked("esrc")
         self._etgt = blocked("etgt")
-        self._esrc_map = None
-        self._etgt_map = None
+        self._esrc_map: np.ndarray | None = None
+        self._etgt_map: np.ndarray | None = None
         self._closed = False
 
     # -- basic accessors (Graph/CSRGraph-compatible read surface) --------
@@ -337,7 +341,7 @@ class DiskCSRGraph:
     def vertices(self) -> range:
         return range(self._n)
 
-    def hot_arrays(self):
+    def hot_arrays(self) -> tuple[list[int], BlockedArray, BlockedArray]:
         """``(indptr, indices, eids)`` with the engine indexing contract:
         the row pointers as a list, the bulk arrays as windowed
         :class:`BlockedArray` readers."""
@@ -346,7 +350,7 @@ class DiskCSRGraph:
     def endpoints(self, eid: int) -> tuple[int, int]:
         return self._esrc[eid], self._etgt[eid]
 
-    def edges(self):
+    def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate edges as sorted pairs, lexicographically, block-wise."""
         step = DEFAULT_BLOCK_INTS
         for lo in range(0, self._m, step):
@@ -395,7 +399,7 @@ class DiskCSRGraph:
         return len(self.common_neighbors(u, v))
 
     # -- reporting surface (whole-file maps, page-cache backed) ----------
-    def _full_map(self, key: str):
+    def _full_map(self, key: str) -> np.ndarray:
         dtype, count = diskcsr_array_specs(self._n, self._m)[key]
         if count == 0:
             return np.empty(0, dtype=dtype)
@@ -403,30 +407,32 @@ class DiskCSRGraph:
             str(self.directory / f"{key}.npy"), mode="r")
 
     @property
-    def esrc(self):
+    def esrc(self) -> np.ndarray:
         """Edge sources (lo endpoints) as a read-only whole-file memmap."""
         if self._esrc_map is None:
             self._esrc_map = self._full_map("esrc")
         return self._esrc_map
 
     @property
-    def etgt(self):
+    def etgt(self) -> np.ndarray:
         """Edge targets (hi endpoints) as a read-only whole-file memmap."""
         if self._etgt_map is None:
             self._etgt_map = self._full_map("etgt")
         return self._etgt_map
 
-    def to_object(self):
+    def to_object(self) -> Graph:
         """Materialise as an object :class:`~repro.graph.adjacency.Graph`
         (reporting path: RAM-resident by definition)."""
         from repro.graph.adjacency import Graph
 
         return Graph(self._n, list(self.edges()), name=self.name)
 
-    def subgraph(self, vertices, relabel: bool = True):
+    def subgraph(self, vertices: Iterable[int],
+                 relabel: bool = True) -> Graph:
         return self.to_object().subgraph(vertices, relabel=relabel)
 
-    def edge_subgraph(self, edge_ids, relabel: bool = False):
+    def edge_subgraph(self, edge_ids: Iterable[int],
+                      relabel: bool = False) -> Graph:
         return self.to_object().edge_subgraph(edge_ids, relabel=relabel)
 
     # -- lifecycle --------------------------------------------------------
@@ -445,7 +451,7 @@ class DiskCSRGraph:
     def __enter__(self) -> "DiskCSRGraph":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -454,8 +460,9 @@ class DiskCSRGraph:
                 f"dir={str(self.directory)!r} reads={self.io.reads}>")
 
 
-def as_diskcsr(graph, directory: str | Path | None = None,
-               chunk_edges: int | None = None, name: str | None = None):
+def as_diskcsr(graph: Any, directory: str | Path | None = None,
+               chunk_edges: int | None = None,
+               name: str | None = None) -> DiskCSRGraph:
     """``graph`` as a :class:`DiskCSRGraph`.
 
     A disk graph passes through unchanged (the caller keeps ownership);

@@ -30,18 +30,21 @@ import tempfile
 import time
 from bisect import bisect_left
 from pathlib import Path
+from typing import Iterator
 
 from repro.core.csr_fnd import CSR_FND_RS, _incidence_fnd, csr_fnd_core
 from repro.core.csr_peel import bucket_order, csr_core_peel
 from repro.core.decomposition import ALGORITHMS, Decomposition
 from repro.core.dft import dft_hierarchy
 from repro.core.fnd import FndInstrumentation
+from repro.core.hierarchy import Hierarchy
 from repro.core.hypo import hypo_traversal
 from repro.core.lcps import lcps_hierarchy
 from repro.core.peeling import PeelingResult, peel
 from repro.core.traversal import naive_hierarchy
-from repro.core.views import CSREdgeView, CSRTriangleView, VertexView
+from repro.core.views import CellView, CSREdgeView, CSRTriangleView, VertexView
 from repro.errors import InvalidParameterError, UnknownAlgorithmError
+from repro.external.disk import IOStats
 from repro.external.diskcsr import BlockedArray, DiskCSRGraph
 from repro.graph.csr import csr_triangles
 
@@ -96,7 +99,7 @@ class _CliqueSpool:
         self._flush()
         self._handle.close()
 
-    def blocks(self):
+    def blocks(self) -> Iterator[np.ndarray]:
         """Replay the spool as ``(records, width)`` int32 blocks."""
         with open(self.path, "rb") as handle:
             remaining = self.count
@@ -108,8 +111,8 @@ class _CliqueSpool:
                 remaining -= take
 
 
-def _scatter_spool(spool: _CliqueSpool, ptr, directory: Path,
-                   io) -> tuple:
+def _scatter_spool(spool: _CliqueSpool, ptr: np.ndarray, directory: Path,
+                   io: IOStats) -> tuple[BlockedArray, ...]:
     """Cursor-scatter the spooled cliques into on-disk companion arrays.
 
     Record-major owner order plus a stable argsort reproduces the
@@ -156,14 +159,16 @@ def _scatter_spool(spool: _CliqueSpool, ptr, directory: Path,
     return tuple(BlockedArray(path, np.int32, total, io) for path in paths)
 
 
-def _cell_pointers(sup):
+def _cell_pointers(sup: np.ndarray) -> tuple[np.ndarray, list[int]]:
     """Degree cumsum as ``(ptr_numpy, ptr_list)``."""
     ptr = np.zeros(len(sup) + 1, dtype=np.int64)
     np.cumsum(sup, out=ptr[1:])
     return ptr, ptr.tolist()
 
 
-def _disk_truss_incidence(disk: DiskCSRGraph, workdir: Path):
+def _disk_truss_incidence(
+        disk: DiskCSRGraph, workdir: Path,
+) -> tuple[list[int], list[int], tuple[BlockedArray, ...]]:
     """Streamed edge→triangle incidence: ``(sup, ptr, comps)``.
 
     Same enumeration order as the reference
@@ -205,7 +210,10 @@ def _disk_truss_incidence(disk: DiskCSRGraph, workdir: Path):
     return spool.sup.tolist(), ptr_list, comps
 
 
-def _disk_nucleus34_incidence(disk: DiskCSRGraph, workdir: Path):
+def _disk_nucleus34_incidence(
+        disk: DiskCSRGraph, workdir: Path,
+) -> tuple[list[tuple[int, int, int]], list[int], list[int],
+           tuple[BlockedArray, ...]]:
     """Streamed triangle→K₄ incidence: ``(triangles, sup, ptr, comps)``.
 
     The triangle list is cell-scale (it *is* the cell table for (3,4), the
@@ -216,7 +224,8 @@ def _disk_nucleus34_incidence(disk: DiskCSRGraph, workdir: Path):
     quads spooled to disk instead of held in RAM.
     """
     n = disk.n
-    triangles = list(csr_triangles(disk))
+    # DiskCSRGraph duck-types the CSR read surface these loops touch
+    triangles = list(csr_triangles(disk))  # type: ignore[arg-type]
     num_tris = len(triangles)
     tri_id = {(a * n + b) * n + c: tid
               for tid, (a, b, c) in enumerate(triangles)}
@@ -296,7 +305,7 @@ def _workdir(disk: DiskCSRGraph) -> tempfile.TemporaryDirectory:
 
 def disk_core_peel(disk: DiskCSRGraph) -> PeelingResult:
     """(1,2) peel on disk: the in-RAM loop over windowed arrays."""
-    return csr_core_peel(disk)
+    return csr_core_peel(disk)  # type: ignore[arg-type]
 
 
 def disk_truss_peel(disk: DiskCSRGraph) -> PeelingResult:
@@ -314,26 +323,28 @@ def disk_nucleus34_peel(disk: DiskCSRGraph) -> PeelingResult:
 
 
 def disk_fnd_decomposition(disk: DiskCSRGraph, r: int, s: int,
-                           instrumentation: FndInstrumentation | None = None):
+                           instrumentation: FndInstrumentation | None = None,
+                           ) -> tuple[PeelingResult, Hierarchy, CellView]:
     """Direct FND on disk for the evaluated (r, s): ``(peeling, hierarchy,
     view)``, output identical to the in-RAM CSR path."""
     if (r, s) == (1, 2):
-        peeling, hierarchy = csr_fnd_core(disk, instrumentation)
-        return peeling, hierarchy, VertexView(disk)
+        peeling, hierarchy = csr_fnd_core(disk, instrumentation)  # type: ignore[arg-type]
+        return peeling, hierarchy, VertexView(disk)  # type: ignore[arg-type]
     if (r, s) == (2, 3):
         with _workdir(disk) as tmp:
             sup, ptr, comps = _disk_truss_incidence(disk, Path(tmp))
-            peeling, hierarchy = _incidence_fnd(2, 3, sup, ptr, comps,
+            peeling, hierarchy = _incidence_fnd(2, 3, sup, ptr, comps,  # type: ignore[arg-type]
                                                 instrumentation)
-        return peeling, hierarchy, CSREdgeView(disk)
+        return peeling, hierarchy, CSREdgeView(disk)  # type: ignore[arg-type]
     if (r, s) == (3, 4):
         with _workdir(disk) as tmp:
             triangles, sup, ptr, comps = _disk_nucleus34_incidence(
                 disk, Path(tmp))
             degrees = list(sup)  # the peel settles sup into λ in place
-            peeling, hierarchy = _incidence_fnd(3, 4, sup, ptr, comps,
+            peeling, hierarchy = _incidence_fnd(3, 4, sup, ptr, comps,  # type: ignore[arg-type]
                                                 instrumentation)
-        view = CSRTriangleView(disk, _enumeration=(triangles, degrees))
+        view = CSRTriangleView(disk,  # type: ignore[arg-type]
+                               _enumeration=(triangles, degrees))
         return peeling, hierarchy, view
     raise InvalidParameterError(
         f"no disk FND for (r, s) = ({r}, {s}); supported: {CSR_FND_RS}")
@@ -354,6 +365,7 @@ def disk_decomposition(disk: DiskCSRGraph, r: int, s: int,
     if algorithm not in ALGORITHMS:
         raise UnknownAlgorithmError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    hierarchy: Hierarchy | None
     disk.io.snapshot("start")
     if algorithm == "fnd":
         if (r, s) not in CSR_FND_RS:
@@ -369,13 +381,14 @@ def disk_decomposition(disk: DiskCSRGraph, r: int, s: int,
         disk.io.snapshot("peel")
         disk.io.snapshot("post")
         post_s = min(stats.build_seconds, total)
-        return Decomposition(disk, r, s, "fnd", peeling.lam, hierarchy,
-                             view, total - post_s, post_s, fnd_stats=stats)
+        return Decomposition(disk, r, s, "fnd", peeling.lam,  # type: ignore[arg-type]
+                             hierarchy, view, total - post_s, post_s,
+                             fnd_stats=stats)
     if (r, s) != (1, 2):
         raise InvalidParameterError(
             f"the disk backend runs {algorithm!r} for (1, 2) only; "
             f"use algorithm='fnd' for any of {CSR_FND_RS}")
-    view = VertexView(disk)
+    view = VertexView(disk)  # type: ignore[arg-type]
     start = time.perf_counter()
     peeling = peel(view)
     peel_s = time.perf_counter() - start
@@ -387,11 +400,11 @@ def disk_decomposition(disk: DiskCSRGraph, r: int, s: int,
     elif algorithm == "dft":
         hierarchy = dft_hierarchy(view, peeling)
     elif algorithm == "lcps":
-        hierarchy = lcps_hierarchy(disk, peeling)
+        hierarchy = lcps_hierarchy(disk, peeling)  # type: ignore[arg-type]
     else:  # hypo
         hypo_traversal(view, peeling)
         hierarchy = None
     post_s = time.perf_counter() - start
     disk.io.snapshot("post")
-    return Decomposition(disk, 1, 2, algorithm, peeling.lam, hierarchy,
-                         view, peel_s, post_s)
+    return Decomposition(disk, 1, 2, algorithm, peeling.lam,  # type: ignore[arg-type]
+                         hierarchy, view, peel_s, post_s)

@@ -18,6 +18,7 @@ post-peel IO.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.backends import decompose
 from repro.core.hierarchy import Hierarchy
@@ -60,7 +61,8 @@ class SemiExternalResult:
 
 
 def semi_external_decomposition(graph: Graph, r: int = 1, s: int = 2,
-                                algorithm: str = "fnd", directory=None,
+                                algorithm: str = "fnd",
+                                directory: str | Path | None = None,
                                 chunk_edges: int | None = None,
                                 ) -> SemiExternalResult:
     """Decompose with the CSR arrays on disk; returns per-phase IO counts.
@@ -91,7 +93,8 @@ def semi_external_decomposition(graph: Graph, r: int = 1, s: int = 2,
 
 
 def semi_external_core_decomposition(graph: Graph, algorithm: str = "fnd",
-                                     directory=None) -> SemiExternalResult:
+                                     directory: str | Path | None = None,
+                                     ) -> SemiExternalResult:
     """(1,2) semi-external run — thin wrapper over
     :func:`semi_external_decomposition` kept for the original k-core
     entry point."""

@@ -1,0 +1,83 @@
+"""Baseline (accepted-findings) file support.
+
+A baseline is a checked-in JSON list of finding fingerprints that the
+project has reviewed and accepted; ``repro-lint`` subtracts them from a
+run so the gate stays at *zero new findings* while grandfathered ones
+age out visibly.  Fingerprints are line-number independent —
+``(package-relative path, rule code, message)`` — so unrelated edits
+above a finding don't invalidate the baseline; each fingerprint absorbs
+findings up to its recorded multiplicity.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.engine import _relpath
+from repro.lint.registry import Violation
+
+__all__ = ["BASELINE_NAME", "apply_baseline", "load_baseline",
+           "write_baseline"]
+
+BASELINE_NAME = ".repro-lint-baseline.json"
+
+_Fingerprint = tuple[str, str, str]
+
+
+def _fingerprint(violation: Violation) -> _Fingerprint:
+    return (_relpath(Path(violation.path)), violation.code,
+            violation.message)
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load fingerprints; raises ValueError on a malformed file."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = raw.get("findings") if isinstance(raw, dict) else raw
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline must be a list of findings")
+    counts: Counter = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: baseline entries must be objects")
+        try:
+            key = (str(entry["path"]), str(entry["code"]),
+                   str(entry["message"]))
+        except KeyError as exc:
+            raise ValueError(
+                f"{path}: baseline entry missing {exc.args[0]!r}") from None
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(violations: list[Violation],
+                   baseline: Counter) -> tuple[list[Violation], int]:
+    """Split off baselined findings: ``(new_violations, baselined_count)``."""
+    remaining = Counter(baseline)
+    fresh: list[Violation] = []
+    matched = 0
+    for violation in violations:
+        key = _fingerprint(violation)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            fresh.append(violation)
+    return fresh, matched
+
+
+def write_baseline(violations: list[Violation], path: str | Path) -> None:
+    counts: Counter = Counter(_fingerprint(v) for v in violations)
+    findings = [
+        {"path": rel, "code": code, "message": message,
+         **({"count": count} if count > 1 else {})}
+        for (rel, code, message), count in sorted(counts.items())
+    ]
+    document = {
+        "comment": ("accepted repro-lint findings; regenerate with "
+                    "repro-lint --write-baseline"),
+        "findings": findings,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="utf-8")

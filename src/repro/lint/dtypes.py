@@ -1,0 +1,67 @@
+"""Shared dtype-recognition helpers for the int-width rules.
+
+Both RL004 (per-file) and RL007 (interprocedural) plus the function
+summaries need the same syntactic questions answered: does this
+expression *produce* an int32-derived array, and is this expression an
+explicit int64 widening?  Keeping the token sets and recognisers here
+avoids a rules ↔ summaries import cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import dotted_name
+
+__all__ = ["produces_int32", "promoted"]
+
+_INT32_TOKENS = {"int32", "i4", "<i4", "uint32", "u4", "<u4"}
+_INT64_TOKENS = {"int64", "i8", "<i8", "intp"}
+_NP_PRODUCERS = {"frombuffer", "array", "asarray", "zeros", "empty", "full",
+                 "arange", "fromiter", "ascontiguousarray"}
+
+
+def _dtype_token(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    name = dotted_name(node)
+    return name.rsplit(".", 1)[-1] if name else None
+
+
+def _mentions_int32(node: ast.expr) -> bool:
+    token = _dtype_token(node)
+    return token in _INT32_TOKENS if token is not None else False
+
+
+def _mentions_int64(node: ast.expr) -> bool:
+    token = _dtype_token(node)
+    return token in _INT64_TOKENS if token is not None else False
+
+
+def produces_int32(value: ast.expr) -> bool:
+    """True for ``.astype(np.int32)``, numpy constructors with an int32
+    dtype, and stdlib ``array('i', ...)``."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr == "astype":
+        return bool(value.args) and _mentions_int32(value.args[0])
+    callee = dotted_name(func).rsplit(".", 1)[-1]
+    if callee in _NP_PRODUCERS:
+        for kw in value.keywords:
+            if kw.arg == "dtype":
+                return _mentions_int32(kw.value)
+        # stdlib array('i', ...): first arg is the typecode
+        if callee == "array" and value.args:
+            first = value.args[0]
+            return (isinstance(first, ast.Constant)
+                    and first.value in {"i", "I", "l", "L"})
+    return False
+
+
+def promoted(value: ast.expr) -> bool:
+    """True for ``x.astype(np.int64)``-style explicit widening."""
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "astype"
+            and bool(value.args) and _mentions_int64(value.args[0]))

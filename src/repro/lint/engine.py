@@ -16,7 +16,14 @@ import tokenize
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.lint.registry import Module, Rule, Violation, all_rules
+from repro.lint.project import Project
+from repro.lint.registry import (
+    Module,
+    ProjectRule,
+    Rule,
+    Violation,
+    all_rules,
+)
 
 _PRAGMA = re.compile(
     r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
@@ -78,30 +85,50 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield path
 
 
-def lint_source(source: str, path: str = "<string>",
-                rules: Iterable[Rule] | None = None) -> list[Violation]:
-    """Lint a source string; ``path`` drives both reporting and scoping."""
+def parse_module(source: str, path: str = "<string>") -> Module:
+    """Parse one source file into the Module handed to rules."""
     tree = ast.parse(source, filename=path)
     per_line, whole_file = _parse_pragmas(source)
-    module = Module(path=path, relpath=_relpath(Path(path)), source=source,
-                    tree=tree, disabled=per_line, disabled_file=whole_file)
+    return Module(path=path, relpath=_relpath(Path(path)), source=source,
+                  tree=tree, disabled=per_line, disabled_file=whole_file)
+
+
+def lint_modules(modules: list[Module],
+                 rules: Iterable[Rule] | None = None) -> list[Violation]:
+    """Run per-file rules on each module and project rules on the whole
+    set (parsed once, analysed once)."""
+    rules = list(rules) if rules is not None else all_rules()
+    project = Project(modules)
     violations: list[Violation] = []
-    for rule in (rules if rules is not None else all_rules()):
-        violations.extend(rule.run(module))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            violations.extend(rule.run_project(project))
+        else:
+            for module in modules:
+                violations.extend(rule.run(module))
     return sorted(violations)
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Iterable[Rule] | None = None) -> list[Violation]:
+    """Lint a source string; ``path`` drives both reporting and scoping.
+
+    Project rules see a single-module project, so interprocedural
+    findings within the file still fire.
+    """
+    return lint_modules([parse_module(source, path)], rules)
 
 
 def lint_paths(paths: Iterable[str | Path],
                rules: Iterable[Rule] | None = None,
                ) -> tuple[list[Violation], list[str]]:
     """Lint files/directories.  Returns (violations, unreadable-file errors)."""
-    rules = list(rules) if rules is not None else all_rules()
-    violations: list[Violation] = []
+    modules: list[Module] = []
     errors: list[str] = []
     for path in iter_python_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
-            violations.extend(lint_source(source, path=str(path), rules=rules))
+            modules.append(parse_module(source, path=str(path)))
         except (OSError, SyntaxError, ValueError) as exc:
             errors.append(f"{path}: {exc}")
-    return sorted(violations), errors
+    return lint_modules(modules, rules), errors

@@ -76,23 +76,56 @@ class Rule:
         if not self.applies_to(module.relpath):
             return
         for node, message in self.check(module):
-            line = getattr(node, "lineno", 1)
-            col = getattr(node, "col_offset", 0)
-            # a pragma anywhere on the node's line span suppresses it, so
-            # multi-line calls can carry the comment on any of their lines;
-            # for def/class findings the span is just the signature, not
-            # the whole body
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.ClassDef, ast.ExceptHandler)) \
-                    and node.body:
-                end = node.body[0].lineno - 1
-            else:
-                end = getattr(node, "end_lineno", None) or line
-            if any(module.suppressed((self.code, self.name), at)
-                   for at in range(line, end + 1)):
+            violation = self._emit(module, node, message)
+            if violation is not None:
+                yield violation
+
+    def _emit(self, module: Module, node: ast.AST,
+              message: str) -> Violation | None:
+        """Build a Violation unless a pragma on the node's span kills it."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        # a pragma anywhere on the node's line span suppresses it, so
+        # multi-line calls can carry the comment on any of their lines;
+        # for def/class findings the span is just the signature, not
+        # the whole body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.ExceptHandler)) \
+                and node.body:
+            end = node.body[0].lineno - 1
+        else:
+            end = getattr(node, "end_lineno", None) or line
+        if any(module.suppressed((self.code, self.name), at)
+               for at in range(line, end + 1)):
+            return None
+        return Violation(path=module.path, line=line, col=col,
+                         code=self.code, name=self.name, message=message)
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole project at once.
+
+    Subclasses implement :meth:`check_project` against a
+    :class:`repro.lint.project.Project` and yield
+    ``(module, node, message)`` findings; scoping and pragma suppression
+    apply per finding exactly as for per-file rules.  ``lint_source``
+    wraps its single file in a one-module project, so project rules run
+    (with project-local visibility) in both entry points.
+    """
+
+    def check(self, module: Module) -> Iterator[tuple[ast.AST, str]]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[tuple[Module, ast.AST, str]]:
+        raise NotImplementedError
+
+    def run_project(self, project) -> Iterator[Violation]:
+        for module, node, message in self.check_project(project):
+            if not self.applies_to(module.relpath):
                 continue
-            yield Violation(path=module.path, line=line, col=col,
-                            code=self.code, name=self.name, message=message)
+            violation = self._emit(module, node, message)
+            if violation is not None:
+                yield violation
 
 
 _REGISTRY: dict[str, Rule] = {}

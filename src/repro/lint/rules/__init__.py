@@ -2,9 +2,12 @@
 
 from repro.lint.rules import (  # noqa: F401
     async_blocking,
+    backend_contract,
     backend_parity,
+    dtype_flow,
     int_width,
     mmap_copy,
+    shard_race,
     shm_lifecycle,
     swallowed,
 )

@@ -1,0 +1,105 @@
+"""RL007 interprocedural-dtype-flow.
+
+RL004 taints int32-producing expressions *within* one function — but the
+PR 3 key-packing overflow crossed a function boundary: the helper did
+the ``.astype(np.int32)`` and the caller did the ``a * n + b``.  Per
+file (and per function) both look innocent.  This rule extends the
+taint across project call edges: a call whose target (resolved through
+the project call graph, including transitive returns) returns an
+int32-derived array taints the bound name, and any multiply / shift /
+power over that name fires unless the value was explicitly widened with
+``.astype(np.int64)`` first.
+
+Only *interprocedural* sources taint here — locally produced int32 stays
+RL004's finding, so the two rules never double-report one site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.dtypes import promoted as _promoted
+from repro.lint.registry import Module, ProjectRule, base_name, register
+from repro.lint.summaries import FunctionSummary, _own_statements
+
+
+@register
+class InterproceduralDtypeFlow(ProjectRule):
+    code = "RL007"
+    name = "interprocedural-dtype-flow"
+    description = (
+        "a callee returning int32-derived values taints its caller's "
+        "key-packing multiplications across function boundaries.")
+
+    def check_project(self, project,
+                      ) -> Iterator[tuple[Module, ast.AST, str]]:
+        for summary in project.functions.values():
+            module = project.modules.get(summary.module)
+            if module is None:
+                continue
+            for node, message in self._check_function(project, summary):
+                yield module, node, message
+
+    def _check_function(self, project, summary: FunctionSummary,
+                        ) -> Iterator[tuple[ast.AST, str]]:
+        def int32_callee(value: ast.expr) -> str | None:
+            if not isinstance(value, ast.Call):
+                return None
+            qual = summary.call_targets.get(id(value))
+            if qual is None:
+                return None
+            callee = project.functions[qual]
+            return qual if callee.returns_int32 else None
+
+        tainted: dict[str, str] = {}  # local name -> int32-returning callee
+        for stmt in _own_statements(summary.node):
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                if value is None:
+                    continue
+                yield from self._flag_mults(stmt, tainted, int32_callee)
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    source = int32_callee(value)
+                    if source is not None:
+                        tainted[target.id] = source
+                    else:
+                        tainted.pop(target.id, None)
+            elif not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                       ast.ClassDef)):
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        yield from self._flag_mults(child, tainted,
+                                                    int32_callee)
+
+    def _flag_mults(self, tree: ast.AST, tainted: dict[str, str],
+                    int32_callee) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, (ast.Mult, ast.LShift, ast.Pow))):
+                continue
+            for side in (node.left, node.right):
+                if _promoted(side):
+                    continue
+                source = None
+                name = None
+                if isinstance(side, ast.Name) and side.id in tainted:
+                    name, source = side.id, tainted[side.id]
+                elif isinstance(side, ast.Subscript):
+                    root = base_name(side)
+                    if root in tainted:
+                        name, source = root, tainted[root]
+                else:
+                    direct = int32_callee(side)
+                    if direct is not None:
+                        name, source = direct.rsplit(".", 1)[-1] + "()", direct
+                if source is not None:
+                    yield (node,
+                           f"{name!r} holds int32 values returned by "
+                           f"{source}(); promote with .astype(np.int64) "
+                           "before packing keys (a * n + b wraps past 2**31)")
+                    break

@@ -15,56 +15,9 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.registry import Module, Rule, base_name, dotted_name, register
-
-_INT32_TOKENS = {"int32", "i4", "<i4", "uint32", "u4", "<u4"}
-_INT64_TOKENS = {"int64", "i8", "<i8", "intp"}
-_NP_PRODUCERS = {"frombuffer", "array", "asarray", "zeros", "empty", "full",
-                 "arange", "fromiter", "ascontiguousarray"}
-
-
-def _dtype_token(node: ast.expr) -> str | None:
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value
-    name = dotted_name(node)
-    return name.rsplit(".", 1)[-1] if name else None
-
-
-def _mentions_int32(node: ast.expr) -> bool:
-    token = _dtype_token(node)
-    return token in _INT32_TOKENS if token is not None else False
-
-
-def _mentions_int64(node: ast.expr) -> bool:
-    token = _dtype_token(node)
-    return token in _INT64_TOKENS if token is not None else False
-
-
-def _produces_int32(value: ast.expr) -> bool:
-    if not isinstance(value, ast.Call):
-        return False
-    func = value.func
-    if isinstance(func, ast.Attribute) and func.attr == "astype":
-        return bool(value.args) and _mentions_int32(value.args[0])
-    callee = dotted_name(func).rsplit(".", 1)[-1]
-    if callee in _NP_PRODUCERS:
-        for kw in value.keywords:
-            if kw.arg == "dtype":
-                return _mentions_int32(kw.value)
-        # stdlib array('i', ...): first arg is the typecode
-        if callee == "array" and value.args:
-            first = value.args[0]
-            return (isinstance(first, ast.Constant)
-                    and first.value in {"i", "I", "l", "L"})
-    return False
-
-
-def _promoted(value: ast.expr) -> bool:
-    """True for ``x.astype(np.int64)``-style explicit widening."""
-    return (isinstance(value, ast.Call)
-            and isinstance(value.func, ast.Attribute)
-            and value.func.attr == "astype"
-            and bool(value.args) and _mentions_int64(value.args[0]))
+from repro.lint.dtypes import produces_int32 as _produces_int32
+from repro.lint.dtypes import promoted as _promoted
+from repro.lint.registry import Module, Rule, base_name, register
 
 
 def _scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:

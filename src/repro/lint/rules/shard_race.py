@@ -1,0 +1,62 @@
+"""RL008 shard-write-race.
+
+The worker pool (``parallel/pool.py``) runs the *same* kernel in every
+worker process over the *same* attached ``SharedArrayBundle`` arrays,
+handing each worker a ``(lo, hi)`` shard of the frontier.  A kernel that
+writes one of those shared arrays is only safe when every write is
+provably confined to the worker's own shard — ``arr[lo:hi] = ...`` with
+both bounds bare parameters.  Whole-array stores, fancy indexing, or
+computed bounds can overlap another worker's writes and corrupt state
+silently (the classic shared-memory peeling race).
+
+The rule anchors on the dispatcher: any function named ``_worker_main``
+is treated as the worker loop, every project-resolved function it calls
+is a worker kernel, and every non-disjoint parameter-rooted write in a
+kernel (or in the dispatcher itself) is flagged.  Today's kernels are
+read-only over shared arrays — they return sparse outputs the parent
+merges — so the shipped tree is clean by construction; this rule keeps
+it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.registry import Module, ProjectRule, register
+
+_DISPATCHER = "_worker_main"
+
+
+@register
+class ShardWriteRace(ProjectRule):
+    code = "RL008"
+    name = "shard-write-race"
+    description = (
+        "worker kernels dispatched through the pool must write shared "
+        "arrays only via provably disjoint parameter-bounded slices.")
+
+    def check_project(self, project,
+                      ) -> Iterator[tuple[Module, ast.AST, str]]:
+        kernels: dict[str, object] = {}
+        for summary in project.functions.values():
+            if summary.name != _DISPATCHER:
+                continue
+            kernels.setdefault(summary.qualname, summary)
+            for callee in project.callees(summary):
+                kernels.setdefault(callee.qualname, callee)
+        for qual in sorted(kernels):
+            summary = kernels[qual]
+            module = project.modules.get(summary.module)
+            if module is None:
+                continue
+            for write in summary.writes:
+                if write.kind == "disjoint":
+                    continue
+                how = ("writes the whole array" if write.kind == "whole"
+                       else "writes through an unanalyzable index")
+                yield (module, write.node,
+                       f"worker kernel {summary.name!r} {how} on shared "
+                       f"array {write.target!r}; every worker runs this "
+                       "kernel concurrently, so writes must be disjoint "
+                       "parameter-bounded slices (arr[lo:hi] = ...)")

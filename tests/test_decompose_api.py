@@ -97,6 +97,26 @@ class TestFacadeErrors:
             repro.decompose(k4, 2, 3, variant="weighted",
                             weights=[1.0] * 6)
 
+    def test_disk_backend_rejected_uniformly(self, tri_events):
+        # the disk engine has no representation for the variant graphs:
+        # both kinds must raise the same facade-style error naming the
+        # graph class and the backends that do work
+        directed = DirectedGraph(3, [(0, 1), (1, 2), (2, 0)])
+        temporal = TemporalGraph(3, tri_events)
+        expected = r"choose from \('object', 'csr', 'csr-parallel'\)"
+        with pytest.raises(InvalidParameterError, match=expected) as exc_dir:
+            repro.decompose(directed, variant="directed", backend="disk")
+        assert "DirectedGraph" in str(exc_dir.value)
+        assert "directed graphs" in str(exc_dir.value)
+        with pytest.raises(InvalidParameterError, match=expected) as exc_tmp:
+            repro.decompose(temporal, variant="temporal", h=1,
+                            backend="disk")
+        assert "TemporalGraph" in str(exc_tmp.value)
+        assert "temporal graphs" in str(exc_tmp.value)
+        with pytest.raises(InvalidParameterError, match=expected):
+            repro.decompose(temporal, variant="temporal-profile",
+                            backend="disk")
+
     def test_wrong_graph_kind(self, k4, tri_events):
         with pytest.raises(InvalidParameterError, match="DirectedGraph"):
             repro.decompose(k4, variant="directed")

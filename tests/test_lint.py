@@ -2,6 +2,7 @@
 pattern, stays quiet on the sanctioned alternative, and the tree under
 ``src/`` is clean under the full rule set."""
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -321,15 +322,58 @@ class TestPragmas:
                "    mmap_mode='r')  # repro-lint: disable=RL001\n")
         assert codes(src, ANALYSIS) == []
 
+    def test_pragma_inside_decorated_function(self):
+        src = ("import functools\n"
+               "@functools.lru_cache\n"
+               "def drain(queue):\n"
+               "    try:\n"
+               "        return queue.get()\n"
+               "    except Exception:  # repro-lint: disable=RL006\n"
+               "        return None\n")
+        assert codes(src, PARALLEL) == []
+        # same decorated shape without the pragma still fires
+        assert codes(src.replace("  # repro-lint: disable=RL006", ""),
+                     PARALLEL) == ["RL006"]
+
+    def test_pragma_inside_nested_function(self):
+        src = ("def outer(queue):\n"
+               "    def inner():\n"
+               "        try:\n"
+               "            return queue.get()\n"
+               "        except Exception:  # repro-lint: disable=RL006\n"
+               "            return None\n"
+               "    return inner\n")
+        assert codes(src, PARALLEL) == []
+        assert codes(src.replace("  # repro-lint: disable=RL006", ""),
+                     PARALLEL) == ["RL006"]
+
+    def test_pragma_inside_async_function(self):
+        src = ("import time\n"
+               "async def flush(self):\n"
+               "    time.sleep(0.1)  # repro-lint: disable=RL003\n")
+        assert codes(src, SERVE) == []
+        assert codes(src.replace("  # repro-lint: disable=RL003", ""),
+                     SERVE) == ["RL003"]
+
+    def test_pragma_suppresses_project_rule_finding(self):
+        src = ("import numpy as np\n"
+               "def _pack_base(deg):\n"
+               "    return deg.astype(np.int32)\n"
+               "def pack_keys(a, b, n):\n"
+               "    base = _pack_base(a)\n"
+               "    return base * n + b  # repro-lint: disable=RL007\n")
+        assert codes(src, PARALLEL) == []
+
 
 # ---------------------------------------------------------------------------
 # registry and engine plumbing
 # ---------------------------------------------------------------------------
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_nine_rules_registered(self):
         rules = all_rules()
         assert [r.code for r in rules] == [
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL009"]
         assert all(r.description for r in rules)
 
     def test_get_rule_by_code_and_name(self):
@@ -395,6 +439,56 @@ class TestCli:
             [sys.executable, "-m", "repro.lint", str(target)],
             capture_output=True, text=True, cwd=REPO)
         assert proc.returncode == 0, proc.stderr
+
+    BAD = "try:\n    pass\nexcept Exception:\n    pass\n"
+
+    def _bad_file(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "parallel" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(self.BAD)
+        return target
+
+    def test_format_json(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        assert lint_main(["--format", "json", str(target)]) == 1
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["code"] == "RL006"
+
+    def test_format_sarif(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        assert lint_main(["--format", "sarif", str(target)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RL006"
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        baseline = tmp_path / "accepted.json"
+        assert lint_main(["--write-baseline", str(baseline),
+                          str(target)]) == 0
+        capsys.readouterr()
+        assert lint_main(["--baseline", str(baseline), str(target)]) == 0
+        assert "1 baselined" in capsys.readouterr().err
+        # without the baseline the finding is back
+        assert lint_main(["--no-baseline", str(target)]) == 1
+
+    def test_baseline_autodetected_in_cwd(self, tmp_path, capsys,
+                                          monkeypatch):
+        target = self._bad_file(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main([str(target)]) == 1
+        capsys.readouterr()
+        assert lint_main([str(target), "--write-baseline"]) == 0
+        assert (tmp_path / ".repro-lint-baseline.json").is_file()
+        capsys.readouterr()
+        assert lint_main([str(target)]) == 0
+
+    def test_bad_baseline_exits_two(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        baseline = tmp_path / "broken.json"
+        baseline.write_text("[not json")
+        assert lint_main(["--baseline", str(baseline), str(target)]) == 2
+        assert "bad baseline" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------
